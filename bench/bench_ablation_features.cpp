@@ -1,0 +1,85 @@
+// Ablation (DESIGN.md): which dynamic-feature family buys the accuracy?
+// Trains selectors with feature blocks zeroed out — static only, static +
+// pairwise divergences, static + time correlations, and the full set — on
+// the benchmark workloads, testing on the (out-of-distribution) Real-1 and
+// Real-2 workloads.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+using namespace rpe;
+using namespace rpe::bench;
+
+namespace {
+
+/// Zero out features with index >= lo and < hi in a copy of the records.
+std::vector<PipelineRecord> ZeroFeatureRange(
+    const std::vector<PipelineRecord>& records, size_t lo, size_t hi) {
+  std::vector<PipelineRecord> out = records;
+  for (auto& r : out) {
+    for (size_t f = lo; f < hi && f < r.features.size(); ++f) {
+      r.features[f] = 0.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: dynamic feature families ===\n";
+  const auto records = AllPaperRecords();
+  std::vector<PipelineRecord> train, test;
+  for (const auto& r : records) {
+    if (r.workload == "real1" || r.workload == "real2") {
+      test.push_back(r);
+    } else {
+      train.push_back(r);
+    }
+  }
+  std::cout << "train=" << train.size() << " (tpch x3 + tpcds), test="
+            << test.size() << " (real1 + real2)\n\n";
+
+  const FeatureSchema& schema = FeatureSchema::Get();
+  const size_t s = schema.num_static_features();
+  const size_t pairwise_end = s + 3 * kNumMarkers;  // 3 estimator pairs
+  const size_t all = schema.num_features();
+  const std::vector<size_t> pool = PoolSix();
+
+  struct Variant {
+    const char* name;
+    size_t zero_lo, zero_hi;   // feature range zeroed out
+    bool use_dynamic;
+  };
+  const Variant variants[] = {
+      {"static features only", 0, 0, false},
+      {"static + pairwise divergences", pairwise_end, all, true},
+      {"static + time correlations", s, pairwise_end, true},
+      {"full feature set", 0, 0, true},
+  };
+
+  TablePrinter table({"Feature set", "avg L1", "% optimal", ">5x tail"});
+  for (const Variant& v : variants) {
+    const auto train_v = v.zero_hi > v.zero_lo
+                             ? ZeroFeatureRange(train, v.zero_lo, v.zero_hi)
+                             : train;
+    const auto test_v = v.zero_hi > v.zero_lo
+                            ? ZeroFeatureRange(test, v.zero_lo, v.zero_hi)
+                            : test;
+    const auto eval = TrainAndEvaluate(train_v, test_v, pool, v.use_dynamic,
+                                       ExperimentParams());
+    // Evaluate against the unmodified records (errors are unchanged by
+    // feature zeroing).
+    const auto metrics = EvaluateChoices(test, eval.choices, pool);
+    table.AddRow({v.name, TablePrinter::Fmt(metrics.avg_l1, 4),
+                  TablePrinter::Pct(metrics.pct_optimal),
+                  TablePrinter::Pct(metrics.frac_ratio_gt5)});
+    std::cerr << "done: " << v.name << "\n";
+  }
+  table.Print();
+  std::cout << "\nExpected: each dynamic family helps over static-only;\n"
+               "time-correlation features carry most of the gain (cf. §6.5:\n"
+               "six of the ten next selected features were correlation\n"
+               "features).\n";
+  return 0;
+}

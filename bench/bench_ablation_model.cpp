@@ -1,0 +1,88 @@
+// Ablation (DESIGN.md / §4.2): the learning model. Compares MART against
+// the ridge-regression baseline (the class of "other statistical models"
+// the paper found inferior), and sweeps MART's boosting iterations and
+// leaf counts.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "mart/linear.h"
+
+using namespace rpe;
+using namespace rpe::bench;
+
+namespace {
+
+/// Linear-model estimator selection: one ridge regressor per estimator.
+std::vector<size_t> LinearChoices(const std::vector<PipelineRecord>& train,
+                                  const std::vector<PipelineRecord>& test,
+                                  const std::vector<size_t>& pool) {
+  const size_t nf = FeatureSchema::Get().num_features();
+  std::vector<LinearModel> models;
+  for (size_t est : pool) {
+    Dataset data(nf);
+    for (const auto& r : train) {
+      RPE_CHECK_OK(data.AddExample(r.features, r.l1[est]));
+    }
+    models.push_back(LinearModel::Train(data));
+  }
+  std::vector<size_t> choices;
+  for (const auto& r : test) {
+    size_t best = 0;
+    double best_pred = 1e100;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      const double pred = models[i].Predict(r.features);
+      if (pred < best_pred) {
+        best_pred = pred;
+        best = pool[i];
+      }
+    }
+    choices.push_back(best);
+  }
+  return choices;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: learning model for estimator selection ===\n";
+  const auto records = AllPaperRecords();
+  std::vector<PipelineRecord> train, test;
+  for (size_t i = 0; i < records.size(); ++i) {
+    ((records[i].workload == "real1" || records[i].workload == "real2")
+         ? test
+         : train)
+        .push_back(records[i]);
+  }
+  const std::vector<size_t> pool = PoolSix();
+
+  TablePrinter table({"Model", "avg L1", "% optimal"});
+  {
+    const auto choices = LinearChoices(train, test, pool);
+    const auto m = EvaluateChoices(test, choices, pool);
+    table.AddRow({"ridge regression (linear)", TablePrinter::Fmt(m.avg_l1, 4),
+                  TablePrinter::Pct(m.pct_optimal)});
+  }
+  struct Sweep {
+    int trees;
+    int leaves;
+  };
+  const Sweep sweeps[] = {{10, 30}, {25, 30}, {50, 30}, {100, 30},
+                          {200, 30}, {100, 8}, {100, 16}, {100, 64}};
+  for (const Sweep& s : sweeps) {
+    MartParams params;
+    params.num_trees = s.trees;
+    params.tree.max_leaves = s.leaves;
+    const auto eval =
+        TrainAndEvaluate(train, test, pool, /*use_dynamic=*/true, params);
+    table.AddRow({"MART M=" + std::to_string(s.trees) + " leaves=" +
+                      std::to_string(s.leaves),
+                  TablePrinter::Fmt(eval.metrics.avg_l1, 4),
+                  TablePrinter::Pct(eval.metrics.pct_optimal)});
+    std::cerr << "done M=" << s.trees << " leaves=" << s.leaves << "\n";
+  }
+  table.Print();
+  std::cout << "\nExpected (§4.2): MART beats the linear baseline — the\n"
+               "feature/error dependencies are non-linear — and accuracy\n"
+               "saturates in M well before the paper's M=200 default.\n";
+  return 0;
+}

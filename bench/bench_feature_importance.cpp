@@ -1,0 +1,115 @@
+// §6.5: feature importance. Reproduces the paper's greedy forward feature
+// selection — iteratively add the feature that most reduces the summed MSE
+// of the per-estimator error regressors — over a gain-pruned candidate set,
+// and also reports the aggregate split-gain ranking of the full model.
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+using namespace rpe;
+using namespace rpe::bench;
+
+namespace {
+
+/// Summed MSE across pool models trained on a feature subset (features not
+/// in the subset are zeroed out, making them useless for splits).
+double SubsetMse(const std::vector<PipelineRecord>& records,
+                 const std::vector<size_t>& pool,
+                 const std::vector<size_t>& subset) {
+  const size_t nf = FeatureSchema::Get().num_features();
+  std::vector<bool> keep(nf, false);
+  for (size_t f : subset) keep[f] = true;
+  MartParams params;
+  params.num_trees = 25;
+  params.tree.max_leaves = 12;
+  double total = 0.0;
+  for (size_t est : pool) {
+    Dataset data(nf);
+    std::vector<double> x(nf);
+    for (const auto& r : records) {
+      for (size_t f = 0; f < nf; ++f) {
+        x[f] = keep[f] ? r.features[f] : 0.0;
+      }
+      RPE_CHECK_OK(data.AddExample(x, r.l1[est]));
+    }
+    MartModel model = MartModel::Train(data, params);
+    total += model.MeanSquaredError(data);
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Section 6.5: feature importance ===\n";
+  auto records = AllPaperRecords();
+  // Subsample for the greedy search (it retrains many models).
+  if (records.size() > 1500) {
+    std::vector<PipelineRecord> sampled;
+    for (size_t i = 0; i < records.size(); i += records.size() / 1500) {
+      sampled.push_back(records[i]);
+    }
+    records = std::move(sampled);
+  }
+  const FeatureSchema& schema = FeatureSchema::Get();
+  const std::vector<size_t> pool = PoolSix();
+
+  // Rank features by aggregate split gain of the full dynamic model.
+  EstimatorSelector full = EstimatorSelector::Train(
+      records, pool, /*use_dynamic=*/true, ExperimentParams());
+  const std::vector<double> gains = full.FeatureImportance();
+  std::vector<size_t> by_gain(gains.size());
+  for (size_t i = 0; i < gains.size(); ++i) by_gain[i] = i;
+  std::sort(by_gain.begin(), by_gain.end(),
+            [&](size_t a, size_t b) { return gains[a] > gains[b]; });
+
+  std::cout << "\nTop 15 features by aggregate MART split gain:\n";
+  TablePrinter gain_table({"#", "Feature", "relative gain"});
+  const double top_gain = std::max(gains[by_gain[0]], 1e-12);
+  for (size_t i = 0; i < 15 && i < by_gain.size(); ++i) {
+    gain_table.AddRow({std::to_string(i + 1), schema.name(by_gain[i]),
+                       TablePrinter::Fmt(gains[by_gain[i]] / top_gain, 3)});
+  }
+  gain_table.Print();
+
+  // Greedy forward selection over the 32 highest-gain candidates.
+  std::vector<size_t> candidates(
+      by_gain.begin(), by_gain.begin() + std::min<size_t>(32, by_gain.size()));
+  std::vector<size_t> selected;
+  std::cout << "\nGreedy forward selection (paper §6.5 methodology):\n";
+  TablePrinter greedy_table({"Round", "Selected feature", "summed MSE"});
+  for (int round = 0; round < 8; ++round) {
+    double best_mse = 1e100;
+    size_t best_f = static_cast<size_t>(-1);
+    for (size_t f : candidates) {
+      if (std::find(selected.begin(), selected.end(), f) != selected.end()) {
+        continue;
+      }
+      std::vector<size_t> trial = selected;
+      trial.push_back(f);
+      const double mse = SubsetMse(records, pool, trial);
+      if (mse < best_mse) {
+        best_mse = mse;
+        best_f = f;
+      }
+    }
+    if (best_f == static_cast<size_t>(-1)) break;
+    selected.push_back(best_f);
+    greedy_table.AddRow({std::to_string(round + 1), schema.name(best_f),
+                         TablePrinter::Fmt(best_mse, 5)});
+    std::cerr << "round " << round + 1 << ": " << schema.name(best_f) << "\n";
+  }
+  greedy_table.Print();
+
+  size_t dynamic_in_top10 = 0;
+  for (size_t i = 0; i < 10 && i < by_gain.size(); ++i) {
+    if (by_gain[i] >= schema.num_static_features()) ++dynamic_in_top10;
+  }
+  std::cout << "\nDynamic features among the top-10 by gain: "
+            << dynamic_in_top10 << "/10\n";
+  std::cout << "Paper: first features selected were SelBelow_NLJoin,\n"
+               "Cor_DNESEEK_4_20 and SelAtDN; 7 of the next 10 were dynamic\n"
+               "(time-correlation) features.\n";
+  return 0;
+}

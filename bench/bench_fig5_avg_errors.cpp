@@ -1,0 +1,57 @@
+// Figure 5: average L1 and L2 progress-estimation error under the ad-hoc
+// setup: the three prior estimators vs. estimator selection with static /
+// dynamic features, with the {DNE,TGN,LUO} pool and with the six-estimator
+// pool (adding BATCHDNE, DNESEEK, TGNINT); plus the selection-oracle floor
+// (§6.2) and the worst-case-optimal SAFE/PMAX estimators the paper rules
+// out.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+using namespace rpe;
+using namespace rpe::bench;
+
+int main() {
+  std::cout << "=== Figure 5: average progress-estimation error (ad-hoc "
+               "setup) ===\n";
+  AdHocResult adhoc = RunAdHocExperiment();
+  const auto& records = adhoc.records;
+
+  auto pool_oracle = [&](const std::vector<size_t>& pool) {
+    std::vector<size_t> choices;
+    choices.reserve(records.size());
+    for (const auto& r : records) choices.push_back(BestInPool(r, pool));
+    return choices;
+  };
+
+  struct Row {
+    std::string name;
+    std::vector<size_t> choices;
+  };
+  const std::vector<Row> rows = {
+      {"DNE", FixedChoice(records, size_t(EstimatorKind::kDne))},
+      {"TGN", FixedChoice(records, size_t(EstimatorKind::kTgn))},
+      {"LUO", FixedChoice(records, size_t(EstimatorKind::kLuo))},
+      {"Est.Sel. (static, 3 est.)", adhoc.static3},
+      {"Est.Sel. (dynamic, 3 est.)", adhoc.dynamic3},
+      {"Est.Sel. (static, 6 est.)", adhoc.static6},
+      {"Est.Sel. (dynamic, 6 est.)", adhoc.dynamic6},
+      {"Oracle selection (3 est.)", pool_oracle(PoolOriginalThree())},
+      {"Oracle selection (6 est.)", pool_oracle(PoolSix())},
+      {"SAFE", FixedChoice(records, size_t(EstimatorKind::kSafe))},
+      {"PMAX", FixedChoice(records, size_t(EstimatorKind::kPmax))},
+  };
+  TablePrinter table({"Policy", "avg L1", "avg L2"});
+  for (const Row& row : rows) {
+    const auto m = EvaluateChoices(records, row.choices);
+    table.AddRow({row.name, TablePrinter::Fmt(m.avg_l1, 4),
+                  TablePrinter::Fmt(m.avg_l2, 4)});
+  }
+  table.Print();
+  std::cout
+      << "\nPaper's Figure 5 (L1): DNE .1748, TGN .1463, LUO .1616;\n"
+         "selection .1410 (st,3) / .1294 (dy,3) / .1275 (st,6) / .1271\n"
+         "(dy,6); oracle .109 (3 est.) / .099 (6 est.). SAFE .40, PMAX .50\n"
+         "(\"ruled out for practical applications\").\n";
+  return 0;
+}

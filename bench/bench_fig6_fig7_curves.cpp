@@ -1,0 +1,127 @@
+// Figures 6 and 7: example progress-estimation error curves.
+//
+// Figure 6: a nested-loop-join pipeline behind a partial batch sort — the
+// batch sort's blocking bursts make driver-node-based estimators (DNE)
+// overshoot while BATCHDNE tracks the truth.
+//
+// Figure 7: a complex hash-join query whose correlated filter breaks the
+// optimizer's cardinality estimate — TGN cannot recover from the bad E_i,
+// while interpolating/driver-based estimators adjust late in the query.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+using namespace rpe;
+using namespace rpe::bench;
+
+namespace {
+
+void PrintCurves(const char* title, const OwnedRun& run,
+                 const std::vector<EstimatorKind>& kinds) {
+  // Pick the pipeline with the longest activity window.
+  const Pipeline* best = nullptr;
+  for (const auto& p : run.result.pipelines) {
+    if (p.first_obs < 0) continue;
+    if (best == nullptr ||
+        (p.end_time - p.start_time) > (best->end_time - best->start_time)) {
+      best = &p;
+    }
+  }
+  RPE_CHECK(best != nullptr);
+  PipelineView view{&run.result, best};
+
+  std::cout << title << "\n";
+  std::vector<std::string> header = {"elapsed%", "true"};
+  for (EstimatorKind k : kinds) header.push_back(EstimatorName(k));
+  TablePrinter table(header);
+  const int points = 15;
+  for (int i = 0; i <= points; ++i) {
+    const size_t oi = static_cast<size_t>(
+        best->first_obs +
+        (best->last_obs - best->first_obs) * i / points);
+    std::vector<std::string> row;
+    row.push_back(TablePrinter::Pct(view.TrueProgress(oi), 0));
+    row.push_back(TablePrinter::Fmt(view.TrueProgress(oi), 3));
+    for (EstimatorKind k : kinds) {
+      row.push_back(TablePrinter::Fmt(GetEstimator(k).Estimate(view, oi), 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  WorkloadConfig config;
+  config.kind = WorkloadKind::kTpch;
+  config.name = "tpch-curves";
+  config.scale = 10.0;
+  config.zipf = 1.5;
+  config.tuning = TuningLevel::kFullyTuned;
+  config.num_queries = 0;
+  config.seed = 5;
+  auto workload = BuildWorkload(config);
+  RPE_CHECK(workload.ok()) << workload.status().ToString();
+
+  // Figure 6: lineitem NLJ part behind a batch sort (forced via planner
+  // thresholds: the big outer triggers the batch sort automatically).
+  {
+    QuerySpec spec;
+    spec.name = "fig6";
+    spec.tables = {"lineitem", "part"};
+    JoinEdge e;
+    e.left_idx = 0;
+    e.left_col = "l_partkey";
+    e.right_col = "p_partkey";
+    e.hint = JoinHint::kNestedLoop;
+    spec.joins.push_back(e);
+    auto run = RunQuery(*workload, spec);
+    RPE_CHECK(run.ok()) << run.status().ToString();
+    std::cout << "plan:\n" << run->plan->ToString() << "\n";
+    PrintCurves(
+        "=== Figure 6: nested-loop + batch sort pipeline ===",
+        *run, {EstimatorKind::kDne, EstimatorKind::kTgn,
+               EstimatorKind::kBatchDne, EstimatorKind::kDneSeek});
+  }
+
+  // Figure 7: hash join with a correlated range filter (l_shipdate
+  // correlates with l_orderkey, so independence-based estimates are off).
+  {
+    QuerySpec spec;
+    spec.name = "fig7";
+    spec.tables = {"orders", "lineitem"};
+    JoinEdge e;
+    e.left_idx = 0;
+    e.left_col = "o_orderkey";
+    e.right_col = "l_orderkey";
+    e.hint = JoinHint::kHash;
+    spec.joins.push_back(e);
+    FilterSpec f1;
+    f1.table_idx = 0;
+    f1.column = "o_orderdate";
+    f1.kind = Predicate::Kind::kLe;
+    f1.v1 = 700;
+    spec.filters.push_back(f1);
+    FilterSpec f2;
+    f2.table_idx = 1;
+    f2.column = "l_shipdate";
+    f2.kind = Predicate::Kind::kLe;
+    f2.v1 = 900;
+    spec.filters.push_back(f2);
+    auto run = RunQuery(*workload, spec);
+    RPE_CHECK(run.ok()) << run.status().ToString();
+    std::cout << "plan:\n" << run->plan->ToString() << "\n";
+    PrintCurves(
+        "=== Figure 7: hash join with correlated-filter cardinality error "
+        "===",
+        *run, {EstimatorKind::kDne, EstimatorKind::kTgn,
+               EstimatorKind::kTgnInt, EstimatorKind::kLuo});
+  }
+  std::cout << "Expected: in Fig. 6 DNE runs ahead of true progress once the\n"
+               "batch sort drains the driver early (BATCHDNE corrects); in\n"
+               "Fig. 7 TGN is persistently off due to the cardinality error\n"
+               "while TGNINT/DNE adjust as the driver input is consumed.\n";
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Micro-benchmarks (google-benchmark): executor throughput per operator,
+// feature extraction, MART training and prediction, Zipf sampling and
+// histogram construction — the building blocks whose cost determines the
+// (low) overhead the paper requires of progress estimation.
+#include <benchmark/benchmark.h>
+
+#include "exec/executor.h"
+#include "mart/mart.h"
+#include "optimizer/histogram.h"
+#include "selection/features.h"
+#include "tests/test_util.h"
+
+namespace rpe {
+namespace {
+
+std::unique_ptr<Catalog>& SharedCatalog() {
+  static auto catalog = rpe::testing::MakeSmallCatalog();
+  return catalog;
+}
+
+void BM_TableScan(benchmark::State& state) {
+  auto& catalog = SharedCatalog();
+  for (auto _ : state) {
+    auto plan = FinalizePlan(MakeTableScan("t_fact"), *catalog);
+    auto run = ExecutePlan(**plan, *catalog);
+    benchmark::DoNotOptimize(run->rows_out);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TableScan);
+
+void BM_HashJoin(benchmark::State& state) {
+  auto& catalog = SharedCatalog();
+  for (auto _ : state) {
+    auto plan = FinalizePlan(
+        MakeHashJoin(MakeTableScan("t_dim"), MakeTableScan("t_fact"), 0, 1),
+        *catalog);
+    auto run = ExecutePlan(**plan, *catalog);
+    benchmark::DoNotOptimize(run->rows_out);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_HashJoin);
+
+void BM_IndexNestedLoop(benchmark::State& state) {
+  auto& catalog = SharedCatalog();
+  for (auto _ : state) {
+    auto plan = FinalizePlan(
+        MakeNestedLoopJoin(MakeTableScan("t_fact"),
+                           MakeIndexSeek("t_dim", "d_id"), 1),
+        *catalog);
+    auto run = ExecutePlan(**plan, *catalog);
+    benchmark::DoNotOptimize(run->rows_out);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_IndexNestedLoop);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  auto& catalog = SharedCatalog();
+  auto plan = FinalizePlan(
+      MakeHashJoin(MakeTableScan("t_dim"), MakeTableScan("t_fact"), 0, 1),
+      *catalog);
+  auto run = ExecutePlan(**plan, *catalog);
+  PipelineView view{&run.ValueOrDie(), &run->pipelines[0]};
+  for (auto _ : state) {
+    auto features = ExtractAllFeatures(view);
+    benchmark::DoNotOptimize(features);
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_MartTrain1k(benchmark::State& state) {
+  Dataset data(50);
+  Rng rng(3);
+  std::vector<double> x(50);
+  for (size_t i = 0; i < 1000; ++i) {
+    for (auto& v : x) v = rng.NextDouble();
+    RPE_CHECK_OK(data.AddExample(x, x[0] * 0.5 + (x[1] > 0.3 ? 0.2 : 0.0)));
+  }
+  MartParams params;
+  params.num_trees = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    MartModel model = MartModel::Train(data, params);
+    benchmark::DoNotOptimize(model.num_trees());
+  }
+}
+BENCHMARK(BM_MartTrain1k)->Arg(10)->Arg(50);
+
+void BM_MartPredict(benchmark::State& state) {
+  Dataset data(50);
+  Rng rng(3);
+  std::vector<double> x(50);
+  for (size_t i = 0; i < 500; ++i) {
+    for (auto& v : x) v = rng.NextDouble();
+    RPE_CHECK_OK(data.AddExample(x, x[0]));
+  }
+  MartParams params;
+  params.num_trees = 100;
+  MartModel model = MartModel::Train(data, params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Predict(x));
+  }
+}
+BENCHMARK(BM_MartPredict);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfGenerator zipf(100000, 1.0);
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(&rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_HistogramBuild(benchmark::State& state) {
+  auto& catalog = SharedCatalog();
+  const Table* fact = *catalog->GetTable("t_fact");
+  for (auto _ : state) {
+    EquiDepthHistogram hist(*fact, 1);
+    benchmark::DoNotOptimize(hist.distinct_count());
+  }
+}
+BENCHMARK(BM_HistogramBuild);
+
+}  // namespace
+}  // namespace rpe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// §6.7: validating the Total GetNext and Bytes Processed models — the two
+// idealized progress models evaluated with *exact* cardinalities / byte
+// totals (obtained post-execution). The GetNext model should correlate far
+// better with (virtual) time than the bytes model, supporting its use as
+// the theoretical basis of progress estimation.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+using namespace rpe;
+using namespace rpe::bench;
+
+int main() {
+  std::cout << "=== Section 6.7: idealized progress models with true "
+               "cardinalities ===\n";
+  const auto records = AllPaperRecords();
+
+  TablePrinter table({"Model", "avg L1", "avg L2"});
+  const auto gn = EvaluateChoices(
+      records,
+      FixedChoice(records, static_cast<size_t>(EstimatorKind::kOracleGetNext)));
+  const auto bytes = EvaluateChoices(
+      records,
+      FixedChoice(records, static_cast<size_t>(EstimatorKind::kOracleBytes)));
+  const auto tgn = EvaluateChoices(
+      records, FixedChoice(records, static_cast<size_t>(EstimatorKind::kTgn)));
+  table.AddRow({"GetNext model (true N_i)", TablePrinter::Fmt(gn.avg_l1, 4),
+                TablePrinter::Fmt(gn.avg_l2, 4)});
+  table.AddRow({"Bytes model (true totals)",
+                TablePrinter::Fmt(bytes.avg_l1, 4),
+                TablePrinter::Fmt(bytes.avg_l2, 4)});
+  table.AddRow({"TGN (estimated E_i, reference)",
+                TablePrinter::Fmt(tgn.avg_l1, 4),
+                TablePrinter::Fmt(tgn.avg_l2, 4)});
+  table.Print();
+  std::cout << "\nPaper §6.7: GetNext model L1 = 0.062 (L2 0.073); bytes\n"
+               "model L1 = 0.12 (L2 0.142) — the GetNext model with exact\n"
+               "cardinalities is ~2x more accurate and clearly better than\n"
+               "any practical estimator, validating it as the theoretical\n"
+               "gold standard.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Table 2: sensitivity to selectivity/cardinality differences between
+// training and test sets. Pipelines sharing an operator signature (>= 6
+// instances) are sorted by their total GetNext calls and split into
+// small/medium/large buckets; each bucket is held out in turn.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+using namespace rpe;
+using namespace rpe::bench;
+
+int main() {
+  std::cout << "=== Table 2: varying the total number of GetNext calls "
+               "between test/training sets (TPC-H) ===\n";
+  const auto records = TpchVariantRecords("size");
+  const auto buckets = SelectivityBuckets(records, 6);
+
+  const std::vector<size_t> pool = PoolOriginalThree();
+  const char* bucket_names[3] = {"\"small\" queries", "\"medium\" queries",
+                                 "\"large\" queries"};
+  TablePrinter table({"Estimator", bucket_names[0], bucket_names[1],
+                      bucket_names[2]});
+  std::vector<std::vector<std::string>> rows(4);
+  rows[0].push_back("DNE");
+  rows[1].push_back("TGN");
+  rows[2].push_back("LUO");
+  rows[3].push_back("EST. SEL.");
+  for (int b = 0; b < 3; ++b) {
+    const auto test = FilterByBucket(records, buckets, b);
+    const auto train = FilterByBucket(records, buckets, b, /*invert=*/true);
+    for (size_t i = 0; i < 3; ++i) {
+      rows[i].push_back(TablePrinter::Pct(FractionOptimal(test, pool[i], pool)));
+    }
+    const auto eval = TrainAndEvaluate(train, test, pool,
+                                       /*use_dynamic=*/false,
+                                       ExperimentParams());
+    rows[3].push_back(TablePrinter::Pct(eval.metrics.pct_optimal));
+    std::cerr << "bucket " << b << ": train=" << train.size()
+              << " test=" << test.size() << "\n";
+  }
+  for (auto& r : rows) table.AddRow(std::move(r));
+  table.Print();
+  std::cout << "\n(each column: selection trained on the two other GetNext "
+               "buckets)\n";
+  return 0;
+}

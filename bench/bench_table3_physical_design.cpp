@@ -1,0 +1,16 @@
+// Table 3: sensitivity to physical-design differences between training and
+// test workloads (TPC-H under fully / partially / un-tuned designs; train
+// on two designs, test on the third).
+#include "bench/bench_util.h"
+
+using namespace rpe;
+using namespace rpe::bench;
+
+int main() {
+  const auto records = TpchVariantRecords("design");
+  RunSensitivityTable(
+      "physical design", {"fully", "partially", "untuned"}, records,
+      "=== Table 3: varying the physical design between test/training "
+      "sets ===");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Table 4: sensitivity to data skew between training and test workloads
+// (TPC-H with Zipf z = 0 / 1 / 2; train on two skews, test on the third).
+#include "bench/bench_util.h"
+
+using namespace rpe;
+using namespace rpe::bench;
+
+int main() {
+  const auto records = TpchVariantRecords("skew");
+  RunSensitivityTable(
+      "data skew", {"z0", "z1", "z2"}, records,
+      "=== Table 4: varying the data skew between test/training sets ===");
+  return 0;
+}

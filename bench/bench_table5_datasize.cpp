@@ -1,0 +1,14 @@
+// Table 5: sensitivity to database size between training and test workloads
+// (TPC-H at scale factors 2 / 5 / 10; train on two sizes, test the third).
+#include "bench/bench_util.h"
+
+using namespace rpe;
+using namespace rpe::bench;
+
+int main() {
+  const auto records = TpchVariantRecords("size");
+  RunSensitivityTable(
+      "data size", {"sf2", "sf5", "sf10"}, records,
+      "=== Table 5: varying the data size between test/training sets ===");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Table 6: percentage of pipelines where the ratio of a policy's estimation
+// error to the minimum error (among DNE/TGN/LUO) exceeds 2x / 5x / 10x,
+// under the ad-hoc leave-one-workload-out setup.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+using namespace rpe;
+using namespace rpe::bench;
+
+int main() {
+  std::cout << "=== Table 6: error-ratio tails (ad-hoc setup) ===\n";
+  AdHocResult adhoc = RunAdHocExperiment();
+  const auto& records = adhoc.records;
+  const std::vector<size_t> pool = PoolOriginalThree();
+
+  struct Row {
+    std::string name;
+    std::vector<size_t> choices;
+  };
+  const std::vector<Row> rows = {
+      {"DNE", FixedChoice(records, pool[0])},
+      {"TGN", FixedChoice(records, pool[1])},
+      {"LUO", FixedChoice(records, pool[2])},
+      {"EST. SEL. (ST)", adhoc.static3},
+      {"EST. SEL. (DY)", adhoc.dynamic3},
+  };
+  TablePrinter table({"Policy", ">2x", ">5x", ">10x"});
+  for (const Row& row : rows) {
+    const auto m = EvaluateChoices(records, row.choices, pool);
+    table.AddRow({row.name, TablePrinter::Pct(m.frac_ratio_gt2),
+                  TablePrinter::Pct(m.frac_ratio_gt5),
+                  TablePrinter::Pct(m.frac_ratio_gt10)});
+  }
+  table.Print();
+  std::cout << "\nPaper's Table 6: selection shrinks the >5x tail from\n"
+               "7.8%-14.5% (single estimators) to 3.7% (static) and 0.8%\n"
+               "(dynamic).\n";
+  return 0;
+}

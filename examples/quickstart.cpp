@@ -1,0 +1,103 @@
+// Quickstart: run one query on a generated TPC-H-like database and watch
+// every candidate progress estimator track (or fail to track) the true
+// progress, then see what the trained selector would have picked.
+//
+//   $ ./examples/quickstart
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "harness/runner.h"
+#include "selection/features.h"
+
+using namespace rpe;
+
+int main() {
+  // 1. Build a small TPC-H-like database (deterministic, in memory) with a
+  //    partially tuned physical design.
+  WorkloadConfig config;
+  config.kind = WorkloadKind::kTpch;
+  config.name = "quickstart";
+  config.scale = 5.0;
+  config.zipf = 1.0;
+  config.tuning = TuningLevel::kPartiallyTuned;
+  config.num_queries = 0;  // we'll write our own query below
+  config.seed = 7;
+  auto workload = BuildWorkload(config);
+  if (!workload.ok()) {
+    std::cerr << "workload build failed: " << workload.status().ToString()
+              << "\n";
+    return 1;
+  }
+
+  // 2. Describe a query: orders JOIN lineitem, filtered on the order date,
+  //    grouped by order priority.
+  QuerySpec spec;
+  spec.name = "quickstart_q1";
+  spec.tables = {"orders", "lineitem"};
+  JoinEdge join;
+  join.left_idx = 0;
+  join.left_col = "o_orderkey";
+  join.right_col = "l_orderkey";
+  spec.joins.push_back(join);
+  FilterSpec filter;
+  filter.table_idx = 0;
+  filter.column = "o_orderdate";
+  filter.kind = Predicate::Kind::kLe;
+  filter.v1 = 1400;
+  spec.filters.push_back(filter);
+  AggSpec agg;
+  agg.group_cols = {{0, "o_orderpriority"}};
+  spec.agg = agg;
+
+  // 3. Plan + execute; the engine records the GetNext counters of paper
+  //    §3.1 at every observation point on its virtual clock.
+  auto run = RunQuery(*workload, spec);
+  if (!run.ok()) {
+    std::cerr << "query failed: " << run.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "Physical plan:\n" << run->plan->ToString() << "\n";
+  std::cout << "Pipelines:\n"
+            << PipelinesToString(run->result.pipelines) << "\n";
+
+  // 4. Evaluate all candidate estimators on the dominant pipeline.
+  const Pipeline* main_pipeline = nullptr;
+  for (const auto& p : run->result.pipelines) {
+    if (p.first_obs < 0) continue;
+    if (main_pipeline == nullptr ||
+        p.end_time - p.start_time >
+            main_pipeline->end_time - main_pipeline->start_time) {
+      main_pipeline = &p;
+    }
+  }
+  PipelineView view{&run->result, main_pipeline};
+  std::cout << "Estimator accuracy on the longest pipeline (P"
+            << main_pipeline->id << "):\n";
+  TablePrinter table({"Estimator", "L1 error", "L2 error", "max ratio"});
+  for (const ProgressEstimator* est : SelectableEstimators()) {
+    const auto errors = EvaluateEstimator(*est, view);
+    table.AddRow({est->name(), TablePrinter::Fmt(errors.l1, 4),
+                  TablePrinter::Fmt(errors.l2, 4),
+                  TablePrinter::Fmt(errors.max_ratio, 1)});
+  }
+  table.Print();
+
+  // 5. Show a live progress trace: true progress vs. DNE and TGN.
+  std::cout << "\nProgress trace (true vs DNE vs TGN):\n";
+  TablePrinter trace({"vtime", "true", "DNE", "TGN"});
+  const int steps = 10;
+  for (int i = 0; i <= steps; ++i) {
+    const size_t oi = static_cast<size_t>(
+        main_pipeline->first_obs +
+        (main_pipeline->last_obs - main_pipeline->first_obs) * i / steps);
+    trace.AddRow(
+        {TablePrinter::Fmt(run->result.observations[oi].vtime, 0),
+         TablePrinter::Pct(view.TrueProgress(oi), 1),
+         TablePrinter::Pct(
+             GetEstimator(EstimatorKind::kDne).Estimate(view, oi), 1),
+         TablePrinter::Pct(
+             GetEstimator(EstimatorKind::kTgn).Estimate(view, oi), 1)});
+  }
+  trace.Print();
+  return 0;
+}

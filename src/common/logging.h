@@ -1,0 +1,54 @@
+// Minimal CHECK/DCHECK logging macros (Arrow/RocksDB-style). CHECK failures
+// abort with a message; they guard internal invariants, not user errors
+// (user errors travel through Status).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace rpe {
+namespace internal {
+
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line) {
+    stream_ << "[FATAL] " << file << ":" << line << ": ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace rpe
+
+#define RPE_CHECK(cond)                                      \
+  if (!(cond))                                               \
+  ::rpe::internal::FatalLogMessage(__FILE__, __LINE__).stream() \
+      << "Check failed: " #cond " "
+
+#define RPE_CHECK_OK(expr)                                   \
+  do {                                                       \
+    ::rpe::Status _st = (expr);                              \
+    RPE_CHECK(_st.ok()) << _st.ToString();                   \
+  } while (0)
+
+#define RPE_CHECK_EQ(a, b) RPE_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RPE_CHECK_NE(a, b) RPE_CHECK((a) != (b))
+#define RPE_CHECK_LT(a, b) RPE_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RPE_CHECK_LE(a, b) RPE_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RPE_CHECK_GT(a, b) RPE_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RPE_CHECK_GE(a, b) RPE_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define RPE_DCHECK(cond) \
+  while (false) RPE_CHECK(cond)
+#else
+#define RPE_DCHECK(cond) RPE_CHECK(cond)
+#endif

@@ -1,0 +1,120 @@
+// Status / Result error-handling primitives, modelled on the Arrow/RocksDB
+// convention: fallible functions return Status (or Result<T>) instead of
+// throwing; callers propagate with RPE_RETURN_NOT_OK.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rpe {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kNotImplemented,
+  kInternal,
+  kIOError,
+};
+
+/// \brief Outcome of a fallible operation: a code plus a human-readable
+/// message. `Status::OK()` is the success value.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + msg_;
+  }
+
+  static std::string CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kNotImplemented: return "NotImplemented";
+      case StatusCode::kInternal: return "Internal";
+      case StatusCode::kIOError: return "IOError";
+    }
+    return "Unknown";
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT implicit
+  Result(Status status) : value_(std::move(status)) {}   // NOLINT implicit
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(value_);
+  }
+
+  T& ValueOrDie() & { return std::get<T>(value_); }
+  const T& ValueOrDie() const& { return std::get<T>(value_); }
+  T&& ValueOrDie() && { return std::get<T>(std::move(value_)); }
+
+  T& operator*() & { return ValueOrDie(); }
+  const T& operator*() const& { return ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+#define RPE_RETURN_NOT_OK(expr)                   \
+  do {                                            \
+    ::rpe::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+#define RPE_CONCAT_IMPL(a, b) a##b
+#define RPE_CONCAT(a, b) RPE_CONCAT_IMPL(a, b)
+
+#define RPE_ASSIGN_OR_RETURN_IMPL(var, lhs, expr) \
+  auto&& var = (expr);                            \
+  if (!var.ok()) return var.status();             \
+  lhs = std::move(var).ValueOrDie()
+
+#define RPE_ASSIGN_OR_RETURN(lhs, expr) \
+  RPE_ASSIGN_OR_RETURN_IMPL(RPE_CONCAT(_res_, __LINE__), lhs, expr)
+
+}  // namespace rpe

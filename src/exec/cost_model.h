@@ -1,0 +1,63 @@
+// The virtual-clock cost model. Each GetNext call charges an
+// operator-specific CPU cost plus I/O costs per byte touched. The resulting
+// virtual time plays the role of wall-clock time in the paper: "true
+// progress" is elapsed virtual time over total virtual time.
+//
+// The constants are deliberately *not* uniform per GetNext call: the GetNext
+// model of progress (paper §6.7) is a good but imperfect proxy for time, and
+// the per-operator spread below reproduces that imperfection (oracle TGN
+// error > 0).
+#pragma once
+
+#include "exec/op_type.h"
+
+namespace rpe {
+
+/// CPU cost charged for producing one row at an operator of the given type.
+inline double CpuCostPerRow(OpType op) {
+  switch (op) {
+    case OpType::kTableScan: return 1.0;
+    case OpType::kIndexScan: return 1.2;
+    case OpType::kIndexSeek: return 1.4;
+    case OpType::kFilter: return 0.3;
+    case OpType::kNestedLoopJoin: return 0.8;
+    case OpType::kHashJoin: return 1.6;
+    case OpType::kMergeJoin: return 1.1;
+    case OpType::kSort: return 0.9;
+    case OpType::kBatchSort: return 1.0;
+    case OpType::kHashAggregate: return 1.3;
+    case OpType::kStreamAggregate: return 0.9;
+    case OpType::kTop: return 0.2;
+  }
+  return 1.0;
+}
+
+/// Extra CPU charged per input row consumed by a blocking build phase
+/// (sort insertion, hash-table insert, aggregation update).
+inline double BuildCostPerRow(OpType op) {
+  switch (op) {
+    case OpType::kSort: return 1.8;
+    case OpType::kBatchSort: return 1.2;
+    case OpType::kHashJoin: return 1.5;   // build-side insert
+    case OpType::kHashAggregate: return 1.1;
+    default: return 0.0;
+  }
+}
+
+/// One-time cost of an index seek (B-tree descent), charged per re-open.
+inline constexpr double kSeekOpenCost = 6.0;
+
+/// I/O cost per byte read / written.
+inline constexpr double kReadCostPerByte = 0.02;
+inline constexpr double kWriteCostPerByte = 0.035;
+
+/// Rough a-priori virtual-time estimate for a plan node producing est_rows
+/// rows of the given width (used only to pick the observation sampling
+/// interval, not by any estimator).
+inline double EstimateNodeTime(OpType op, double est_rows, double row_width) {
+  double t = est_rows * (CpuCostPerRow(op) + BuildCostPerRow(op));
+  if (IsLeaf(op)) t += est_rows * row_width * kReadCostPerByte;
+  return t;
+}
+
+}  // namespace rpe

@@ -1,0 +1,48 @@
+// The per-node execution counters of paper §3.1 and the observation
+// snapshots that progress estimators consume.
+//
+//   K_i  — GetNext calls issued at node i so far (spills count as extra calls)
+//   N_i  — true total GetNext calls (known only after the query finishes)
+//   E_i  — current estimate of N_i (optimizer estimate, refined online)
+//   LB_i/UB_i — absolute bounds on N_i, refined as the query executes
+//   R_i / W_i — bytes logically read / written at node i
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace rpe {
+
+inline constexpr double kCardinalityInf = 1e15;
+
+/// \brief Live counters of one plan node.
+struct NodeCounters {
+  double k = 0.0;            ///< GetNext calls so far
+  double e0 = 0.0;           ///< initial optimizer estimate of N
+  double e = 0.0;            ///< current (refined) estimate of N
+  double lb = 0.0;           ///< lower bound on N
+  double ub = kCardinalityInf;  ///< upper bound on N
+  double bytes_read = 0.0;   ///< R_i
+  double bytes_written = 0.0;  ///< W_i
+  double est_bytes = 0.0;    ///< estimated total bytes processed at node
+
+  // Auxiliary operator-published facts used for bound refinement.
+  bool input_done = false;   ///< blocking input fully consumed (sort/hash)
+  double max_join_group = 0.0;  ///< hash join: largest build-side key group
+  double row_width = 8.0;    ///< bytes per output row
+};
+
+/// \brief Snapshot of all node counters at one observation point t.
+/// Stored as parallel arrays indexed by node id.
+struct Observation {
+  double vtime = 0.0;        ///< virtual clock at the observation
+  std::vector<double> k;
+  std::vector<double> e;     ///< refined estimates at time t
+  std::vector<double> lb;
+  std::vector<double> ub;
+  std::vector<double> bytes_read;
+  std::vector<double> bytes_written;
+};
+
+}  // namespace rpe

@@ -1,0 +1,32 @@
+#include "exec/op_type.h"
+
+namespace rpe {
+
+const char* OpTypeName(OpType op) {
+  switch (op) {
+    case OpType::kTableScan: return "TableScan";
+    case OpType::kIndexScan: return "IndexScan";
+    case OpType::kIndexSeek: return "IndexSeek";
+    case OpType::kFilter: return "Filter";
+    case OpType::kNestedLoopJoin: return "NestedLoopJoin";
+    case OpType::kHashJoin: return "HashJoin";
+    case OpType::kMergeJoin: return "MergeJoin";
+    case OpType::kSort: return "Sort";
+    case OpType::kBatchSort: return "BatchSort";
+    case OpType::kHashAggregate: return "HashAggregate";
+    case OpType::kStreamAggregate: return "StreamAggregate";
+    case OpType::kTop: return "Top";
+  }
+  return "Unknown";
+}
+
+bool IsFullyBlocking(OpType op) {
+  return op == OpType::kSort || op == OpType::kHashAggregate;
+}
+
+bool IsLeaf(OpType op) {
+  return op == OpType::kTableScan || op == OpType::kIndexScan ||
+         op == OpType::kIndexSeek;
+}
+
+}  // namespace rpe

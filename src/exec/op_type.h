@@ -1,0 +1,40 @@
+// Physical operator vocabulary. This is the fixed operator alphabet used by
+// the executor, the planner, and the static plan-encoding features of paper
+// §4.3 (Count_op / Card_op / SelAt_op / SelAbove_op / SelBelow_op).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace rpe {
+
+enum class OpType : int {
+  kTableScan = 0,
+  kIndexScan,        ///< full scan in index (key) order
+  kIndexSeek,        ///< parameterized lookup on the inner side of a NLJ
+  kFilter,
+  kNestedLoopJoin,
+  kHashJoin,
+  kMergeJoin,
+  kSort,             ///< fully blocking sort
+  kBatchSort,        ///< partial batch sort feeding nested iteration (§5.1)
+  kHashAggregate,
+  kStreamAggregate,
+  kTop,
+};
+
+/// Number of distinct operator types (size of the feature vocabulary).
+inline constexpr size_t kNumOpTypes = 12;
+
+/// Stable human-readable name ("HashJoin", ...).
+const char* OpTypeName(OpType op);
+
+/// True for operators that fully materialize their input before producing
+/// output (pipeline breakers): Sort and HashAggregate, plus the build side
+/// of HashJoin (handled specially during pipeline decomposition).
+bool IsFullyBlocking(OpType op);
+
+/// True for source operators that read base data.
+bool IsLeaf(OpType op);
+
+}  // namespace rpe

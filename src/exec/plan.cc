@@ -1,0 +1,160 @@
+#include "exec/plan.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace rpe {
+
+namespace {
+void CollectPreorder(PlanNode* node, std::vector<const PlanNode*>* out) {
+  node->id = static_cast<int>(out->size());
+  out->push_back(node);
+  for (auto& c : node->children) CollectPreorder(c.get(), out);
+}
+
+void PrintNode(const PlanNode* node, int depth, std::ostringstream* out) {
+  for (int i = 0; i < depth; ++i) *out << "  ";
+  *out << "#" << node->id << " " << OpTypeName(node->op);
+  if (!node->table.empty()) *out << "(" << node->table << ")";
+  *out << " est=" << node->est_rows << "\n";
+  for (const auto& c : node->children) PrintNode(c.get(), depth + 1, out);
+}
+}  // namespace
+
+PhysicalPlan::PhysicalPlan(std::unique_ptr<PlanNode> root)
+    : root_(std::move(root)) {
+  RPE_CHECK(root_ != nullptr);
+  CollectPreorder(root_.get(), &nodes_);
+}
+
+double PhysicalPlan::TotalEstimatedRows() const {
+  double total = 0.0;
+  for (const auto* n : nodes_) total += n->est_rows;
+  return total;
+}
+
+std::string PhysicalPlan::ToString() const {
+  std::ostringstream out;
+  PrintNode(root_.get(), 0, &out);
+  return out.str();
+}
+
+std::unique_ptr<PlanNode> MakeTableScan(const std::string& table,
+                                        Predicate pred) {
+  auto n = std::make_unique<PlanNode>();
+  n->op = OpType::kTableScan;
+  n->table = table;
+  n->pred = pred;
+  return n;
+}
+
+std::unique_ptr<PlanNode> MakeIndexScan(const std::string& table,
+                                        const std::string& column) {
+  auto n = std::make_unique<PlanNode>();
+  n->op = OpType::kIndexScan;
+  n->table = table;
+  n->index_column = column;
+  return n;
+}
+
+std::unique_ptr<PlanNode> MakeIndexSeek(const std::string& table,
+                                        const std::string& column) {
+  auto n = std::make_unique<PlanNode>();
+  n->op = OpType::kIndexSeek;
+  n->table = table;
+  n->index_column = column;
+  return n;
+}
+
+std::unique_ptr<PlanNode> MakeFilter(std::unique_ptr<PlanNode> child,
+                                     Predicate pred) {
+  auto n = std::make_unique<PlanNode>();
+  n->op = OpType::kFilter;
+  n->pred = pred;
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+std::unique_ptr<PlanNode> MakeNestedLoopJoin(std::unique_ptr<PlanNode> outer,
+                                             std::unique_ptr<PlanNode> inner,
+                                             size_t outer_key) {
+  auto n = std::make_unique<PlanNode>();
+  n->op = OpType::kNestedLoopJoin;
+  n->left_key = outer_key;
+  n->children.push_back(std::move(outer));
+  n->children.push_back(std::move(inner));
+  return n;
+}
+
+std::unique_ptr<PlanNode> MakeHashJoin(std::unique_ptr<PlanNode> build,
+                                       std::unique_ptr<PlanNode> probe,
+                                       size_t build_key, size_t probe_key) {
+  auto n = std::make_unique<PlanNode>();
+  n->op = OpType::kHashJoin;
+  n->left_key = build_key;
+  n->right_key = probe_key;
+  n->children.push_back(std::move(build));
+  n->children.push_back(std::move(probe));
+  return n;
+}
+
+std::unique_ptr<PlanNode> MakeMergeJoin(std::unique_ptr<PlanNode> left,
+                                        std::unique_ptr<PlanNode> right,
+                                        size_t left_key, size_t right_key) {
+  auto n = std::make_unique<PlanNode>();
+  n->op = OpType::kMergeJoin;
+  n->left_key = left_key;
+  n->right_key = right_key;
+  n->children.push_back(std::move(left));
+  n->children.push_back(std::move(right));
+  return n;
+}
+
+std::unique_ptr<PlanNode> MakeSort(std::unique_ptr<PlanNode> child,
+                                   size_t sort_key) {
+  auto n = std::make_unique<PlanNode>();
+  n->op = OpType::kSort;
+  n->sort_key = sort_key;
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+std::unique_ptr<PlanNode> MakeBatchSort(std::unique_ptr<PlanNode> child,
+                                        size_t sort_key, size_t batch_size) {
+  auto n = std::make_unique<PlanNode>();
+  n->op = OpType::kBatchSort;
+  n->sort_key = sort_key;
+  n->batch_size = batch_size;
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+std::unique_ptr<PlanNode> MakeHashAggregate(std::unique_ptr<PlanNode> child,
+                                            std::vector<size_t> group_cols) {
+  auto n = std::make_unique<PlanNode>();
+  n->op = OpType::kHashAggregate;
+  n->group_cols = std::move(group_cols);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+std::unique_ptr<PlanNode> MakeStreamAggregate(std::unique_ptr<PlanNode> child,
+                                              std::vector<size_t> group_cols) {
+  auto n = std::make_unique<PlanNode>();
+  n->op = OpType::kStreamAggregate;
+  n->group_cols = std::move(group_cols);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+std::unique_ptr<PlanNode> MakeTop(std::unique_ptr<PlanNode> child,
+                                  uint64_t limit) {
+  auto n = std::make_unique<PlanNode>();
+  n->op = OpType::kTop;
+  n->limit = limit;
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+}  // namespace rpe

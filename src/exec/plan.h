@@ -1,0 +1,101 @@
+// Physical plan representation: a tree of PlanNodes plus per-node optimizer
+// estimates. Plans are produced by the optimizer/planner and interpreted by
+// the executor; node ids index the counter arrays of paper §3.1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/op_type.h"
+#include "exec/predicate.h"
+#include "storage/schema.h"
+
+namespace rpe {
+
+/// \brief One node of a physical plan tree.
+struct PlanNode {
+  OpType op = OpType::kTableScan;
+  int id = -1;  ///< assigned by PhysicalPlan::Finalize (preorder)
+
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  // --- operator parameters -------------------------------------------------
+  std::string table;         ///< scans/seeks: base table name
+  std::string index_column;  ///< kIndexScan / kIndexSeek: indexed column
+  Predicate pred;            ///< kFilter, and residual predicate on scans
+  size_t left_key = 0;       ///< joins: key column in left child output
+  size_t right_key = 0;      ///< joins: key column in right child output
+  size_t sort_key = 0;       ///< kSort / kBatchSort
+  size_t batch_size = 0;     ///< kBatchSort: rows per sorted batch
+  std::vector<size_t> group_cols;  ///< aggregates
+  uint64_t limit = 0;        ///< kTop
+
+  // --- optimizer annotations ----------------------------------------------
+  double est_rows = 0.0;     ///< E_i: estimated GetNext calls at this node
+  Schema output_schema;      ///< set by the planner / ResolvePlanSchemas
+  /// True when this node lives in the inner subtree of a nested-loop join
+  /// (set by ResolvePlanSchemas). Inner nodes re-execute per outer row, are
+  /// excluded from driver-node sets, and have no useful cardinality bounds.
+  bool nlj_inner = false;
+
+  PlanNode* child(size_t i) const { return children[i].get(); }
+  size_t num_children() const { return children.size(); }
+};
+
+/// \brief A finalized plan: owns the root, assigns node ids and exposes the
+/// nodes in preorder (id order).
+class PhysicalPlan {
+ public:
+  explicit PhysicalPlan(std::unique_ptr<PlanNode> root);
+
+  const PlanNode* root() const { return root_.get(); }
+  size_t num_nodes() const { return nodes_.size(); }
+  /// Node by id (ids are dense, 0-based, preorder).
+  const PlanNode* node(int id) const { return nodes_[static_cast<size_t>(id)]; }
+  const std::vector<const PlanNode*>& nodes() const { return nodes_; }
+
+  /// Sum of E_i over all nodes (denominator of Eq. 3).
+  double TotalEstimatedRows() const;
+
+  /// Pretty-print the plan tree with estimates (debugging aid).
+  std::string ToString() const;
+
+ private:
+  std::unique_ptr<PlanNode> root_;
+  std::vector<const PlanNode*> nodes_;
+};
+
+// Convenience builders used by planner and tests --------------------------
+
+std::unique_ptr<PlanNode> MakeTableScan(const std::string& table,
+                                        Predicate pred = Predicate::True());
+std::unique_ptr<PlanNode> MakeIndexScan(const std::string& table,
+                                        const std::string& column);
+std::unique_ptr<PlanNode> MakeIndexSeek(const std::string& table,
+                                        const std::string& column);
+std::unique_ptr<PlanNode> MakeFilter(std::unique_ptr<PlanNode> child,
+                                     Predicate pred);
+std::unique_ptr<PlanNode> MakeNestedLoopJoin(std::unique_ptr<PlanNode> outer,
+                                             std::unique_ptr<PlanNode> inner,
+                                             size_t outer_key);
+std::unique_ptr<PlanNode> MakeHashJoin(std::unique_ptr<PlanNode> build,
+                                       std::unique_ptr<PlanNode> probe,
+                                       size_t build_key, size_t probe_key);
+std::unique_ptr<PlanNode> MakeMergeJoin(std::unique_ptr<PlanNode> left,
+                                        std::unique_ptr<PlanNode> right,
+                                        size_t left_key, size_t right_key);
+std::unique_ptr<PlanNode> MakeSort(std::unique_ptr<PlanNode> child,
+                                   size_t sort_key);
+std::unique_ptr<PlanNode> MakeBatchSort(std::unique_ptr<PlanNode> child,
+                                        size_t sort_key, size_t batch_size);
+std::unique_ptr<PlanNode> MakeHashAggregate(std::unique_ptr<PlanNode> child,
+                                            std::vector<size_t> group_cols);
+std::unique_ptr<PlanNode> MakeStreamAggregate(std::unique_ptr<PlanNode> child,
+                                              std::vector<size_t> group_cols);
+std::unique_ptr<PlanNode> MakeTop(std::unique_ptr<PlanNode> child,
+                                  uint64_t limit);
+
+}  // namespace rpe

@@ -1,0 +1,130 @@
+#include "exec/plan_resolver.h"
+
+namespace rpe {
+
+namespace {
+
+Status ExpectChildren(const PlanNode* node, size_t n) {
+  if (node->num_children() != n) {
+    return Status::InvalidArgument(std::string(OpTypeName(node->op)) +
+                                   " expects " + std::to_string(n) +
+                                   " children");
+  }
+  return Status::OK();
+}
+
+Status CheckColumn(const PlanNode* node, size_t col) {
+  if (col >= node->output_schema.num_columns()) {
+    return Status::InvalidArgument(
+        "column index out of range under " + std::string(OpTypeName(node->op)));
+  }
+  return Status::OK();
+}
+
+Schema AggregateSchema(const PlanNode* child,
+                       const std::vector<size_t>& group_cols) {
+  std::vector<ColumnDef> cols;
+  for (size_t g : group_cols) {
+    cols.push_back(child->output_schema.column(g));
+  }
+  cols.push_back(ColumnDef{"agg_count", 8});
+  return Schema(std::move(cols));
+}
+
+}  // namespace
+
+Status ResolvePlanSchemas(PlanNode* node, const Catalog& catalog,
+                          bool nlj_inner) {
+  node->nlj_inner = nlj_inner;
+  switch (node->op) {
+    case OpType::kTableScan: {
+      RPE_RETURN_NOT_OK(ExpectChildren(node, 0));
+      RPE_ASSIGN_OR_RETURN(const Table* t, catalog.GetTable(node->table));
+      node->output_schema = t->schema();
+      return Status::OK();
+    }
+    case OpType::kIndexScan:
+    case OpType::kIndexSeek: {
+      RPE_RETURN_NOT_OK(ExpectChildren(node, 0));
+      RPE_ASSIGN_OR_RETURN(const Table* t, catalog.GetTable(node->table));
+      if (!catalog.HasIndex(node->table, node->index_column)) {
+        return Status::InvalidArgument("no index on " + node->table + "." +
+                                       node->index_column);
+      }
+      node->output_schema = t->schema();
+      return Status::OK();
+    }
+    case OpType::kFilter: {
+      RPE_RETURN_NOT_OK(ExpectChildren(node, 1));
+      RPE_RETURN_NOT_OK(
+          ResolvePlanSchemas(node->child(0), catalog, nlj_inner));
+      node->output_schema = node->child(0)->output_schema;
+      if (node->pred.kind != Predicate::Kind::kTrue) {
+        RPE_RETURN_NOT_OK(CheckColumn(node->child(0), node->pred.column));
+      }
+      return Status::OK();
+    }
+    case OpType::kNestedLoopJoin: {
+      RPE_RETURN_NOT_OK(ExpectChildren(node, 2));
+      RPE_RETURN_NOT_OK(
+          ResolvePlanSchemas(node->child(0), catalog, nlj_inner));
+      RPE_RETURN_NOT_OK(ResolvePlanSchemas(node->child(1), catalog, true));
+      RPE_RETURN_NOT_OK(CheckColumn(node->child(0), node->left_key));
+      node->output_schema =
+          node->child(0)->output_schema.Concat(node->child(1)->output_schema);
+      return Status::OK();
+    }
+    case OpType::kHashJoin:
+    case OpType::kMergeJoin: {
+      RPE_RETURN_NOT_OK(ExpectChildren(node, 2));
+      RPE_RETURN_NOT_OK(
+          ResolvePlanSchemas(node->child(0), catalog, nlj_inner));
+      RPE_RETURN_NOT_OK(
+          ResolvePlanSchemas(node->child(1), catalog, nlj_inner));
+      RPE_RETURN_NOT_OK(CheckColumn(node->child(0), node->left_key));
+      RPE_RETURN_NOT_OK(CheckColumn(node->child(1), node->right_key));
+      node->output_schema =
+          node->child(0)->output_schema.Concat(node->child(1)->output_schema);
+      return Status::OK();
+    }
+    case OpType::kSort:
+    case OpType::kBatchSort: {
+      RPE_RETURN_NOT_OK(ExpectChildren(node, 1));
+      RPE_RETURN_NOT_OK(
+          ResolvePlanSchemas(node->child(0), catalog, nlj_inner));
+      RPE_RETURN_NOT_OK(CheckColumn(node->child(0), node->sort_key));
+      if (node->op == OpType::kBatchSort && node->batch_size == 0) {
+        return Status::InvalidArgument("BatchSort requires batch_size > 0");
+      }
+      node->output_schema = node->child(0)->output_schema;
+      return Status::OK();
+    }
+    case OpType::kHashAggregate:
+    case OpType::kStreamAggregate: {
+      RPE_RETURN_NOT_OK(ExpectChildren(node, 1));
+      RPE_RETURN_NOT_OK(
+          ResolvePlanSchemas(node->child(0), catalog, nlj_inner));
+      if (node->group_cols.empty()) {
+        return Status::InvalidArgument("aggregate requires group columns");
+      }
+      for (size_t g : node->group_cols) {
+        RPE_RETURN_NOT_OK(CheckColumn(node->child(0), g));
+      }
+      node->output_schema = AggregateSchema(node->child(0), node->group_cols);
+      return Status::OK();
+    }
+    case OpType::kTop: {
+      RPE_RETURN_NOT_OK(ExpectChildren(node, 1));
+      RPE_RETURN_NOT_OK(
+          ResolvePlanSchemas(node->child(0), catalog, nlj_inner));
+      if (node->limit == 0) {
+        return Status::InvalidArgument("Top requires limit > 0");
+      }
+      node->output_schema = node->child(0)->output_schema;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled operator in ResolvePlanSchemas");
+}
+
+}  // namespace rpe

@@ -1,0 +1,17 @@
+// Resolves output schemas, marks nested-loop-inner subtrees, and validates
+// operator parameters before execution. Must run once on every plan prior
+// to ExecutePlan (the planner calls it automatically).
+#pragma once
+
+#include "common/status.h"
+#include "exec/plan.h"
+#include "storage/catalog.h"
+
+namespace rpe {
+
+/// Fill `output_schema` and `nlj_inner` on every node; validate column
+/// references, index availability and child arity.
+Status ResolvePlanSchemas(PlanNode* node, const Catalog& catalog,
+                          bool nlj_inner = false);
+
+}  // namespace rpe

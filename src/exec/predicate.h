@@ -1,0 +1,65 @@
+// Simple scalar predicates over a single column, sufficient for the
+// benchmark-style selection/range/equality filters of the workloads.
+#pragma once
+
+#include <cstdint>
+
+#include "storage/schema.h"
+
+namespace rpe {
+
+/// \brief Predicate over one column of the input row.
+struct Predicate {
+  enum class Kind {
+    kTrue,      ///< always passes (no-op filter)
+    kEq,        ///< col == v1
+    kLe,        ///< col <= v1
+    kGe,        ///< col >= v1
+    kBetween,   ///< v1 <= col <= v2
+    kNe,        ///< col != v1
+    kEqParam,   ///< col == correlated NLJ parameter (join residual on the
+                ///< non-indexed inner side of a nested-loop join)
+  };
+
+  Kind kind = Kind::kTrue;
+  size_t column = 0;
+  int64_t v1 = 0;
+  int64_t v2 = 0;
+
+  /// Evaluate; `param` is the current correlated nested-loop key (ignored
+  /// unless kind == kEqParam).
+  bool Eval(const Row& row, int64_t param = 0) const {
+    switch (kind) {
+      case Kind::kTrue: return true;
+      case Kind::kEq: return row[column] == v1;
+      case Kind::kLe: return row[column] <= v1;
+      case Kind::kGe: return row[column] >= v1;
+      case Kind::kBetween: return row[column] >= v1 && row[column] <= v2;
+      case Kind::kNe: return row[column] != v1;
+      case Kind::kEqParam: return row[column] == param;
+    }
+    return true;
+  }
+
+  static Predicate True() { return Predicate{}; }
+  static Predicate Eq(size_t col, int64_t v) {
+    return Predicate{Kind::kEq, col, v, 0};
+  }
+  static Predicate Le(size_t col, int64_t v) {
+    return Predicate{Kind::kLe, col, v, 0};
+  }
+  static Predicate Ge(size_t col, int64_t v) {
+    return Predicate{Kind::kGe, col, v, 0};
+  }
+  static Predicate Between(size_t col, int64_t lo, int64_t hi) {
+    return Predicate{Kind::kBetween, col, lo, hi};
+  }
+  static Predicate Ne(size_t col, int64_t v) {
+    return Predicate{Kind::kNe, col, v, 0};
+  }
+  static Predicate EqParam(size_t col) {
+    return Predicate{Kind::kEqParam, col, 0, 0};
+  }
+};
+
+}  // namespace rpe

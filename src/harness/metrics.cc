@@ -1,0 +1,118 @@
+#include "harness/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rpe {
+
+namespace {
+constexpr double kErrorFloor = 1e-6;  // avoids 0/0 ratio blowups
+}
+
+size_t BestInPool(const PipelineRecord& record,
+                  const std::vector<size_t>& pool) {
+  if (pool.empty()) return record.BestEstimator();
+  size_t best = pool[0];
+  for (size_t est : pool) {
+    if (record.l1[est] < record.l1[best]) best = est;
+  }
+  return best;
+}
+
+AggregateMetrics EvaluateChoices(const std::vector<PipelineRecord>& records,
+                                 const std::vector<size_t>& choices,
+                                 const std::vector<size_t>& pool) {
+  RPE_CHECK_EQ(records.size(), choices.size());
+  AggregateMetrics m;
+  if (records.empty()) return m;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const PipelineRecord& r = records[i];
+    const size_t c = choices[i];
+    RPE_CHECK_LT(c, r.l1.size());
+    m.avg_l1 += r.l1[c];
+    m.avg_l2 += r.l2[c];
+    const size_t best = BestInPool(r, pool);
+    const double best_l1 = r.l1[best];
+    if (r.l1[c] <= best_l1 + kErrorFloor) m.pct_optimal += 1.0;
+    const double ratio =
+        (r.l1[c] + kErrorFloor) / (best_l1 + kErrorFloor);
+    if (ratio > 2.0) m.frac_ratio_gt2 += 1.0;
+    if (ratio > 5.0) m.frac_ratio_gt5 += 1.0;
+    if (ratio > 10.0) m.frac_ratio_gt10 += 1.0;
+  }
+  const double n = static_cast<double>(records.size());
+  m.avg_l1 /= n;
+  m.avg_l2 /= n;
+  m.pct_optimal /= n;
+  m.frac_ratio_gt2 /= n;
+  m.frac_ratio_gt5 /= n;
+  m.frac_ratio_gt10 /= n;
+  m.count = records.size();
+  return m;
+}
+
+std::vector<size_t> FixedChoice(const std::vector<PipelineRecord>& records,
+                                size_t estimator) {
+  return std::vector<size_t>(records.size(), estimator);
+}
+
+std::vector<size_t> OracleChoice(const std::vector<PipelineRecord>& records) {
+  std::vector<size_t> choices;
+  choices.reserve(records.size());
+  for (const auto& r : records) choices.push_back(r.BestEstimator());
+  return choices;
+}
+
+double FractionOptimal(const std::vector<PipelineRecord>& records,
+                       size_t estimator, const std::vector<size_t>& pool) {
+  if (records.empty()) return 0.0;
+  size_t hits = 0;
+  for (const auto& r : records) {
+    if (r.l1[estimator] <= r.l1[BestInPool(r, pool)] + kErrorFloor) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(records.size());
+}
+
+std::vector<double> ErrorRatioCurve(const std::vector<PipelineRecord>& records,
+                                    size_t estimator,
+                                    const std::vector<size_t>& pool) {
+  return ErrorRatioCurve(records, FixedChoice(records, estimator), pool);
+}
+
+std::vector<double> ErrorRatioCurve(const std::vector<PipelineRecord>& records,
+                                    const std::vector<size_t>& choices,
+                                    const std::vector<size_t>& pool) {
+  RPE_CHECK_EQ(records.size(), choices.size());
+  std::vector<double> ratios;
+  ratios.reserve(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    const PipelineRecord& r = records[i];
+    ratios.push_back((r.l1[choices[i]] + kErrorFloor) /
+                     (r.l1[BestInPool(r, pool)] + kErrorFloor));
+  }
+  std::sort(ratios.begin(), ratios.end());
+  return ratios;
+}
+
+std::vector<PipelineRecord> FilterByWorkload(
+    const std::vector<PipelineRecord>& records, const std::string& workload,
+    bool invert) {
+  std::vector<PipelineRecord> out;
+  for (const auto& r : records) {
+    if ((r.workload == workload) != invert) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<PipelineRecord> FilterByTag(
+    const std::vector<PipelineRecord>& records, const std::string& tag,
+    bool invert) {
+  std::vector<PipelineRecord> out;
+  for (const auto& r : records) {
+    if ((r.tag == tag) != invert) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace rpe

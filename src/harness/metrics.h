@@ -1,0 +1,69 @@
+// Aggregate evaluation metrics over record sets: average L1/L2 progress
+// error, fraction of pipelines where the chosen estimator is optimal, and
+// the error-ratio tail fractions of Table 6.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "selection/record.h"
+
+namespace rpe {
+
+/// \brief Aggregates of one estimator-choice policy on a record set.
+struct AggregateMetrics {
+  double avg_l1 = 0.0;
+  double avg_l2 = 0.0;
+  /// Fraction of records where the chosen estimator attains the minimum L1.
+  double pct_optimal = 0.0;
+  /// Fractions of records with (chosen error / min error) above 2x/5x/10x.
+  double frac_ratio_gt2 = 0.0;
+  double frac_ratio_gt5 = 0.0;
+  double frac_ratio_gt10 = 0.0;
+  size_t count = 0;
+};
+
+/// Best (minimum-L1) estimator of `record` within `pool` (indices into
+/// SelectableEstimators order); empty pool = all selectable estimators.
+size_t BestInPool(const PipelineRecord& record,
+                  const std::vector<size_t>& pool);
+
+/// choices[i] = index (SelectableEstimators order) used for records[i].
+/// Optimality and error ratios are measured against the best estimator in
+/// `pool` (empty = all selectable).
+AggregateMetrics EvaluateChoices(const std::vector<PipelineRecord>& records,
+                                 const std::vector<size_t>& choices,
+                                 const std::vector<size_t>& pool = {});
+
+/// Always-use-one-estimator policy.
+std::vector<size_t> FixedChoice(const std::vector<PipelineRecord>& records,
+                                size_t estimator);
+
+/// The oracle policy: per record, the estimator with the smallest L1.
+std::vector<size_t> OracleChoice(const std::vector<PipelineRecord>& records);
+
+/// Fraction of records whose L1-optimal estimator (within `pool`; empty =
+/// all selectable) is `estimator` — the "% optimal" rows of Tables 2-5.
+double FractionOptimal(const std::vector<PipelineRecord>& records,
+                       size_t estimator,
+                       const std::vector<size_t>& pool = {});
+
+/// Per-record ratio of an estimator's L1 error to the minimum L1 error
+/// (the Figure 1 / Figure 4 curves), sorted ascending.
+std::vector<double> ErrorRatioCurve(const std::vector<PipelineRecord>& records,
+                                    size_t estimator,
+                                    const std::vector<size_t>& pool = {});
+std::vector<double> ErrorRatioCurve(const std::vector<PipelineRecord>& records,
+                                    const std::vector<size_t>& choices,
+                                    const std::vector<size_t>& pool);
+
+/// Split helpers.
+std::vector<PipelineRecord> FilterByWorkload(
+    const std::vector<PipelineRecord>& records, const std::string& workload,
+    bool invert = false);
+std::vector<PipelineRecord> FilterByTag(
+    const std::vector<PipelineRecord>& records, const std::string& tag,
+    bool invert = false);
+
+}  // namespace rpe

@@ -1,0 +1,68 @@
+#include "mart/dataset.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rpe {
+
+Status Dataset::AddExample(const std::vector<double>& features,
+                           double target) {
+  if (features.size() != num_features_) {
+    return Status::InvalidArgument("feature arity mismatch");
+  }
+  features_.insert(features_.end(), features.begin(), features.end());
+  targets_.push_back(target);
+  return Status::OK();
+}
+
+std::vector<double> Dataset::ExampleFeatures(size_t example) const {
+  RPE_CHECK_LT(example, num_examples());
+  return {features_.begin() +
+              static_cast<ptrdiff_t>(example * num_features_),
+          features_.begin() +
+              static_cast<ptrdiff_t>((example + 1) * num_features_)};
+}
+
+BinnedDataset::BinnedDataset(const Dataset& data, int max_bins)
+    : data_(&data) {
+  RPE_CHECK_GT(max_bins, 1);
+  RPE_CHECK_LE(max_bins, 256);
+  const size_t n = data.num_examples();
+  const size_t nf = data.num_features();
+  boundaries_.resize(nf);
+  bins_.resize(n * nf);
+
+  std::vector<double> values(n);
+  for (size_t f = 0; f < nf; ++f) {
+    for (size_t i = 0; i < n; ++i) values[i] = data.feature(i, f);
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+    std::vector<double>& bounds = boundaries_[f];
+    if (sorted.size() <= static_cast<size_t>(max_bins)) {
+      // One bin per distinct value; boundaries between consecutive values.
+      for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+        bounds.push_back(sorted[i]);
+      }
+    } else {
+      // Quantile boundaries over distinct values.
+      for (int b = 1; b < max_bins; ++b) {
+        const size_t idx =
+            std::min(sorted.size() - 1,
+                     sorted.size() * static_cast<size_t>(b) /
+                         static_cast<size_t>(max_bins));
+        const double v = sorted[idx];
+        if (bounds.empty() || v > bounds.back()) bounds.push_back(v);
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const auto it =
+          std::lower_bound(bounds.begin(), bounds.end(), values[i]);
+      bins_[i * nf + f] = static_cast<uint8_t>(it - bounds.begin());
+    }
+  }
+}
+
+}  // namespace rpe

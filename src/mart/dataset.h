@@ -1,0 +1,64 @@
+// Training data containers for the MART learner: a dense feature matrix
+// plus per-feature quantile binning (LightGBM-style uint8 bins) that makes
+// split search a histogram scan instead of a sort.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rpe {
+
+/// \brief Dense (examples x features) matrix with regression targets.
+class Dataset {
+ public:
+  explicit Dataset(size_t num_features) : num_features_(num_features) {}
+
+  Status AddExample(const std::vector<double>& features, double target);
+
+  size_t num_examples() const { return targets_.size(); }
+  size_t num_features() const { return num_features_; }
+  double feature(size_t example, size_t f) const {
+    return features_[example * num_features_ + f];
+  }
+  double target(size_t example) const { return targets_[example]; }
+  const std::vector<double>& targets() const { return targets_; }
+
+  /// Row accessor (copy) — convenience for tests.
+  std::vector<double> ExampleFeatures(size_t example) const;
+
+ private:
+  size_t num_features_;
+  std::vector<double> features_;  // row-major
+  std::vector<double> targets_;
+};
+
+/// \brief Quantile-binned view of a Dataset: every feature value mapped to
+/// a uint8 bin id; bin upper boundaries retained as raw thresholds so the
+/// trained trees predict directly from raw feature vectors.
+class BinnedDataset {
+ public:
+  BinnedDataset(const Dataset& data, int max_bins = 255);
+
+  const Dataset& data() const { return *data_; }
+  size_t num_examples() const { return data_->num_examples(); }
+  size_t num_features() const { return data_->num_features(); }
+
+  uint8_t bin(size_t example, size_t f) const {
+    return bins_[example * data_->num_features() + f];
+  }
+  /// Number of bins actually used for feature f.
+  size_t num_bins(size_t f) const { return boundaries_[f].size() + 1; }
+  /// Raw threshold of bin b for feature f: values <= threshold fall in bins
+  /// 0..b. Requires b < num_bins(f) - 1.
+  double bin_upper(size_t f, size_t b) const { return boundaries_[f][b]; }
+
+ private:
+  const Dataset* data_;
+  std::vector<std::vector<double>> boundaries_;  // per feature, sorted
+  std::vector<uint8_t> bins_;                    // row-major
+};
+
+}  // namespace rpe

@@ -1,0 +1,109 @@
+#include "mart/linear.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rpe {
+
+LinearModel LinearModel::Train(const Dataset& data, double ridge_lambda) {
+  LinearModel model;
+  const size_t n = data.num_examples();
+  const size_t f = data.num_features();
+  model.weights_.assign(f, 0.0);
+  model.means_.assign(f, 0.0);
+  model.scales_.assign(f, 1.0);
+  if (n == 0) return model;
+
+  // Standardize features.
+  for (size_t j = 0; j < f; ++j) {
+    double mean = 0.0;
+    for (size_t i = 0; i < n; ++i) mean += data.feature(i, j);
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double d = data.feature(i, j) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(n);
+    model.means_[j] = mean;
+    model.scales_[j] = var > 1e-12 ? std::sqrt(var) : 1.0;
+  }
+  double target_mean = 0.0;
+  for (size_t i = 0; i < n; ++i) target_mean += data.target(i);
+  target_mean /= static_cast<double>(n);
+
+  // Normal equations A w = b with A = X'X + lambda I on standardized X.
+  std::vector<double> a(f * f, 0.0);
+  std::vector<double> b(f, 0.0);
+  std::vector<double> x(f);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < f; ++j) {
+      x[j] = (data.feature(i, j) - model.means_[j]) / model.scales_[j];
+    }
+    const double y = data.target(i) - target_mean;
+    for (size_t j = 0; j < f; ++j) {
+      b[j] += x[j] * y;
+      for (size_t k = j; k < f; ++k) a[j * f + k] += x[j] * x[k];
+    }
+  }
+  for (size_t j = 0; j < f; ++j) {
+    for (size_t k = 0; k < j; ++k) a[j * f + k] = a[k * f + j];
+    a[j * f + j] += ridge_lambda * static_cast<double>(n);
+  }
+
+  // Gaussian elimination with partial pivoting.
+  std::vector<double> w = b;
+  for (size_t col = 0; col < f; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < f; ++r) {
+      if (std::abs(a[r * f + col]) > std::abs(a[pivot * f + col])) pivot = r;
+    }
+    if (std::abs(a[pivot * f + col]) < 1e-12) continue;
+    if (pivot != col) {
+      for (size_t c = 0; c < f; ++c) std::swap(a[col * f + c], a[pivot * f + c]);
+      std::swap(w[col], w[pivot]);
+    }
+    const double diag = a[col * f + col];
+    for (size_t r = col + 1; r < f; ++r) {
+      const double factor = a[r * f + col] / diag;
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < f; ++c) a[r * f + c] -= factor * a[col * f + c];
+      w[r] -= factor * w[col];
+    }
+  }
+  for (size_t col = f; col-- > 0;) {
+    const double diag = a[col * f + col];
+    if (std::abs(diag) < 1e-12) {
+      w[col] = 0.0;
+      continue;
+    }
+    double acc = w[col];
+    for (size_t c = col + 1; c < f; ++c) acc -= a[col * f + c] * w[c];
+    w[col] = acc / diag;
+  }
+  model.weights_ = std::move(w);
+  model.bias_ = target_mean;
+  return model;
+}
+
+double LinearModel::Predict(const std::vector<double>& features) const {
+  RPE_CHECK_EQ(features.size(), weights_.size());
+  double y = bias_;
+  for (size_t j = 0; j < weights_.size(); ++j) {
+    y += weights_[j] * (features[j] - means_[j]) / scales_[j];
+  }
+  return y;
+}
+
+double LinearModel::MeanSquaredError(const Dataset& data) const {
+  if (data.num_examples() == 0) return 0.0;
+  double mse = 0.0;
+  for (size_t i = 0; i < data.num_examples(); ++i) {
+    const double d = Predict(data.ExampleFeatures(i)) - data.target(i);
+    mse += d * d;
+  }
+  return mse / static_cast<double>(data.num_examples());
+}
+
+}  // namespace rpe

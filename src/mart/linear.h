@@ -1,0 +1,32 @@
+// Ridge-regularized linear least squares — the "simpler statistical model"
+// baseline the paper compares MART against (§4.2 notes linear models lose
+// because they cannot capture the non-linear feature/error dependencies).
+#pragma once
+
+#include <vector>
+
+#include "mart/dataset.h"
+
+namespace rpe {
+
+/// \brief Linear regression fitted by normal equations with ridge lambda.
+class LinearModel {
+ public:
+  static LinearModel Train(const Dataset& data, double ridge_lambda = 1e-3);
+
+  double Predict(const std::vector<double>& features) const;
+  double MeanSquaredError(const Dataset& data) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  // Standardization parameters (linear models need normalized inputs —
+  // one of MART's practical advantages per §4.2).
+  std::vector<double> means_;
+  std::vector<double> scales_;
+};
+
+}  // namespace rpe

@@ -1,0 +1,59 @@
+// MART — Multiple Additive Regression Trees (stochastic gradient boosting,
+// Friedman [10]): the statistical model behind estimator selection
+// (paper §4.2). Squared loss, steepest-descent residual fitting, regression
+// trees as the functional approximators.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "mart/tree.h"
+
+namespace rpe {
+
+/// \brief Boosting parameters (paper defaults: M = 200, 30 leaves).
+struct MartParams {
+  int num_trees = 200;
+  double learning_rate = 0.1;
+  TreeParams tree;
+  /// Fraction of examples sampled per boosting iteration (1.0 = none).
+  double subsample = 1.0;
+  int max_bins = 255;
+  uint64_t seed = 7;
+};
+
+/// \brief A trained boosted ensemble.
+class MartModel {
+ public:
+  MartModel() = default;
+
+  /// Train on `data` with squared loss.
+  static MartModel Train(const Dataset& data, const MartParams& params = {});
+
+  double Predict(const std::vector<double>& features) const;
+
+  /// Mean squared error over a dataset.
+  double MeanSquaredError(const Dataset& data) const;
+
+  size_t num_trees() const { return trees_.size(); }
+  double bias() const { return bias_; }
+  /// Total split gain accumulated per feature during training.
+  const std::vector<double>& feature_gains() const { return feature_gains_; }
+  /// Training MSE after each boosting iteration.
+  const std::vector<double>& training_curve() const { return training_curve_; }
+
+  /// Text round-trip for persistence.
+  std::string Serialize() const;
+  static Result<MartModel> Deserialize(const std::string& text);
+
+ private:
+  double bias_ = 0.0;
+  double learning_rate_ = 0.1;
+  std::vector<RegressionTree> trees_;
+  std::vector<double> feature_gains_;
+  std::vector<double> training_curve_;
+};
+
+}  // namespace rpe

@@ -1,0 +1,220 @@
+#include "mart/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace rpe {
+
+namespace {
+
+/// Candidate split of one growable leaf.
+struct SplitCandidate {
+  bool valid = false;
+  size_t feature = 0;
+  size_t bin = 0;        ///< left gets bins <= bin
+  double threshold = 0;  ///< raw value boundary
+  double gain = 0.0;
+  double left_sum = 0.0, right_sum = 0.0;
+  size_t left_count = 0, right_count = 0;
+};
+
+struct GrowableLeaf {
+  std::vector<uint32_t> indices;
+  double sum = 0.0;
+  int node_id = 0;
+  SplitCandidate best;
+};
+
+SplitCandidate FindBestSplit(const BinnedDataset& data,
+                             const std::vector<double>& residuals,
+                             const GrowableLeaf& leaf,
+                             const TreeParams& params) {
+  SplitCandidate best;
+  const size_t n = leaf.indices.size();
+  if (n < 2 * static_cast<size_t>(params.min_examples_per_leaf)) return best;
+  const double total_sum = leaf.sum;
+  const double parent_score = total_sum * total_sum / static_cast<double>(n);
+
+  double hist_sum[256];
+  uint32_t hist_cnt[256];
+  for (size_t f = 0; f < data.num_features(); ++f) {
+    const size_t nbins = data.num_bins(f);
+    if (nbins < 2) continue;
+    std::fill(hist_sum, hist_sum + nbins, 0.0);
+    std::fill(hist_cnt, hist_cnt + nbins, 0u);
+    for (uint32_t idx : leaf.indices) {
+      const uint8_t b = data.bin(idx, f);
+      hist_sum[b] += residuals[idx];
+      hist_cnt[b] += 1;
+    }
+    double left_sum = 0.0;
+    size_t left_cnt = 0;
+    for (size_t b = 0; b + 1 < nbins; ++b) {
+      left_sum += hist_sum[b];
+      left_cnt += hist_cnt[b];
+      const size_t right_cnt = n - left_cnt;
+      if (left_cnt < static_cast<size_t>(params.min_examples_per_leaf) ||
+          right_cnt < static_cast<size_t>(params.min_examples_per_leaf)) {
+        continue;
+      }
+      const double right_sum = total_sum - left_sum;
+      const double score =
+          left_sum * left_sum / static_cast<double>(left_cnt) +
+          right_sum * right_sum / static_cast<double>(right_cnt);
+      const double gain = score - parent_score;
+      if (gain > best.gain && gain > params.min_gain) {
+        best.valid = true;
+        best.feature = f;
+        best.bin = b;
+        best.threshold = data.bin_upper(f, b);
+        best.gain = gain;
+        best.left_sum = left_sum;
+        best.right_sum = right_sum;
+        best.left_count = left_cnt;
+        best.right_count = right_cnt;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+RegressionTree RegressionTree::Fit(const BinnedDataset& data,
+                                   const std::vector<double>& residuals,
+                                   const std::vector<uint32_t>& example_indices,
+                                   const TreeParams& params,
+                                   std::vector<double>* feature_gains) {
+  RPE_CHECK_EQ(residuals.size(), data.num_examples());
+  RegressionTree tree;
+
+  GrowableLeaf root;
+  if (example_indices.empty()) {
+    root.indices.resize(data.num_examples());
+    for (size_t i = 0; i < data.num_examples(); ++i) {
+      root.indices[i] = static_cast<uint32_t>(i);
+    }
+  } else {
+    root.indices = example_indices;
+  }
+  for (uint32_t idx : root.indices) root.sum += residuals[idx];
+
+  Node root_node;
+  root_node.value = root.indices.empty()
+                        ? 0.0
+                        : root.sum / static_cast<double>(root.indices.size());
+  tree.nodes_.push_back(root_node);
+  root.node_id = 0;
+  root.best = FindBestSplit(data, residuals, root, params);
+
+  std::vector<GrowableLeaf> leaves;
+  leaves.push_back(std::move(root));
+
+  int num_leaves = 1;
+  while (num_leaves < params.max_leaves) {
+    // Best-first: split the growable leaf with the highest gain.
+    int best_leaf = -1;
+    for (size_t i = 0; i < leaves.size(); ++i) {
+      if (!leaves[i].best.valid) continue;
+      if (best_leaf < 0 ||
+          leaves[i].best.gain >
+              leaves[static_cast<size_t>(best_leaf)].best.gain) {
+        best_leaf = static_cast<int>(i);
+      }
+    }
+    if (best_leaf < 0) break;
+
+    GrowableLeaf leaf = std::move(leaves[static_cast<size_t>(best_leaf)]);
+    leaves.erase(leaves.begin() + best_leaf);
+    const SplitCandidate& split = leaf.best;
+    if (feature_gains != nullptr) {
+      (*feature_gains)[split.feature] += split.gain;
+    }
+
+    GrowableLeaf left, right;
+    left.indices.reserve(split.left_count);
+    right.indices.reserve(split.right_count);
+    for (uint32_t idx : leaf.indices) {
+      if (data.bin(idx, split.feature) <= split.bin) {
+        left.indices.push_back(idx);
+      } else {
+        right.indices.push_back(idx);
+      }
+    }
+    left.sum = split.left_sum;
+    right.sum = split.right_sum;
+
+    Node left_node, right_node;
+    left_node.value = split.left_sum / static_cast<double>(split.left_count);
+    right_node.value =
+        split.right_sum / static_cast<double>(split.right_count);
+    left.node_id = static_cast<int>(tree.nodes_.size());
+    tree.nodes_.push_back(left_node);
+    right.node_id = static_cast<int>(tree.nodes_.size());
+    tree.nodes_.push_back(right_node);
+
+    Node& parent = tree.nodes_[static_cast<size_t>(leaf.node_id)];
+    parent.feature = static_cast<int>(split.feature);
+    parent.threshold = split.threshold;
+    parent.left = left.node_id;
+    parent.right = right.node_id;
+
+    left.best = FindBestSplit(data, residuals, left, params);
+    right.best = FindBestSplit(data, residuals, right, params);
+    leaves.push_back(std::move(left));
+    leaves.push_back(std::move(right));
+    ++num_leaves;
+  }
+  return tree;
+}
+
+double RegressionTree::Predict(const std::vector<double>& features) const {
+  if (nodes_.empty()) return 0.0;
+  size_t cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    const Node& n = nodes_[cur];
+    cur = static_cast<size_t>(
+        features[static_cast<size_t>(n.feature)] <= n.threshold ? n.left
+                                                                : n.right);
+  }
+  return nodes_[cur].value;
+}
+
+size_t RegressionTree::num_leaves() const {
+  size_t leaves = 0;
+  for (const auto& n : nodes_) {
+    if (n.feature < 0) ++leaves;
+  }
+  return leaves;
+}
+
+std::string RegressionTree::Serialize() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << nodes_.size() << "\n";
+  for (const auto& n : nodes_) {
+    out << n.feature << " " << n.threshold << " " << n.left << " " << n.right
+        << " " << n.value << "\n";
+  }
+  return out.str();
+}
+
+Result<RegressionTree> RegressionTree::Deserialize(const std::string& text) {
+  std::istringstream in(text);
+  size_t count = 0;
+  if (!(in >> count)) return Status::InvalidArgument("bad tree header");
+  RegressionTree tree;
+  tree.nodes_.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    Node& n = tree.nodes_[i];
+    if (!(in >> n.feature >> n.threshold >> n.left >> n.right >> n.value)) {
+      return Status::InvalidArgument("bad tree node");
+    }
+  }
+  return tree;
+}
+
+}  // namespace rpe

@@ -1,0 +1,52 @@
+// Binary regression tree with best-first (leaf-wise) growth over binned
+// features, fit to residuals with the MSE criterion — the weak learner
+// inside MART (paper §4.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mart/dataset.h"
+
+namespace rpe {
+
+/// \brief Tree-growth parameters.
+struct TreeParams {
+  int max_leaves = 30;        ///< paper: 30 leaf nodes
+  int min_examples_per_leaf = 8;
+  double min_gain = 1e-12;    ///< minimum variance reduction to split
+};
+
+/// \brief A fitted regression tree; predicts from raw feature vectors.
+class RegressionTree {
+ public:
+  /// Fit to `residuals` (one per example of `data`). Optionally restrict to
+  /// `example_indices` (stochastic boosting subsample); empty = all.
+  /// Accumulates per-feature split gains into `feature_gains` if non-null.
+  static RegressionTree Fit(const BinnedDataset& data,
+                            const std::vector<double>& residuals,
+                            const std::vector<uint32_t>& example_indices,
+                            const TreeParams& params,
+                            std::vector<double>* feature_gains);
+
+  double Predict(const std::vector<double>& features) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_leaves() const;
+
+  /// Compact text form (one node per line) for model persistence.
+  std::string Serialize() const;
+  static Result<RegressionTree> Deserialize(const std::string& text);
+
+ private:
+  struct Node {
+    int feature = -1;      ///< -1 for leaves
+    double threshold = 0;  ///< go left iff x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    double value = 0.0;    ///< leaf prediction
+  };
+  std::vector<Node> nodes_;  // nodes_[0] is the root
+};
+
+}  // namespace rpe

@@ -1,0 +1,71 @@
+#include "optimizer/cardinality.h"
+
+#include <algorithm>
+
+namespace rpe {
+
+Result<const EquiDepthHistogram*> CardinalityEstimator::GetHistogram(
+    const std::string& table, const std::string& column) {
+  const std::string key = table + "." + column;
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return static_cast<const EquiDepthHistogram*>(it->second.get());
+  RPE_ASSIGN_OR_RETURN(const Table* t, catalog_->GetTable(table));
+  RPE_ASSIGN_OR_RETURN(size_t col, t->schema().ColumnIndex(column));
+  auto hist = std::make_unique<EquiDepthHistogram>(*t, col);
+  const EquiDepthHistogram* ptr = hist.get();
+  cache_[key] = std::move(hist);
+  return ptr;
+}
+
+Result<double> CardinalityEstimator::TableRows(const std::string& table) const {
+  RPE_ASSIGN_OR_RETURN(const Table* t, catalog_->GetTable(table));
+  return static_cast<double>(t->num_rows());
+}
+
+Result<double> CardinalityEstimator::FilterSelectivity(
+    const std::string& table, const FilterSpec& filter) {
+  if (filter.kind == Predicate::Kind::kTrue) return 1.0;
+  RPE_ASSIGN_OR_RETURN(const EquiDepthHistogram* h,
+                       GetHistogram(table, filter.column));
+  int kind = 0;
+  switch (filter.kind) {
+    case Predicate::Kind::kTrue: kind = 0; break;
+    case Predicate::Kind::kEq: kind = 1; break;
+    case Predicate::Kind::kLe: kind = 2; break;
+    case Predicate::Kind::kGe: kind = 3; break;
+    case Predicate::Kind::kBetween: kind = 4; break;
+    case Predicate::Kind::kNe: kind = 5; break;
+    case Predicate::Kind::kEqParam:
+      return Status::InvalidArgument(
+          "kEqParam is a join residual, not a base filter");
+  }
+  return h->EstimateSelectivity(kind, filter.v1, filter.v2);
+}
+
+Result<double> CardinalityEstimator::JoinSelectivity(
+    const std::string& table_a, const std::string& col_a,
+    const std::string& table_b, const std::string& col_b) {
+  RPE_ASSIGN_OR_RETURN(double da, DistinctCount(table_a, col_a));
+  RPE_ASSIGN_OR_RETURN(double db, DistinctCount(table_b, col_b));
+  const double d = std::max({da, db, 1.0});
+  return 1.0 / d;
+}
+
+Result<double> CardinalityEstimator::DistinctCount(const std::string& table,
+                                                   const std::string& column) {
+  RPE_ASSIGN_OR_RETURN(const EquiDepthHistogram* h,
+                       GetHistogram(table, column));
+  return static_cast<double>(std::max<uint64_t>(1, h->distinct_count()));
+}
+
+double CardinalityEstimator::GroupCount(
+    double input_rows, const std::vector<double>& column_distincts) const {
+  double prod = 1.0;
+  for (double d : column_distincts) {
+    prod *= std::max(1.0, d);
+    if (prod > input_rows) break;
+  }
+  return std::max(1.0, std::min(prod, input_rows));
+}
+
+}  // namespace rpe

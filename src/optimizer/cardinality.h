@@ -1,0 +1,56 @@
+// Cardinality estimation over base-table histograms: per-predicate
+// selectivities under the independence assumption, join sizes under the
+// containment assumption, and distinct counts for aggregates. The planner
+// uses these both for physical decisions (build side, join strategy) and to
+// annotate every plan node with its E_i estimate (paper §3.1 counter (3)).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "optimizer/histogram.h"
+#include "optimizer/query_spec.h"
+#include "storage/catalog.h"
+
+namespace rpe {
+
+/// \brief Histogram store + estimation formulas for one catalog.
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(const Catalog* catalog)
+      : catalog_(catalog) {}
+
+  /// Histogram for table.column, built lazily and cached.
+  Result<const EquiDepthHistogram*> GetHistogram(const std::string& table,
+                                                 const std::string& column);
+
+  /// Base-table row count.
+  Result<double> TableRows(const std::string& table) const;
+
+  /// Selectivity of a FilterSpec against its base table.
+  Result<double> FilterSelectivity(const std::string& table,
+                                   const FilterSpec& filter);
+
+  /// Join selectivity for an equi-join of (tableA.colA, tableB.colB) under
+  /// containment: 1 / max(distinct(A.a), distinct(B.b)).
+  Result<double> JoinSelectivity(const std::string& table_a,
+                                 const std::string& col_a,
+                                 const std::string& table_b,
+                                 const std::string& col_b);
+
+  /// Exact distinct count of a base column (from its histogram).
+  Result<double> DistinctCount(const std::string& table,
+                               const std::string& column);
+
+  /// Estimated group count: min(input_rows, prod of per-column distincts).
+  double GroupCount(double input_rows,
+                    const std::vector<double>& column_distincts) const;
+
+ private:
+  const Catalog* catalog_;
+  std::map<std::string, std::unique_ptr<EquiDepthHistogram>> cache_;
+};
+
+}  // namespace rpe

@@ -1,0 +1,101 @@
+#include "optimizer/histogram.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rpe {
+
+EquiDepthHistogram::EquiDepthHistogram(const Table& table, size_t column,
+                                       size_t max_buckets) {
+  RPE_CHECK_LT(column, table.schema().num_columns());
+  RPE_CHECK_GT(max_buckets, 0u);
+  std::vector<int64_t> values;
+  values.reserve(table.num_rows());
+  for (const auto& row : table.rows()) values.push_back(row[column]);
+  std::sort(values.begin(), values.end());
+  total_rows_ = values.size();
+  if (values.empty()) return;
+  min_ = values.front();
+  max_ = values.back();
+
+  const uint64_t per_bucket =
+      std::max<uint64_t>(1, (total_rows_ + max_buckets - 1) / max_buckets);
+  size_t i = 0;
+  while (i < values.size()) {
+    Bucket b;
+    b.lo = values[i];
+    uint64_t taken = 0;
+    uint64_t distinct = 0;
+    int64_t prev = values[i] - 1;
+    while (i < values.size() && taken < per_bucket) {
+      if (values[i] != prev) {
+        ++distinct;
+        prev = values[i];
+      }
+      ++taken;
+      ++i;
+    }
+    // Extend to the end of the current value run so equal values never
+    // straddle a bucket boundary.
+    while (i < values.size() && values[i] == prev) {
+      ++taken;
+      ++i;
+    }
+    b.hi = values[i - 1];
+    b.rows = taken;
+    b.distinct = distinct;
+    buckets_.push_back(b);
+    distinct_ += distinct;
+  }
+}
+
+double EquiDepthHistogram::EstimateEqual(int64_t v) const {
+  if (total_rows_ == 0 || v < min_ || v > max_) return 0.0;
+  for (const auto& b : buckets_) {
+    if (v >= b.lo && v <= b.hi) {
+      return static_cast<double>(b.rows) /
+             static_cast<double>(std::max<uint64_t>(1, b.distinct));
+    }
+  }
+  return 0.0;
+}
+
+double EquiDepthHistogram::EstimateRange(int64_t lo, int64_t hi) const {
+  if (total_rows_ == 0 || lo > hi || hi < min_ || lo > max_) return 0.0;
+  double est = 0.0;
+  for (const auto& b : buckets_) {
+    if (b.hi < lo || b.lo > hi) continue;
+    const double bucket_span =
+        static_cast<double>(b.hi - b.lo) + 1.0;
+    const int64_t olo = std::max(lo, b.lo);
+    const int64_t ohi = std::min(hi, b.hi);
+    const double overlap = static_cast<double>(ohi - olo) + 1.0;
+    est += static_cast<double>(b.rows) * (overlap / bucket_span);
+  }
+  return std::min(est, static_cast<double>(total_rows_));
+}
+
+double EquiDepthHistogram::EstimateSelectivity(int kind, int64_t v1,
+                                               int64_t v2) const {
+  if (total_rows_ == 0) return 0.0;
+  const double n = static_cast<double>(total_rows_);
+  switch (kind) {
+    case 0:  // true
+      return 1.0;
+    case 1:  // eq
+      return EstimateEqual(v1) / n;
+    case 2:  // le
+      return EstimateRange(min_, v1) / n;
+    case 3:  // ge
+      return EstimateRange(v1, max_) / n;
+    case 4:  // between
+      return EstimateRange(v1, v2) / n;
+    case 5:  // ne
+      return 1.0 - EstimateEqual(v1) / n;
+    default:
+      return 1.0;
+  }
+}
+
+}  // namespace rpe

@@ -1,0 +1,53 @@
+// Equi-depth histograms — the statistics backing the optimizer's cardinality
+// estimates E_i. Estimates follow textbook assumptions (uniformity within
+// buckets, independence across predicates, containment for joins), so they
+// are *realistically wrong* on skewed or correlated data: exactly the error
+// source that degrades the TGN estimator in the paper (§4.4.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace rpe {
+
+/// \brief Equi-depth histogram over one integer column.
+class EquiDepthHistogram {
+ public:
+  /// Build from a column of `table` with at most `max_buckets` buckets.
+  EquiDepthHistogram(const Table& table, size_t column,
+                     size_t max_buckets = 32);
+
+  uint64_t total_rows() const { return total_rows_; }
+  /// Exact number of distinct values (computed at build time).
+  uint64_t distinct_count() const { return distinct_; }
+  int64_t min_value() const { return min_; }
+  int64_t max_value() const { return max_; }
+  size_t num_buckets() const { return buckets_.size(); }
+
+  /// Estimated rows with value == v (bucket rows / bucket distinct).
+  double EstimateEqual(int64_t v) const;
+  /// Estimated rows with lo <= value <= hi.
+  double EstimateRange(int64_t lo, int64_t hi) const;
+  /// Estimated selectivity (fraction of rows) for the predicate forms used
+  /// by the workloads.
+  double EstimateSelectivity(int kind_eq_le_ge_between_ne, int64_t v1,
+                             int64_t v2) const;
+
+ private:
+  struct Bucket {
+    int64_t lo = 0;        ///< inclusive lower boundary
+    int64_t hi = 0;        ///< inclusive upper boundary
+    uint64_t rows = 0;
+    uint64_t distinct = 0;
+  };
+
+  uint64_t total_rows_ = 0;
+  uint64_t distinct_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace rpe

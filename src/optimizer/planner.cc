@@ -1,0 +1,369 @@
+#include "optimizer/planner.h"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "common/logging.h"
+#include "exec/plan_resolver.h"
+
+namespace rpe {
+
+namespace {
+
+/// Provenance of one output column: which query table / base column it is.
+struct ColRef {
+  size_t table_idx = 0;
+  size_t base_col = 0;
+  bool operator==(const ColRef&) const = default;
+};
+
+/// Planner working state for the left-deep prefix built so far.
+struct BuildState {
+  std::unique_ptr<PlanNode> plan;
+  std::vector<ColRef> cols;
+  std::optional<ColRef> sorted_on;
+  double est_rows = 0.0;
+};
+
+std::vector<ColRef> TableCols(size_t table_idx, const Schema& schema) {
+  std::vector<ColRef> cols;
+  cols.reserve(schema.num_columns());
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    cols.push_back(ColRef{table_idx, i});
+  }
+  return cols;
+}
+
+std::vector<ColRef> ConcatCols(const std::vector<ColRef>& a,
+                               const std::vector<ColRef>& b) {
+  std::vector<ColRef> out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+Result<size_t> FindCol(const std::vector<ColRef>& cols, ColRef target) {
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i] == target) return i;
+  }
+  return Status::Internal("planner lost track of a column");
+}
+
+Predicate ToPredicate(const FilterSpec& f, size_t col_pos) {
+  Predicate p;
+  p.kind = f.kind;
+  p.column = col_pos;
+  p.v1 = f.v1;
+  p.v2 = f.v2;
+  return p;
+}
+
+}  // namespace
+
+Planner::Planner(const Catalog* catalog, CardinalityEstimator* cardinality,
+                 PlannerOptions options)
+    : catalog_(catalog), card_(cardinality), options_(options) {}
+
+Result<std::unique_ptr<PhysicalPlan>> Planner::Plan(const QuerySpec& spec) {
+  if (spec.tables.empty()) {
+    return Status::InvalidArgument("query references no tables");
+  }
+  if (spec.joins.size() + 1 != spec.tables.size()) {
+    return Status::InvalidArgument("need exactly tables-1 join edges");
+  }
+
+  // Group filters by table position.
+  std::vector<std::vector<const FilterSpec*>> filters_by_table(
+      spec.tables.size());
+  for (const auto& f : spec.filters) {
+    if (f.table_idx >= spec.tables.size()) {
+      return Status::InvalidArgument("filter references unknown table");
+    }
+    filters_by_table[f.table_idx].push_back(&f);
+  }
+
+  // Base access path for one table: scan + pushed-down filters.
+  // `ordered_col` requests delivery ordered on that column via an index
+  // scan when available.
+  auto base_access =
+      [&](size_t tidx,
+          const std::optional<std::string>& ordered_col) -> Result<BuildState> {
+    const std::string& tname = spec.tables[tidx];
+    RPE_ASSIGN_OR_RETURN(const Table* table, catalog_->GetTable(tname));
+    BuildState s;
+    s.cols = TableCols(tidx, table->schema());
+    s.est_rows = static_cast<double>(table->num_rows());
+    if (ordered_col.has_value() && catalog_->HasIndex(tname, *ordered_col)) {
+      s.plan = MakeIndexScan(tname, *ordered_col);
+      RPE_ASSIGN_OR_RETURN(size_t c, table->schema().ColumnIndex(*ordered_col));
+      s.sorted_on = ColRef{tidx, c};
+    } else {
+      s.plan = MakeTableScan(tname);
+    }
+    s.plan->est_rows = s.est_rows;
+    for (const FilterSpec* f : filters_by_table[tidx]) {
+      RPE_ASSIGN_OR_RETURN(size_t c, table->schema().ColumnIndex(f->column));
+      RPE_ASSIGN_OR_RETURN(double sel, card_->FilterSelectivity(tname, *f));
+      s.plan = MakeFilter(std::move(s.plan), ToPredicate(*f, c));
+      s.est_rows *= sel;
+      s.plan->est_rows = std::max(1.0, s.est_rows);
+      s.est_rows = s.plan->est_rows;
+    }
+    return s;
+  };
+
+  RPE_ASSIGN_OR_RETURN(BuildState state, base_access(0, std::nullopt));
+
+  for (size_t j = 0; j < spec.joins.size(); ++j) {
+    const JoinEdge& edge = spec.joins[j];
+    const size_t new_idx = j + 1;
+    const std::string& new_table = spec.tables[new_idx];
+    if (edge.left_idx > j) {
+      return Status::InvalidArgument("join edge references a later table");
+    }
+    RPE_ASSIGN_OR_RETURN(const Table* new_t, catalog_->GetTable(new_table));
+    RPE_ASSIGN_OR_RETURN(size_t left_base_col,
+                         catalog_->GetTable(spec.tables[edge.left_idx])
+                             .ValueOrDie()
+                             ->schema()
+                             .ColumnIndex(edge.left_col));
+    RPE_ASSIGN_OR_RETURN(size_t right_base_col,
+                         new_t->schema().ColumnIndex(edge.right_col));
+    RPE_ASSIGN_OR_RETURN(
+        size_t left_pos,
+        FindCol(state.cols, ColRef{edge.left_idx, left_base_col}));
+
+    RPE_ASSIGN_OR_RETURN(double join_sel,
+                         card_->JoinSelectivity(spec.tables[edge.left_idx],
+                                                edge.left_col, new_table,
+                                                edge.right_col));
+    const double new_rows = static_cast<double>(new_t->num_rows());
+    // Selectivity of the new table's pushed-down filters.
+    double new_filter_sel = 1.0;
+    for (const FilterSpec* f : filters_by_table[new_idx]) {
+      RPE_ASSIGN_OR_RETURN(double sel,
+                           card_->FilterSelectivity(new_table, *f));
+      new_filter_sel *= sel;
+    }
+    const double est_join = std::max(
+        1.0, state.est_rows * new_rows * new_filter_sel * join_sel);
+
+    const bool inner_index = catalog_->HasIndex(new_table, edge.right_col);
+    JoinHint hint = edge.hint;
+    if (hint == JoinHint::kAuto) {
+      if (inner_index && state.est_rows <= options_.nlj_outer_max) {
+        hint = JoinHint::kNestedLoop;
+      } else if (state.sorted_on.has_value() &&
+                 *state.sorted_on == ColRef{edge.left_idx, left_base_col} &&
+                 inner_index) {
+        hint = JoinHint::kMerge;
+      } else {
+        hint = JoinHint::kHash;
+      }
+    }
+
+    if (hint == JoinHint::kNestedLoop && !inner_index &&
+        (new_rows > options_.naive_nlj_inner_max ||
+         state.est_rows * new_rows > options_.naive_nlj_work_max)) {
+      hint = JoinHint::kHash;  // naive rescan would be pathological
+    }
+    if (hint == JoinHint::kMerge && !inner_index && state.sorted_on &&
+        !(*state.sorted_on == ColRef{edge.left_idx, left_base_col})) {
+      // Will need sorts on both sides; acceptable.
+    }
+
+    switch (hint) {
+      case JoinHint::kNestedLoop: {
+        // Optional partial batch sort on the outer side (§5.1).
+        if (inner_index && state.est_rows >= options_.batch_sort_min_outer) {
+          const size_t batch =
+              std::clamp(static_cast<size_t>(state.est_rows / 8.0),
+                         static_cast<size_t>(512), options_.batch_size_cap);
+          auto bs = MakeBatchSort(std::move(state.plan), left_pos, batch);
+          bs->est_rows = state.est_rows;
+          state.plan = std::move(bs);
+          state.sorted_on.reset();  // only batch-local order
+        }
+        std::unique_ptr<PlanNode> inner;
+        if (inner_index) {
+          inner = MakeIndexSeek(new_table, edge.right_col);
+          // E at the seek node: total matches fed upward over the whole
+          // query = join output before residual filters.
+          inner->est_rows =
+              std::max(1.0, state.est_rows * new_rows * join_sel);
+        } else {
+          // Naive rescanning inner: full scan per outer row + residual.
+          inner = MakeTableScan(new_table);
+          inner->est_rows = std::max(1.0, state.est_rows * new_rows);
+          auto residual =
+              MakeFilter(std::move(inner), Predicate::EqParam(right_base_col));
+          residual->est_rows =
+              std::max(1.0, state.est_rows * new_rows * join_sel);
+          inner = std::move(residual);
+        }
+        double running = inner->est_rows;
+        for (const FilterSpec* f : filters_by_table[new_idx]) {
+          RPE_ASSIGN_OR_RETURN(size_t c,
+                               new_t->schema().ColumnIndex(f->column));
+          RPE_ASSIGN_OR_RETURN(double sel,
+                               card_->FilterSelectivity(new_table, *f));
+          inner = MakeFilter(std::move(inner), ToPredicate(*f, c));
+          running = std::max(1.0, running * sel);
+          inner->est_rows = running;
+        }
+        auto join = MakeNestedLoopJoin(std::move(state.plan),
+                                       std::move(inner), left_pos);
+        join->est_rows = est_join;
+        state.cols = ConcatCols(state.cols,
+                                TableCols(new_idx, new_t->schema()));
+        state.plan = std::move(join);
+        state.est_rows = est_join;
+        // NLJ preserves outer order; sorted_on unchanged (unless batch sort
+        // cleared it above).
+        break;
+      }
+      case JoinHint::kMerge: {
+        // Left side: sort unless already ordered on the join column.
+        if (!(state.sorted_on.has_value() &&
+              *state.sorted_on == ColRef{edge.left_idx, left_base_col})) {
+          auto sort = MakeSort(std::move(state.plan), left_pos);
+          sort->est_rows = state.est_rows;
+          state.plan = std::move(sort);
+        }
+        // Right side: ordered index scan if possible, else scan + sort.
+        RPE_ASSIGN_OR_RETURN(BuildState right,
+                             base_access(new_idx, edge.right_col));
+        RPE_ASSIGN_OR_RETURN(
+            size_t right_pos,
+            FindCol(right.cols, ColRef{new_idx, right_base_col}));
+        if (!(right.sorted_on.has_value() &&
+              *right.sorted_on == ColRef{new_idx, right_base_col})) {
+          auto sort = MakeSort(std::move(right.plan), right_pos);
+          sort->est_rows = right.est_rows;
+          right.plan = std::move(sort);
+        }
+        auto join = MakeMergeJoin(std::move(state.plan), std::move(right.plan),
+                                  left_pos, right_pos);
+        join->est_rows = est_join;
+        state.cols = ConcatCols(state.cols, right.cols);
+        state.plan = std::move(join);
+        state.est_rows = est_join;
+        state.sorted_on = ColRef{edge.left_idx, left_base_col};
+        break;
+      }
+      case JoinHint::kHash:
+      default: {
+        RPE_ASSIGN_OR_RETURN(BuildState right,
+                             base_access(new_idx, std::nullopt));
+        RPE_ASSIGN_OR_RETURN(
+            size_t right_pos,
+            FindCol(right.cols, ColRef{new_idx, right_base_col}));
+        // Build on the smaller estimated side.
+        const bool build_new = right.est_rows <= state.est_rows;
+        std::unique_ptr<PlanNode> join;
+        if (build_new) {
+          join = MakeHashJoin(std::move(right.plan), std::move(state.plan),
+                              right_pos, left_pos);
+          state.cols = ConcatCols(right.cols, state.cols);
+          // Probe order is preserved; probe side is the old prefix.
+        } else {
+          join = MakeHashJoin(std::move(state.plan), std::move(right.plan),
+                              left_pos, right_pos);
+          state.cols = ConcatCols(state.cols, right.cols);
+          state.sorted_on.reset();  // probe side is the new table
+        }
+        join->est_rows = est_join;
+        state.plan = std::move(join);
+        state.est_rows = est_join;
+        break;
+      }
+    }
+  }
+
+  // Aggregation.
+  if (spec.agg.has_value()) {
+    const AggSpec& agg = *spec.agg;
+    std::vector<size_t> group_pos;
+    std::vector<double> distincts;
+    for (const auto& [tidx, col] : agg.group_cols) {
+      RPE_ASSIGN_OR_RETURN(const Table* t,
+                           catalog_->GetTable(spec.tables[tidx]));
+      RPE_ASSIGN_OR_RETURN(size_t base, t->schema().ColumnIndex(col));
+      RPE_ASSIGN_OR_RETURN(size_t pos,
+                           FindCol(state.cols, ColRef{tidx, base}));
+      group_pos.push_back(pos);
+      RPE_ASSIGN_OR_RETURN(double d,
+                           card_->DistinctCount(spec.tables[tidx], col));
+      distincts.push_back(d);
+    }
+    const double est_groups = card_->GroupCount(state.est_rows, distincts);
+    const bool ordered_on_group =
+        group_pos.size() == 1 && state.sorted_on.has_value() &&
+        [&] {
+          const auto& [tidx, col] = agg.group_cols[0];
+          const Table* t = *catalog_->GetTable(spec.tables[tidx]);
+          auto base = t->schema().ColumnIndex(col);
+          return base.ok() && *state.sorted_on == ColRef{tidx, *base};
+        }();
+    if (ordered_on_group) {
+      auto node = MakeStreamAggregate(std::move(state.plan), group_pos);
+      node->est_rows = est_groups;
+      state.plan = std::move(node);
+    } else if (agg.prefer_sort_stream && group_pos.size() == 1) {
+      auto sort = MakeSort(std::move(state.plan), group_pos[0]);
+      sort->est_rows = state.est_rows;
+      auto node = MakeStreamAggregate(std::move(sort), group_pos);
+      node->est_rows = est_groups;
+      state.plan = std::move(node);
+    } else {
+      auto node = MakeHashAggregate(std::move(state.plan), group_pos);
+      node->est_rows = est_groups;
+      state.plan = std::move(node);
+    }
+    state.est_rows = est_groups;
+    // Aggregate output: group columns then count; provenance of the group
+    // columns survives, the count column is synthetic.
+    std::vector<ColRef> new_cols;
+    for (const auto& [tidx, col] : agg.group_cols) {
+      const Table* t = *catalog_->GetTable(spec.tables[tidx]);
+      new_cols.push_back(ColRef{tidx, *t->schema().ColumnIndex(col)});
+    }
+    new_cols.push_back(ColRef{static_cast<size_t>(-1), 0});  // count
+    state.cols = new_cols;
+    state.sorted_on = new_cols.size() > 1
+                          ? std::optional<ColRef>(new_cols[0])
+                          : std::nullopt;
+  }
+
+  // ORDER BY.
+  if (spec.order_by.has_value()) {
+    const auto& [tidx, col] = *spec.order_by;
+    RPE_ASSIGN_OR_RETURN(const Table* t,
+                         catalog_->GetTable(spec.tables[tidx]));
+    auto base = t->schema().ColumnIndex(col);
+    if (base.ok()) {
+      auto pos = FindCol(state.cols, ColRef{tidx, *base});
+      if (pos.ok() && !(state.sorted_on.has_value() &&
+                        *state.sorted_on == ColRef{tidx, *base})) {
+        auto sort = MakeSort(std::move(state.plan), *pos);
+        sort->est_rows = state.est_rows;
+        state.plan = std::move(sort);
+        state.sorted_on = ColRef{tidx, *base};
+      }
+    }
+  }
+
+  // TOP.
+  if (spec.top_limit > 0) {
+    auto top = MakeTop(std::move(state.plan), spec.top_limit);
+    top->est_rows =
+        std::min(static_cast<double>(spec.top_limit), state.est_rows);
+    state.est_rows = top->est_rows;
+    state.plan = std::move(top);
+  }
+
+  RPE_RETURN_NOT_OK(ResolvePlanSchemas(state.plan.get(), *catalog_));
+  return std::make_unique<PhysicalPlan>(std::move(state.plan));
+}
+
+}  // namespace rpe

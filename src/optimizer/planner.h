@@ -1,0 +1,53 @@
+// Rule-based physical planner: turns a logical QuerySpec into a left-deep
+// physical plan under the catalog's current physical design, annotating
+// every node with its cardinality estimate E_i.
+//
+// Strategy selection mirrors the index-availability-driven behaviour the
+// paper observes across "untuned" / "partially tuned" / "fully tuned"
+// designs (Table 1): index nested-loop joins (optionally behind a partial
+// BatchSort, §5.1) when an index on the inner join column exists, merge
+// joins when order is available or hinted, hash joins otherwise.
+#pragma once
+
+#include <memory>
+
+#include "common/status.h"
+#include "exec/plan.h"
+#include "optimizer/cardinality.h"
+#include "optimizer/query_spec.h"
+#include "storage/catalog.h"
+
+namespace rpe {
+
+/// \brief Planner thresholds (loosely modelled on SQL Server behaviour).
+struct PlannerOptions {
+  /// Max estimated outer cardinality for an index nested-loop join.
+  double nlj_outer_max = 20000.0;
+  /// Outer cardinality above which a BatchSort is inserted before an index
+  /// nested-loop join to localize inner references.
+  double batch_sort_min_outer = 2500.0;
+  /// BatchSort batch size = clamp(outer_est / 8, 512, batch_size_cap).
+  size_t batch_size_cap = 8192;
+  /// Max inner-table size for a naive (rescanning) nested-loop join when
+  /// kNestedLoop is hinted but no index exists.
+  double naive_nlj_inner_max = 3000.0;
+  /// Max estimated outer x inner work for a naive nested-loop join.
+  double naive_nlj_work_max = 4.0e6;
+};
+
+/// \brief Produces physical plans with E_i annotations.
+class Planner {
+ public:
+  Planner(const Catalog* catalog, CardinalityEstimator* cardinality,
+          PlannerOptions options = {});
+
+  /// Build, resolve and finalize a plan for `spec`.
+  Result<std::unique_ptr<PhysicalPlan>> Plan(const QuerySpec& spec);
+
+ private:
+  const Catalog* catalog_;
+  CardinalityEstimator* card_;
+  PlannerOptions options_;
+};
+
+}  // namespace rpe

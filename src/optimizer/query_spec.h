@@ -1,0 +1,68 @@
+// Logical query description: the interface between the workload generators
+// and the planner. A QuerySpec is a left-deep join of base tables with
+// pushed-down single-column filters, optional grouping, optional ORDER BY
+// and optional TOP — the SELECT-PROJECT-JOIN-AGGREGATE shape of the TPC-H /
+// TPC-DS / decision-support queries the paper evaluates on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/predicate.h"
+
+namespace rpe {
+
+/// \brief Filter on one column of one referenced table (pushed to the scan).
+struct FilterSpec {
+  size_t table_idx = 0;      ///< position in QuerySpec::tables
+  std::string column;
+  Predicate::Kind kind = Predicate::Kind::kTrue;
+  int64_t v1 = 0;
+  int64_t v2 = 0;
+};
+
+/// \brief Physical preference for one join, standing in for optimizer cost
+/// decisions this substrate does not model. Workload generators use hints to
+/// create the plan diversity (hash/merge/NLJ mixes) seen in the paper's
+/// Table 1; kAuto applies the planner's index-aware default rules.
+enum class JoinHint {
+  kAuto,
+  kHash,
+  kMerge,
+  kNestedLoop,
+};
+
+/// \brief Equi-join edge. Joins are applied in order; joins[i] connects
+/// tables[i+1] (the "new" table) with a column of an earlier table.
+struct JoinEdge {
+  size_t left_idx = 0;       ///< earlier table (<= i)
+  std::string left_col;
+  std::string right_col;     ///< column of tables[i+1]
+  JoinHint hint = JoinHint::kAuto;
+};
+
+/// \brief GROUP BY columns (each names a table position + column).
+struct AggSpec {
+  std::vector<std::pair<size_t, std::string>> group_cols;
+  /// Prefer Sort + StreamAggregate over HashAggregate (single group column
+  /// only); ignored when the input is already ordered on the group column,
+  /// in which case StreamAggregate is used directly.
+  bool prefer_sort_stream = false;
+};
+
+/// \brief A complete logical query.
+struct QuerySpec {
+  std::string name;                      ///< template / instance label
+  std::vector<std::string> tables;       ///< join order (left-deep)
+  std::vector<JoinEdge> joins;           ///< size == tables.size() - 1
+  std::vector<FilterSpec> filters;
+  std::optional<AggSpec> agg;
+  /// ORDER BY column (table idx, column); adds a final Sort when the input
+  /// is not already ordered on it.
+  std::optional<std::pair<size_t, std::string>> order_by;
+  uint64_t top_limit = 0;                ///< 0 = no TOP
+};
+
+}  // namespace rpe

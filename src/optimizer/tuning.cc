@@ -1,0 +1,22 @@
+#include "optimizer/tuning.h"
+
+namespace rpe {
+
+const char* TuningLevelName(TuningLevel level) {
+  switch (level) {
+    case TuningLevel::kUntuned: return "untuned";
+    case TuningLevel::kPartiallyTuned: return "partially tuned";
+    case TuningLevel::kFullyTuned: return "fully tuned";
+  }
+  return "unknown";
+}
+
+Status ApplyPhysicalDesign(Catalog* catalog, const PhysicalDesign& design) {
+  catalog->DropAllIndexes();
+  for (const auto& ix : design.indexes) {
+    RPE_RETURN_NOT_OK(catalog->CreateIndex(ix.table, ix.column));
+  }
+  return Status::OK();
+}
+
+}  // namespace rpe

@@ -1,0 +1,112 @@
+#include "progress/error.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rpe {
+
+namespace {
+
+/// Observation index range of the pipeline's activity window.
+std::pair<size_t, size_t> WindowRange(const PipelineView& view) {
+  if (view.pipeline->first_obs < 0) return {1, 0};  // empty
+  return {static_cast<size_t>(view.pipeline->first_obs),
+          static_cast<size_t>(view.pipeline->last_obs)};
+}
+
+}  // namespace
+
+std::vector<double> EstimateSeries(const ProgressEstimator& estimator,
+                                   const PipelineView& view) {
+  auto [lo, hi] = WindowRange(view);
+  std::vector<double> out;
+  for (size_t oi = lo; oi <= hi && oi < view.num_obs(); ++oi) {
+    out.push_back(estimator.Estimate(view, oi));
+  }
+  return out;
+}
+
+std::vector<double> TrueProgressSeries(const PipelineView& view) {
+  auto [lo, hi] = WindowRange(view);
+  std::vector<double> out;
+  for (size_t oi = lo; oi <= hi && oi < view.num_obs(); ++oi) {
+    out.push_back(view.TrueProgress(oi));
+  }
+  return out;
+}
+
+EstimatorErrors EvaluateEstimator(const ProgressEstimator& estimator,
+                                  const PipelineView& view) {
+  EstimatorErrors errors;
+  auto [lo, hi] = WindowRange(view);
+  if (lo > hi) return errors;
+  double sum1 = 0.0, sum2 = 0.0, max_ratio = 1.0;
+  size_t n = 0;
+  for (size_t oi = lo; oi <= hi && oi < view.num_obs(); ++oi) {
+    const double est = estimator.Estimate(view, oi);
+    const double truth = view.TrueProgress(oi);
+    const double d = std::abs(est - truth);
+    sum1 += d;
+    sum2 += d * d;
+    const double eps = 1e-4;
+    const double ratio = std::max((est + eps) / (truth + eps),
+                                  (truth + eps) / (est + eps));
+    max_ratio = std::max(max_ratio, ratio);
+    ++n;
+  }
+  if (n == 0) return errors;
+  errors.l1 = sum1 / static_cast<double>(n);
+  errors.l2 = std::sqrt(sum2 / static_cast<double>(n));
+  errors.max_ratio = max_ratio;
+  errors.num_obs = n;
+  return errors;
+}
+
+std::vector<EstimatorErrors> EvaluateAllEstimators(const PipelineView& view) {
+  std::vector<EstimatorErrors> out;
+  out.reserve(kNumEstimatorKinds);
+  for (int i = 0; i < kNumEstimatorKinds; ++i) {
+    out.push_back(
+        EvaluateEstimator(GetEstimator(static_cast<EstimatorKind>(i)), view));
+  }
+  return out;
+}
+
+double QueryProgress(const QueryRunResult& run,
+                     const std::vector<EstimatorKind>& kinds, size_t oi) {
+  RPE_CHECK_EQ(kinds.size(), run.pipelines.size());
+  // Pipeline weights: share of total estimated GetNext calls (Eq. 5 uses
+  // initial estimates; we use the latest refined ones at obs oi).
+  const Observation& obs = run.observations[oi];
+  double total_e = 0.0;
+  std::vector<double> weights(run.pipelines.size(), 0.0);
+  for (size_t p = 0; p < run.pipelines.size(); ++p) {
+    double e = 0.0;
+    for (int id : run.pipelines[p].nodes) {
+      e += obs.e[static_cast<size_t>(id)];
+    }
+    weights[p] = e;
+    total_e += e;
+  }
+  if (total_e <= 0.0) return 0.0;
+  double progress = 0.0;
+  for (size_t p = 0; p < run.pipelines.size(); ++p) {
+    PipelineView view{&run, &run.pipelines[p]};
+    double est;
+    if (run.pipelines[p].first_obs < 0) {
+      est = 0.0;  // never active (e.g. empty input)
+    } else if (static_cast<int>(oi) < run.pipelines[p].first_obs) {
+      est = 0.0;
+    } else if (static_cast<int>(oi) > run.pipelines[p].last_obs) {
+      est = 1.0;
+    } else {
+      est = GetEstimator(kinds[p]).Estimate(view, oi);
+    }
+    progress += est * (weights[p] / total_e);
+  }
+  return std::clamp(progress, 0.0, 1.0);
+}
+
+}  // namespace rpe

@@ -1,0 +1,42 @@
+// Error metrics between estimated and true progress (paper §6, "Error
+// Metric"): Lp norms of the per-observation difference over a pipeline's
+// activity window, plus the ratio error of theoretical interest.
+#pragma once
+
+#include <vector>
+
+#include "progress/estimator.h"
+
+namespace rpe {
+
+/// \brief Per-pipeline evaluation of one estimator.
+struct EstimatorErrors {
+  double l1 = 0.0;
+  double l2 = 0.0;
+  /// max over observations of max(est/true, true/est).
+  double max_ratio = 1.0;
+  size_t num_obs = 0;
+};
+
+/// Estimated progress at every observation of the pipeline's window.
+std::vector<double> EstimateSeries(const ProgressEstimator& estimator,
+                                   const PipelineView& view);
+
+/// Ground-truth progress at every observation of the pipeline's window.
+std::vector<double> TrueProgressSeries(const PipelineView& view);
+
+/// L1/L2/ratio errors of `estimator` on the pipeline.
+EstimatorErrors EvaluateEstimator(const ProgressEstimator& estimator,
+                                  const PipelineView& view);
+
+/// Errors of all estimator kinds (indexed by EstimatorKind value) — the
+/// eight selectable candidates followed by the two §6.7 oracle models.
+std::vector<EstimatorErrors> EvaluateAllEstimators(const PipelineView& view);
+
+/// Query-level progress at observation oi: pipelines combined by their share
+/// of the total estimated GetNext calls (Eq. 5 generalized to any
+/// per-pipeline estimator choice; `kinds` maps pipeline index -> estimator).
+double QueryProgress(const QueryRunResult& run,
+                     const std::vector<EstimatorKind>& kinds, size_t oi);
+
+}  // namespace rpe

@@ -1,0 +1,251 @@
+#include "selection/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rpe {
+
+namespace {
+
+/// Estimators used in the pairwise-divergence features.
+constexpr EstimatorKind kDivergencePairs[][2] = {
+    {EstimatorKind::kDne, EstimatorKind::kTgn},
+    {EstimatorKind::kDne, EstimatorKind::kTgnInt},
+    {EstimatorKind::kTgn, EstimatorKind::kTgnInt},
+};
+constexpr size_t kNumPairs = 3;
+
+/// Estimators used in the time-correlation features (§6, "Dynamic
+/// Features": Cor for DNE, TGN, LUO, BATCHDNE, DNESEEK, TGNINT).
+constexpr EstimatorKind kCorEstimators[] = {
+    EstimatorKind::kDne,      EstimatorKind::kTgn,
+    EstimatorKind::kLuo,      EstimatorKind::kBatchDne,
+    EstimatorKind::kDneSeek,  EstimatorKind::kTgnInt,
+};
+constexpr size_t kNumCorEstimators = 6;
+
+/// Descendant subtree span per node: in preorder, node i's subtree occupies
+/// ids [i, i + size_i).
+std::vector<int> SubtreeSizes(const PhysicalPlan& plan) {
+  std::vector<int> sizes(plan.num_nodes(), 1);
+  // Children have larger ids; iterate descending and add into parent.
+  // Parent of a node is the nearest smaller id whose subtree would contain
+  // it — easier: recompute via recursion over the tree.
+  struct Rec {
+    std::vector<int>* sizes;
+    int Visit(const PlanNode* n) {
+      int total = 1;
+      for (const auto& c : n->children) total += Visit(c.get());
+      (*sizes)[static_cast<size_t>(n->id)] = total;
+      return total;
+    }
+  };
+  Rec rec{&sizes};
+  rec.Visit(plan.root());
+  return sizes;
+}
+
+}  // namespace
+
+const FeatureSchema& FeatureSchema::Get() {
+  static const FeatureSchema schema;
+  return schema;
+}
+
+FeatureSchema::FeatureSchema() {
+  // --- static block ---
+  for (size_t op = 0; op < kNumOpTypes; ++op) {
+    const char* op_name = OpTypeName(static_cast<OpType>(op));
+    names_.push_back(std::string("Count_") + op_name);
+    names_.push_back(std::string("Card_") + op_name);
+    names_.push_back(std::string("SelAt_") + op_name);
+    names_.push_back(std::string("SelAbove_") + op_name);
+    names_.push_back(std::string("SelBelow_") + op_name);
+  }
+  names_.push_back("SelAtDN");
+  names_.push_back("NumNodes");
+  names_.push_back("NumDrivers");
+  names_.push_back("LogTotalE");
+  names_.push_back("LogDriverE");
+  names_.push_back("HasNljInner");
+  names_.push_back("MaxNodeEShare");
+  names_.push_back("EstBytesPerCall");
+  num_static_ = names_.size();
+
+  // --- dynamic block ---
+  const char* pair_names[kNumPairs] = {"DNEvsTGN", "DNEvsTGNINT",
+                                       "TGNvsTGNINT"};
+  for (size_t p = 0; p < kNumPairs; ++p) {
+    for (size_t m = 0; m < kNumMarkers; ++m) {
+      names_.push_back(std::string(pair_names[p]) + "_" +
+                       std::to_string(kMarkerPercents[m]));
+    }
+  }
+  for (size_t e = 0; e < kNumCorEstimators; ++e) {
+    const char* est_name = EstimatorName(kCorEstimators[e]);
+    for (size_t i = 1; i <= kCorSteps; ++i) {
+      for (size_t m = 0; m < kNumMarkers; ++m) {
+        names_.push_back(std::string("Cor_") + est_name + "_" +
+                         std::to_string(i) + "_" +
+                         std::to_string(kMarkerPercents[m]));
+      }
+    }
+  }
+}
+
+int MarkerObservation(const PipelineView& view, double pct) {
+  if (view.pipeline->first_obs < 0) return -1;
+  const double target = pct / 100.0;
+  for (int oi = view.pipeline->first_obs; oi <= view.pipeline->last_obs;
+       ++oi) {
+    const Observation& obs = view.obs(static_cast<size_t>(oi));
+    const double k = SumK(obs, view.pipeline->driver_nodes);
+    const double e = SumE(obs, view.pipeline->driver_nodes);
+    const double fraction = e > 0.0 ? k / e : (k > 0.0 ? 1.0 : 0.0);
+    if (fraction >= target) return oi;
+  }
+  return -1;
+}
+
+std::vector<double> ExtractStaticFeatures(const PipelineView& view) {
+  const PhysicalPlan& plan = *view.run->plan;
+  const Pipeline& p = *view.pipeline;
+  const std::vector<int> subtree = SubtreeSizes(plan);
+
+  auto e0 = [&](int id) {
+    return plan.node(id)->est_rows;
+  };
+
+  double total_e = 0.0;
+  double max_e = 0.0;
+  for (int id : p.nodes) {
+    total_e += e0(id);
+    max_e = std::max(max_e, e0(id));
+  }
+  const double safe_total = std::max(total_e, 1.0);
+
+  // Descendant test via preorder spans: j is a descendant of i iff
+  // i < j < i + subtree[i].
+  auto is_descendant = [&](int j, int i) {
+    return j > i && j < i + subtree[static_cast<size_t>(i)];
+  };
+
+  std::vector<double> features;
+  features.reserve(FeatureSchema::Get().num_static_features());
+  for (size_t op_i = 0; op_i < kNumOpTypes; ++op_i) {
+    const OpType op = static_cast<OpType>(op_i);
+    double count = 0.0, card = 0.0, above = 0.0, below = 0.0;
+    for (int id : p.nodes) {
+      if (plan.node(id)->op == op) {
+        count += 1.0;
+        card += e0(id);
+      }
+    }
+    if (count > 0.0) {
+      for (int i : p.nodes) {
+        bool has_op_descendant = false;
+        bool is_op_descendant = false;
+        for (int j : p.nodes) {
+          if (plan.node(j)->op != op) continue;
+          if (is_descendant(j, i)) has_op_descendant = true;
+          if (is_descendant(i, j)) is_op_descendant = true;
+        }
+        if (has_op_descendant) above += e0(i);
+        if (is_op_descendant) below += e0(i);
+      }
+    }
+    features.push_back(count);
+    features.push_back(card);
+    features.push_back(card / safe_total);
+    features.push_back(above / safe_total);
+    features.push_back(below / safe_total);
+  }
+
+  double driver_e = 0.0;
+  for (int id : p.driver_nodes) driver_e += e0(id);
+  features.push_back(driver_e / safe_total);  // SelAtDN
+  features.push_back(static_cast<double>(p.nodes.size()));
+  features.push_back(static_cast<double>(p.driver_nodes.size()));
+  features.push_back(std::log1p(total_e));
+  features.push_back(std::log1p(driver_e));
+  double has_inner = 0.0;
+  double est_bytes = 0.0;
+  for (int id : p.nodes) {
+    if (plan.node(id)->nlj_inner) has_inner = 1.0;
+    est_bytes +=
+        e0(id) *
+        static_cast<double>(plan.node(id)->output_schema.row_width_bytes());
+  }
+  features.push_back(has_inner);
+  features.push_back(max_e / safe_total);
+  features.push_back(est_bytes / safe_total);
+  RPE_CHECK_EQ(features.size(), FeatureSchema::Get().num_static_features());
+  return features;
+}
+
+std::vector<double> ExtractAllFeatures(const PipelineView& view) {
+  std::vector<double> features = ExtractStaticFeatures(view);
+  const FeatureSchema& schema = FeatureSchema::Get();
+
+  // Marker observations t{x}.
+  int marker_obs[kNumMarkers];
+  for (size_t m = 0; m < kNumMarkers; ++m) {
+    marker_obs[m] =
+        MarkerObservation(view, static_cast<double>(kMarkerPercents[m]));
+  }
+
+  // Pairwise divergences at each marker.
+  const ProgressEstimator* pair_ests[kNumPairs][2];
+  for (size_t pi = 0; pi < kNumPairs; ++pi) {
+    pair_ests[pi][0] = &GetEstimator(kDivergencePairs[pi][0]);
+    pair_ests[pi][1] = &GetEstimator(kDivergencePairs[pi][1]);
+  }
+  for (size_t pi = 0; pi < kNumPairs; ++pi) {
+    for (size_t m = 0; m < kNumMarkers; ++m) {
+      double value = 0.0;
+      if (marker_obs[m] >= 0) {
+        const size_t oi = static_cast<size_t>(marker_obs[m]);
+        value = std::abs(pair_ests[pi][0]->Estimate(view, oi) -
+                         pair_ests[pi][1]->Estimate(view, oi));
+      }
+      features.push_back(value);
+    }
+  }
+
+  // Time-correlation features Cor_{e,i,x}, i = 1..k (k = 4): how the time
+  // elapsed at sub-markers i*x/k relates to the estimator's value at t{x}.
+  const double start = view.pipeline->start_time;
+  for (size_t e = 0; e < kNumCorEstimators; ++e) {
+    const ProgressEstimator& est = GetEstimator(kCorEstimators[e]);
+    for (size_t i = 1; i <= kCorSteps; ++i) {
+      for (size_t m = 0; m < kNumMarkers; ++m) {
+        double value = 0.0;
+        const double x = static_cast<double>(kMarkerPercents[m]);
+        const int t_first =
+            MarkerObservation(view, x / static_cast<double>(kCorSteps));
+        const int t_i = MarkerObservation(
+            view, x * static_cast<double>(i) / static_cast<double>(kCorSteps));
+        const int t_x = marker_obs[m];
+        if (t_first >= 0 && t_i >= 0 && t_x >= 0) {
+          const double denom_time =
+              view.obs(static_cast<size_t>(t_first)).vtime - start;
+          const double est_at_x =
+              est.Estimate(view, static_cast<size_t>(t_x));
+          if (denom_time > 0.0 && est_at_x > 1e-6) {
+            const double num_time =
+                view.obs(static_cast<size_t>(t_i)).vtime - start;
+            value = (num_time / denom_time) * (1.0 / est_at_x);
+            value = std::min(value, 1e4);  // keep outliers bounded
+          }
+        }
+        features.push_back(value);
+      }
+    }
+  }
+  RPE_CHECK_EQ(features.size(), schema.num_features());
+  return features;
+}
+
+}  // namespace rpe

@@ -1,0 +1,54 @@
+// Feature extraction for estimator selection.
+//
+// Static features (paper §4.3), computed per pipeline before execution from
+// the plan shape and optimizer estimates: per-operator-type Count_op and
+// Card_op (the encoding of [11]) plus the relative-cardinality encodings
+// SelAt_op / SelAbove_op / SelBelow_op and SelAtDN.
+//
+// Dynamic features (paper §4.4), computed from the observation stream once
+// x% of the driver-node input has been consumed (x in {1,2,5,10,20}):
+// pairwise estimator divergences (DNEvsTGN_x, ...) and estimator-vs-time
+// correlation features Cor_{e,i,x} for i = 1..4.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "progress/estimator.h"
+
+namespace rpe {
+
+/// Driver-consumption marker percentages (paper: {1, 2, 5, 10, 20}).
+inline constexpr int kMarkerPercents[] = {1, 2, 5, 10, 20};
+inline constexpr size_t kNumMarkers = 5;
+/// Number of sub-markers per correlation feature (paper: k = 4).
+inline constexpr size_t kCorSteps = 4;
+
+/// \brief Names + layout of the full feature vector.
+class FeatureSchema {
+ public:
+  static const FeatureSchema& Get();
+
+  size_t num_features() const { return names_.size(); }
+  size_t num_static_features() const { return num_static_; }
+  const std::string& name(size_t i) const { return names_[i]; }
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  FeatureSchema();
+  std::vector<std::string> names_;
+  size_t num_static_ = 0;
+};
+
+/// Static features of a pipeline (uses initial estimates E0 from the plan).
+std::vector<double> ExtractStaticFeatures(const PipelineView& view);
+
+/// Full feature vector: static prefix followed by dynamic features computed
+/// from observations up to the 20% driver marker. Missing markers yield 0.
+std::vector<double> ExtractAllFeatures(const PipelineView& view);
+
+/// Observation index of the first observation where the consumed driver
+/// fraction reaches pct/100 (t{x} of §4.4.2), or -1 if never reached.
+int MarkerObservation(const PipelineView& view, double pct);
+
+}  // namespace rpe

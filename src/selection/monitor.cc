@@ -1,0 +1,118 @@
+#include "selection/monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "selection/features.h"
+
+namespace rpe {
+
+ProgressMonitor::ProgressMonitor(const EstimatorSelector* static_selector,
+                                 const EstimatorSelector* dynamic_selector,
+                                 double revision_marker_pct)
+    : static_selector_(static_selector),
+      dynamic_selector_(dynamic_selector),
+      revision_marker_pct_(revision_marker_pct) {
+  RPE_CHECK(static_selector_ != nullptr);
+  RPE_CHECK(dynamic_selector_ != nullptr);
+  RPE_CHECK(!static_selector_->uses_dynamic_features());
+  RPE_CHECK(dynamic_selector_->uses_dynamic_features());
+}
+
+std::vector<ProgressMonitor::PipelineDecision> ProgressMonitor::DecideForRun(
+    const QueryRunResult& run) const {
+  std::vector<PipelineDecision> decisions;
+  decisions.reserve(run.pipelines.size());
+  for (const Pipeline& pipeline : run.pipelines) {
+    PipelineDecision d;
+    d.pipeline_id = pipeline.id;
+    PipelineView view{&run, &pipeline};
+    if (pipeline.first_obs < 0) {
+      decisions.push_back(d);
+      continue;
+    }
+    // Static choice: available before the pipeline starts.
+    std::vector<double> static_features = ExtractStaticFeatures(view);
+    static_features.resize(FeatureSchema::Get().num_features(), 0.0);
+    d.initial_choice = static_selector_->Select(static_features);
+    // Dynamic revision at the driver marker, if the pipeline gets there.
+    d.revision_obs = MarkerObservation(view, revision_marker_pct_);
+    if (d.revision_obs >= 0) {
+      d.revised_choice = dynamic_selector_->Select(ExtractAllFeatures(view));
+    }
+    decisions.push_back(d);
+  }
+  return decisions;
+}
+
+double ProgressMonitor::PipelineProgress(const QueryRunResult& run,
+                                         const PipelineDecision& decision,
+                                         size_t oi) const {
+  const Pipeline& pipeline =
+      run.pipelines[static_cast<size_t>(decision.pipeline_id)];
+  if (pipeline.first_obs < 0) return 0.0;
+  PipelineView view{&run, &pipeline};
+  const bool revised = decision.revised_choice.has_value() &&
+                       static_cast<int>(oi) >= decision.revision_obs;
+  const size_t choice =
+      revised ? *decision.revised_choice : decision.initial_choice;
+  return GetEstimator(static_cast<EstimatorKind>(choice)).Estimate(view, oi);
+}
+
+double ProgressMonitor::QueryProgressAt(
+    const QueryRunResult& run,
+    const std::vector<PipelineDecision>& decisions, size_t oi) const {
+  RPE_CHECK_EQ(decisions.size(), run.pipelines.size());
+  const Observation& obs = run.observations[oi];
+  double total_e = 0.0;
+  std::vector<double> weights(run.pipelines.size(), 0.0);
+  for (size_t p = 0; p < run.pipelines.size(); ++p) {
+    double e = 0.0;
+    for (int id : run.pipelines[p].nodes) {
+      e += obs.e[static_cast<size_t>(id)];
+    }
+    weights[p] = e;
+    total_e += e;
+  }
+  if (total_e <= 0.0) return 0.0;
+  double progress = 0.0;
+  for (size_t p = 0; p < run.pipelines.size(); ++p) {
+    const Pipeline& pipeline = run.pipelines[p];
+    double value;
+    if (pipeline.first_obs < 0 ||
+        static_cast<int>(oi) < pipeline.first_obs) {
+      value = 0.0;
+    } else if (static_cast<int>(oi) > pipeline.last_obs) {
+      value = 1.0;
+    } else {
+      value = PipelineProgress(run, decisions[p], oi);
+    }
+    progress += value * (weights[p] / total_e);
+  }
+  return std::clamp(progress, 0.0, 1.0);
+}
+
+std::vector<double> ProgressMonitor::ReplayQueryProgress(
+    const QueryRunResult& run) const {
+  const auto decisions = DecideForRun(run);
+  std::vector<double> series;
+  series.reserve(run.observations.size());
+  for (size_t oi = 0; oi < run.observations.size(); ++oi) {
+    series.push_back(QueryProgressAt(run, decisions, oi));
+  }
+  return series;
+}
+
+double ProgressMonitor::ReplayL1Error(const QueryRunResult& run) const {
+  if (run.observations.empty() || run.total_time <= 0.0) return 0.0;
+  const auto series = ReplayQueryProgress(run);
+  double sum = 0.0;
+  for (size_t oi = 0; oi < series.size(); ++oi) {
+    const double truth = run.observations[oi].vtime / run.total_time;
+    sum += std::abs(series[oi] - std::clamp(truth, 0.0, 1.0));
+  }
+  return sum / static_cast<double>(series.size());
+}
+
+}  // namespace rpe

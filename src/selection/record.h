@@ -1,0 +1,50 @@
+// PipelineRecord: one training/evaluation example for estimator selection —
+// the features of one executed pipeline plus the measured error of every
+// candidate estimator on it. Records serialize to CSV so expensive workload
+// runs can be captured once and reused across experiments (the paper's
+// "training data can be captured at low overhead in a running system",
+// §6.4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "progress/error.h"
+#include "selection/features.h"
+
+namespace rpe {
+
+/// \brief One pipeline execution, featurized and labeled.
+struct PipelineRecord {
+  std::string workload;   ///< source workload label
+  std::string query;      ///< query/template label
+  int pipeline_id = 0;
+  std::string tag;        ///< experiment dimension (skew/design/size bucket)
+  double total_n = 0.0;   ///< true total GetNext calls in the pipeline
+  std::vector<double> features;                 ///< full feature vector
+  std::vector<double> l1;                       ///< per selectable estimator
+  std::vector<double> l2;
+
+  /// Index (into SelectableEstimators order) of the estimator with the
+  /// smallest L1 error.
+  size_t BestEstimator() const;
+  double BestL1() const;
+};
+
+/// Featurize + evaluate all selectable estimators on one pipeline.
+/// Returns false (skip) for degenerate pipelines with fewer than
+/// `min_observations` samples in their activity window.
+bool MakeRecord(const PipelineView& view, const std::string& workload,
+                const std::string& query, const std::string& tag,
+                PipelineRecord* out, size_t min_observations = 5);
+
+/// CSV round-trip (header + one line per record).
+std::string RecordsToCsv(const std::vector<PipelineRecord>& records);
+Result<std::vector<PipelineRecord>> RecordsFromCsv(const std::string& csv);
+
+Status SaveRecords(const std::vector<PipelineRecord>& records,
+                   const std::string& path);
+Result<std::vector<PipelineRecord>> LoadRecords(const std::string& path);
+
+}  // namespace rpe

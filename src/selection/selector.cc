@@ -1,0 +1,112 @@
+#include "selection/selector.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rpe {
+
+MartParams EstimatorSelector::DefaultParams() {
+  MartParams params;
+  params.num_trees = 200;
+  params.tree.max_leaves = 30;
+  params.learning_rate = 0.1;
+  return params;
+}
+
+std::vector<double> EstimatorSelector::ProjectFeatures(
+    const std::vector<double>& features) const {
+  if (use_dynamic_) {
+    RPE_CHECK_EQ(features.size(), num_inputs_);
+    return features;
+  }
+  RPE_CHECK_GE(features.size(), num_inputs_);
+  return std::vector<double>(features.begin(),
+                             features.begin() +
+                                 static_cast<ptrdiff_t>(num_inputs_));
+}
+
+EstimatorSelector EstimatorSelector::Train(
+    const std::vector<PipelineRecord>& records, std::vector<size_t> pool,
+    bool use_dynamic_features, const MartParams& params) {
+  EstimatorSelector selector;
+  selector.pool_ = std::move(pool);
+  selector.use_dynamic_ = use_dynamic_features;
+  const FeatureSchema& schema = FeatureSchema::Get();
+  selector.num_inputs_ = use_dynamic_features
+                             ? schema.num_features()
+                             : schema.num_static_features();
+  RPE_CHECK(!selector.pool_.empty());
+
+  for (size_t est : selector.pool_) {
+    Dataset data(selector.num_inputs_);
+    for (const auto& r : records) {
+      RPE_CHECK_LT(est, r.l1.size());
+      RPE_CHECK_OK(
+          data.AddExample(selector.ProjectFeatures(r.features), r.l1[est]));
+    }
+    selector.models_.push_back(MartModel::Train(data, params));
+  }
+  return selector;
+}
+
+std::vector<double> EstimatorSelector::PredictErrors(
+    const std::vector<double>& features) const {
+  const std::vector<double> input = ProjectFeatures(features);
+  std::vector<double> predicted;
+  predicted.reserve(models_.size());
+  for (const auto& model : models_) {
+    predicted.push_back(model.Predict(input));
+  }
+  return predicted;
+}
+
+size_t EstimatorSelector::Select(const std::vector<double>& features) const {
+  const std::vector<double> predicted = PredictErrors(features);
+  size_t best = 0;
+  for (size_t i = 1; i < predicted.size(); ++i) {
+    if (predicted[i] < predicted[best]) best = i;
+  }
+  return pool_[best];
+}
+
+size_t EstimatorSelector::SelectForRecord(
+    const PipelineRecord& record) const {
+  return Select(record.features);
+}
+
+std::vector<double> EstimatorSelector::FeatureImportance() const {
+  std::vector<double> gains(num_inputs_, 0.0);
+  for (const auto& model : models_) {
+    const auto& g = model.feature_gains();
+    for (size_t i = 0; i < g.size() && i < gains.size(); ++i) {
+      gains[i] += g[i];
+    }
+  }
+  return gains;
+}
+
+std::vector<size_t> PoolOriginalThree() {
+  return {static_cast<size_t>(EstimatorKind::kDne),
+          static_cast<size_t>(EstimatorKind::kTgn),
+          static_cast<size_t>(EstimatorKind::kLuo)};
+}
+
+std::vector<size_t> PoolSix() {
+  return {static_cast<size_t>(EstimatorKind::kDne),
+          static_cast<size_t>(EstimatorKind::kTgn),
+          static_cast<size_t>(EstimatorKind::kLuo),
+          static_cast<size_t>(EstimatorKind::kBatchDne),
+          static_cast<size_t>(EstimatorKind::kDneSeek),
+          static_cast<size_t>(EstimatorKind::kTgnInt)};
+}
+
+std::vector<size_t> PoolAll() {
+  std::vector<size_t> pool;
+  for (int i = 0; i < kNumSelectableEstimators; ++i) {
+    pool.push_back(static_cast<size_t>(i));
+  }
+  return pool;
+}
+
+}  // namespace rpe

@@ -1,0 +1,64 @@
+// The estimator-selection model (paper §4.1): one MART error-regressor per
+// candidate estimator; at selection time the candidate with the smallest
+// predicted error wins. Supports static-only feature mode (choice before
+// execution) and static+dynamic mode (choice revised at the 20% driver
+// marker), and arbitrary candidate pools (e.g. {DNE, TGN, LUO} vs. the full
+// six of Figure 5).
+#pragma once
+
+#include <vector>
+
+#include "mart/mart.h"
+#include "selection/record.h"
+
+namespace rpe {
+
+/// \brief Trained selection model.
+class EstimatorSelector {
+ public:
+  /// \param pool indices into SelectableEstimators() order of the candidate
+  ///   estimators the selector may choose between.
+  /// \param use_dynamic_features train on the full feature vector (static +
+  ///   dynamic) rather than the static prefix only.
+  static EstimatorSelector Train(const std::vector<PipelineRecord>& records,
+                                 std::vector<size_t> pool,
+                                 bool use_dynamic_features,
+                                 const MartParams& params = DefaultParams());
+
+  /// Paper training setup: M = 200 boosting iterations, 30-leaf trees.
+  static MartParams DefaultParams();
+
+  /// Predicted L1 error per pool candidate (pool order).
+  std::vector<double> PredictErrors(
+      const std::vector<double>& features) const;
+
+  /// Index into SelectableEstimators order of the chosen estimator.
+  size_t Select(const std::vector<double>& features) const;
+
+  /// Chosen estimator for a record (uses its stored features).
+  size_t SelectForRecord(const PipelineRecord& record) const;
+
+  const std::vector<size_t>& pool() const { return pool_; }
+  bool uses_dynamic_features() const { return use_dynamic_; }
+  const std::vector<MartModel>& models() const { return models_; }
+
+  /// Aggregate split-gain importance across the per-estimator models,
+  /// indexed by feature (full schema indices).
+  std::vector<double> FeatureImportance() const;
+
+ private:
+  std::vector<double> ProjectFeatures(
+      const std::vector<double>& features) const;
+
+  std::vector<size_t> pool_;
+  bool use_dynamic_ = false;
+  size_t num_inputs_ = 0;
+  std::vector<MartModel> models_;  // one per pool entry
+};
+
+/// Convenience pools.
+std::vector<size_t> PoolOriginalThree();  ///< DNE, TGN, LUO
+std::vector<size_t> PoolSix();            ///< + BATCHDNE, DNESEEK, TGNINT
+std::vector<size_t> PoolAll();            ///< all eight (incl. SAFE, PMAX)
+
+}  // namespace rpe

@@ -1,0 +1,62 @@
+#include "storage/catalog.h"
+
+namespace rpe {
+
+namespace {
+std::string IndexKey(const std::string& table, const std::string& column) {
+  return table + "." + column;
+}
+}  // namespace
+
+Status Catalog::AddTable(std::unique_ptr<Table> table) {
+  const std::string name = table->name();
+  if (tables_.count(name) > 0) {
+    return Status::InvalidArgument("table already exists: " + name);
+  }
+  tables_[name] = std::move(table);
+  return Status::OK();
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return static_cast<const Table*>(it->second.get());
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+Status Catalog::CreateIndex(const std::string& table,
+                            const std::string& column) {
+  const std::string key = IndexKey(table, column);
+  if (indexes_.count(key) > 0) return Status::OK();
+  auto t = GetTable(table);
+  RPE_RETURN_NOT_OK(t.status());
+  auto col = (*t)->schema().ColumnIndex(column);
+  RPE_RETURN_NOT_OK(col.status());
+  indexes_[key] = std::make_unique<SortedIndex>(*t, *col);
+  return Status::OK();
+}
+
+void Catalog::DropAllIndexes() { indexes_.clear(); }
+
+const SortedIndex* Catalog::GetIndex(const std::string& table,
+                                     const std::string& column) const {
+  auto it = indexes_.find(IndexKey(table, column));
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+bool Catalog::HasIndex(const std::string& table,
+                       const std::string& column) const {
+  return GetIndex(table, column) != nullptr;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace rpe

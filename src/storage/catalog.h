@@ -1,0 +1,53 @@
+// Catalog: named tables plus the current physical design (set of secondary
+// indexes). One Catalog instance corresponds to one "database + physical
+// design" configuration in the paper's experiments.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/index.h"
+#include "storage/table.h"
+
+namespace rpe {
+
+/// \brief Owns tables and their secondary indexes.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  /// Register a table; fails if the name is taken.
+  Status AddTable(std::unique_ptr<Table> table);
+
+  /// Table lookup; error if absent.
+  Result<const Table*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+
+  /// Build (or no-op if already built) a sorted index on table.column.
+  Status CreateIndex(const std::string& table, const std::string& column);
+  /// Drop all indexes (e.g. to re-apply a different physical design).
+  void DropAllIndexes();
+
+  /// Index lookup; nullptr if no index exists on (table, column).
+  const SortedIndex* GetIndex(const std::string& table,
+                              const std::string& column) const;
+  bool HasIndex(const std::string& table, const std::string& column) const;
+
+  std::vector<std::string> TableNames() const;
+  /// Total number of secondary indexes.
+  size_t num_indexes() const { return indexes_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  // Keyed by "table.column".
+  std::map<std::string, std::unique_ptr<SortedIndex>> indexes_;
+};
+
+}  // namespace rpe

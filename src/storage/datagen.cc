@@ -1,0 +1,164 @@
+#include "storage/datagen.h"
+
+#include <memory>
+
+#include "common/logging.h"
+
+namespace rpe {
+
+ColumnGen ColumnGen::Sequential() {
+  ColumnGen g;
+  g.kind = Kind::kSequential;
+  return g;
+}
+
+ColumnGen ColumnGen::Uniform(int64_t lo, int64_t hi) {
+  ColumnGen g;
+  g.kind = Kind::kUniform;
+  g.lo = lo;
+  g.hi = hi;
+  return g;
+}
+
+ColumnGen ColumnGen::Zipf(uint64_t domain, double z, bool shuffle) {
+  ColumnGen g;
+  g.kind = Kind::kZipf;
+  g.domain = domain;
+  g.z = z;
+  g.shuffle_values = shuffle;
+  return g;
+}
+
+ColumnGen ColumnGen::FkUniform(uint64_t fk_count) {
+  ColumnGen g;
+  g.kind = Kind::kFkUniform;
+  g.fk_count = fk_count;
+  return g;
+}
+
+ColumnGen ColumnGen::FkZipf(uint64_t fk_count, double z) {
+  ColumnGen g;
+  g.kind = Kind::kFkZipf;
+  g.fk_count = fk_count;
+  g.z = z;
+  return g;
+}
+
+ColumnGen ColumnGen::Correlated(size_t src_column, int64_t divisor,
+                                int64_t noise) {
+  ColumnGen g;
+  g.kind = Kind::kCorrelated;
+  g.src_column = src_column;
+  g.divisor = divisor;
+  g.noise = noise;
+  return g;
+}
+
+ColumnGen ColumnGen::Constant(int64_t v) {
+  ColumnGen g;
+  g.kind = Kind::kConstant;
+  g.constant = v;
+  return g;
+}
+
+namespace {
+
+/// Per-column sampling state (Zipf CDFs, value shuffles) built once.
+struct GenState {
+  std::unique_ptr<ZipfGenerator> zipf;
+  std::vector<int64_t> value_map;  // rank -> scattered value
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Table>> GenerateTable(const TableGenSpec& spec,
+                                             Rng* rng) {
+  if (spec.columns.size() != spec.generators.size()) {
+    return Status::InvalidArgument("spec arity mismatch for " + spec.name);
+  }
+  const size_t ncols = spec.columns.size();
+  std::vector<GenState> states(ncols);
+  for (size_t c = 0; c < ncols; ++c) {
+    const ColumnGen& g = spec.generators[c];
+    switch (g.kind) {
+      case ColumnGen::Kind::kZipf: {
+        if (g.domain == 0) {
+          return Status::InvalidArgument("zipf domain must be positive");
+        }
+        states[c].zipf = std::make_unique<ZipfGenerator>(g.domain, g.z);
+        if (g.shuffle_values) {
+          states[c].value_map.resize(g.domain);
+          for (uint64_t i = 0; i < g.domain; ++i) {
+            states[c].value_map[i] = static_cast<int64_t>(i + 1);
+          }
+          rng->Shuffle(&states[c].value_map);
+        }
+        break;
+      }
+      case ColumnGen::Kind::kFkZipf: {
+        if (g.fk_count == 0) {
+          return Status::InvalidArgument("fk_count must be positive");
+        }
+        states[c].zipf = std::make_unique<ZipfGenerator>(g.fk_count, g.z);
+        break;
+      }
+      case ColumnGen::Kind::kFkUniform:
+        if (g.fk_count == 0) {
+          return Status::InvalidArgument("fk_count must be positive");
+        }
+        break;
+      case ColumnGen::Kind::kCorrelated:
+        if (g.src_column >= c) {
+          return Status::InvalidArgument(
+              "correlated column must reference an earlier column");
+        }
+        if (g.divisor == 0) {
+          return Status::InvalidArgument("correlated divisor must be nonzero");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  auto table = std::make_unique<Table>(spec.name, Schema(spec.columns));
+  table->Reserve(spec.num_rows);
+  Row row(ncols);
+  for (uint64_t r = 0; r < spec.num_rows; ++r) {
+    for (size_t c = 0; c < ncols; ++c) {
+      const ColumnGen& g = spec.generators[c];
+      switch (g.kind) {
+        case ColumnGen::Kind::kSequential:
+          row[c] = static_cast<int64_t>(r);
+          break;
+        case ColumnGen::Kind::kUniform:
+          row[c] = rng->NextInt(g.lo, g.hi);
+          break;
+        case ColumnGen::Kind::kZipf: {
+          const uint64_t rank = states[c].zipf->Next(rng);
+          row[c] = g.shuffle_values
+                       ? states[c].value_map[rank - 1]
+                       : static_cast<int64_t>(rank);
+          break;
+        }
+        case ColumnGen::Kind::kFkUniform:
+          row[c] = static_cast<int64_t>(rng->NextUInt(g.fk_count));
+          break;
+        case ColumnGen::Kind::kFkZipf:
+          row[c] = static_cast<int64_t>(states[c].zipf->Next(rng) - 1);
+          break;
+        case ColumnGen::Kind::kCorrelated:
+          row[c] = row[g.src_column] / g.divisor +
+                   (g.noise > 0 ? rng->NextInt(0, g.noise) : 0);
+          break;
+        case ColumnGen::Kind::kConstant:
+          row[c] = g.constant;
+          break;
+      }
+    }
+    RPE_RETURN_NOT_OK(table->Append(row));
+  }
+  return table;
+}
+
+}  // namespace rpe

@@ -1,0 +1,66 @@
+// Declarative synthetic-data generation. Each column of a generated table is
+// described by a ColumnGen; Zipfian generators supply the skew knob (z) the
+// paper's Table 4 experiment varies, and Correlated generators create the
+// cross-column correlations that make histogram-based optimizer estimates
+// realistically wrong.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace rpe {
+
+/// \brief How to produce values for one generated column.
+struct ColumnGen {
+  enum class Kind {
+    kSequential,   ///< 0,1,2,... (primary keys)
+    kUniform,      ///< uniform integer in [lo, hi]
+    kZipf,         ///< Zipf(z) over [1, domain], optionally value-shuffled
+    kFkUniform,    ///< uniform foreign key in [0, fk_count)
+    kFkZipf,       ///< Zipfian foreign key in [0, fk_count): hot parents
+    kCorrelated,   ///< value = src_column / divisor + noise in [0, noise]
+    kConstant,     ///< fixed value
+  };
+
+  Kind kind = Kind::kUniform;
+  int64_t lo = 0;
+  int64_t hi = 100;
+  uint64_t domain = 100;      ///< Zipf domain size
+  double z = 0.0;             ///< Zipf parameter
+  bool shuffle_values = true; ///< remap Zipf ranks to scattered values
+  uint64_t fk_count = 0;      ///< referenced table cardinality
+  size_t src_column = 0;      ///< for kCorrelated
+  int64_t divisor = 1;        ///< for kCorrelated
+  int64_t noise = 0;          ///< for kCorrelated
+  int64_t constant = 0;
+
+  static ColumnGen Sequential();
+  static ColumnGen Uniform(int64_t lo, int64_t hi);
+  static ColumnGen Zipf(uint64_t domain, double z, bool shuffle = true);
+  static ColumnGen FkUniform(uint64_t fk_count);
+  static ColumnGen FkZipf(uint64_t fk_count, double z);
+  static ColumnGen Correlated(size_t src_column, int64_t divisor,
+                              int64_t noise);
+  static ColumnGen Constant(int64_t v);
+};
+
+/// \brief Table generation spec: schema columns paired with generators.
+struct TableGenSpec {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  std::vector<ColumnGen> generators;
+  uint64_t num_rows = 0;
+};
+
+/// Generate a table from a spec. Correlated columns must reference
+/// lower-indexed columns. Deterministic given the Rng seed.
+Result<std::unique_ptr<Table>> GenerateTable(const TableGenSpec& spec,
+                                             Rng* rng);
+
+}  // namespace rpe

@@ -1,0 +1,22 @@
+#include "storage/schema.h"
+
+namespace rpe {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {
+  for (const auto& c : columns_) row_width_ += c.width_bytes;
+}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("column not found: " + name);
+}
+
+Schema Schema::Concat(const Schema& other) const {
+  std::vector<ColumnDef> cols = columns_;
+  cols.insert(cols.end(), other.columns_.begin(), other.columns_.end());
+  return Schema(std::move(cols));
+}
+
+}  // namespace rpe

@@ -1,0 +1,52 @@
+// Schema metadata for the row-store substrate. All values are int64 for
+// simplicity; columns carry a declared byte width so that the executor can
+// maintain the bytes-read/written counters (R_i / W_i of paper §3.1) that the
+// LUO estimator consumes — wide "string-like" columns simply declare larger
+// widths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rpe {
+
+/// A row is a flat vector of int64 values, one per schema column.
+using Row = std::vector<int64_t>;
+using RowId = uint64_t;
+
+/// \brief One column: a name plus the byte width it contributes to a row.
+struct ColumnDef {
+  std::string name;
+  /// Logical width in bytes (8 for plain integers, larger to model
+  /// varchar/decimal payloads). Drives the bytes-processed counters.
+  uint32_t width_bytes = 8;
+};
+
+/// \brief Ordered list of columns making up a table or intermediate result.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of the column with the given name, or error if absent.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Total declared byte width of one row.
+  uint64_t row_width_bytes() const { return row_width_; }
+
+  /// Schema of the concatenation of this and other (join output).
+  Schema Concat(const Schema& other) const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  uint64_t row_width_ = 0;
+};
+
+}  // namespace rpe

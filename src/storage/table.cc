@@ -1,0 +1,35 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+namespace rpe {
+
+Status Table::Append(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity mismatch for table " + name_);
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+int64_t Table::ColumnMin(size_t col) const {
+  int64_t m = 0;
+  bool first = true;
+  for (const auto& r : rows_) {
+    if (first || r[col] < m) m = r[col];
+    first = false;
+  }
+  return m;
+}
+
+int64_t Table::ColumnMax(size_t col) const {
+  int64_t m = 0;
+  bool first = true;
+  for (const auto& r : rows_) {
+    if (first || r[col] > m) m = r[col];
+    first = false;
+  }
+  return m;
+}
+
+}  // namespace rpe

@@ -1,0 +1,39 @@
+// In-memory row-store table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+
+namespace rpe {
+
+/// \brief A named, schema-typed collection of rows. Rows are immutable once
+/// appended; the executor reads them through scan/seek operators only.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  uint64_t num_rows() const { return rows_.size(); }
+  const Row& row(RowId id) const { return rows_[id]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  Status Append(Row row);
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  /// Min/max of a column (0 for empty tables). Used by histogram builds.
+  int64_t ColumnMin(size_t col) const;
+  int64_t ColumnMax(size_t col) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace rpe

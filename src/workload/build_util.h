@@ -1,0 +1,45 @@
+// Small helpers shared by the workload family builders.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+#include "storage/datagen.h"
+
+namespace rpe {
+
+/// \brief Fluent builder: declare columns + generators, then materialize
+/// the table into a catalog.
+class TableBuilder {
+ public:
+  TableBuilder(std::string name, uint64_t num_rows) {
+    spec_.name = std::move(name);
+    spec_.num_rows = num_rows;
+  }
+
+  TableBuilder& Col(const std::string& column, uint32_t width_bytes,
+                    ColumnGen gen) {
+    spec_.columns.push_back(ColumnDef{column, width_bytes});
+    spec_.generators.push_back(gen);
+    return *this;
+  }
+
+  Status AddTo(Catalog* catalog, Rng* rng) const {
+    RPE_ASSIGN_OR_RETURN(auto table, GenerateTable(spec_, rng));
+    return catalog->AddTable(std::move(table));
+  }
+
+ private:
+  TableGenSpec spec_;
+};
+
+/// Scale helper: rows = base * scale, with a floor.
+inline uint64_t ScaledRows(double base, double scale, uint64_t floor_rows = 5) {
+  const double rows = base * scale;
+  return rows < static_cast<double>(floor_rows)
+             ? floor_rows
+             : static_cast<uint64_t>(rows);
+}
+
+}  // namespace rpe

@@ -1,0 +1,184 @@
+#include "workload/schema_graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rpe {
+
+namespace {
+
+/// Position of `schema_table` in the query's table list, or npos.
+size_t FindUsed(const std::vector<size_t>& used, size_t schema_table) {
+  for (size_t i = 0; i < used.size(); ++i) {
+    if (used[i] == schema_table) return i;
+  }
+  return static_cast<size_t>(-1);
+}
+
+JoinHint RandomHint(const QueryGenParams& params, Rng* rng) {
+  const double u = rng->NextDouble();
+  if (u < params.hash_hint_prob) return JoinHint::kHash;
+  if (u < params.hash_hint_prob + params.merge_hint_prob) {
+    return JoinHint::kMerge;
+  }
+  if (u < params.hash_hint_prob + params.merge_hint_prob +
+              params.nlj_hint_prob) {
+    return JoinHint::kNestedLoop;
+  }
+  return JoinHint::kAuto;
+}
+
+}  // namespace
+
+Result<QuerySpec> GenerateQuery(const SchemaGraph& graph,
+                                const QueryGenParams& params,
+                                const std::string& name, Rng* rng) {
+  if (graph.tables.empty()) {
+    return Status::InvalidArgument("empty schema graph");
+  }
+  QuerySpec spec;
+  spec.name = name;
+
+  const size_t target_joins =
+      params.min_joins +
+      static_cast<size_t>(
+          rng->NextUInt(params.max_joins - params.min_joins + 1));
+
+  // Random-walk a connected join chain.
+  std::vector<size_t> used;  // schema table index per query position
+  const size_t start = static_cast<size_t>(rng->NextUInt(graph.tables.size()));
+  used.push_back(start);
+  spec.tables.push_back(graph.tables[start]);
+
+  double est_size = graph.table_rows.empty()
+                        ? 1000.0
+                        : graph.table_rows[start];
+  size_t attempts = 0;
+  while (spec.joins.size() < target_joins && attempts < 64) {
+    ++attempts;
+    // Candidate edges: connect a used table with an unused one, skipping
+    // edges whose fan-out would blow the output-size ceiling.
+    std::vector<std::pair<const JoinPath*, bool>> candidates;  // (edge, a_used)
+    for (const auto& e : graph.edges) {
+      const bool a_used = FindUsed(used, e.table_a) != static_cast<size_t>(-1);
+      const bool b_used = FindUsed(used, e.table_b) != static_cast<size_t>(-1);
+      if (a_used && !b_used &&
+          est_size * e.fanout_ab <= params.max_est_output) {
+        candidates.push_back({&e, true});
+      }
+      if (b_used && !a_used &&
+          est_size * e.fanout_ba <= params.max_est_output) {
+        candidates.push_back({&e, false});
+      }
+    }
+    if (candidates.empty()) break;
+    const auto& [edge, a_used] =
+        candidates[static_cast<size_t>(rng->NextUInt(candidates.size()))];
+    est_size *= a_used ? edge->fanout_ab : edge->fanout_ba;
+    JoinEdge j;
+    if (a_used) {
+      j.left_idx = FindUsed(used, edge->table_a);
+      j.left_col = edge->col_a;
+      j.right_col = edge->col_b;
+      used.push_back(edge->table_b);
+      spec.tables.push_back(graph.tables[edge->table_b]);
+    } else {
+      j.left_idx = FindUsed(used, edge->table_b);
+      j.left_col = edge->col_b;
+      j.right_col = edge->col_a;
+      used.push_back(edge->table_a);
+      spec.tables.push_back(graph.tables[edge->table_a]);
+    }
+    j.hint = RandomHint(params, rng);
+    spec.joins.push_back(std::move(j));
+  }
+
+  // Filters: one per referenced table with probability filter_prob.
+  for (size_t pos = 0; pos < used.size(); ++pos) {
+    if (!rng->NextBool(params.filter_prob)) continue;
+    std::vector<const FilterableCol*> cols;
+    for (const auto& fc : graph.filters) {
+      if (fc.table == used[pos]) cols.push_back(&fc);
+    }
+    if (cols.empty()) continue;
+    const FilterableCol& fc =
+        *cols[static_cast<size_t>(rng->NextUInt(cols.size()))];
+    FilterSpec f;
+    f.table_idx = pos;
+    f.column = fc.column;
+    if (rng->NextBool(fc.eq_prob)) {
+      f.kind = Predicate::Kind::kEq;
+      f.v1 = rng->NextInt(fc.lo, fc.hi);
+    } else {
+      // Range covering 5%..60% of the domain.
+      const double width_frac = 0.05 + rng->NextDouble() * 0.55;
+      const int64_t domain = fc.hi - fc.lo + 1;
+      const int64_t width = std::max<int64_t>(
+          1, static_cast<int64_t>(width_frac * static_cast<double>(domain)));
+      const int64_t lo = rng->NextInt(fc.lo, std::max(fc.lo, fc.hi - width));
+      f.kind = Predicate::Kind::kBetween;
+      f.v1 = lo;
+      f.v2 = std::min(fc.hi, lo + width);
+    }
+    spec.filters.push_back(std::move(f));
+  }
+
+  // Aggregation.
+  if (rng->NextBool(params.agg_prob)) {
+    std::vector<std::pair<size_t, std::string>> cands;  // (query pos, col)
+    for (const auto& [t, col] : graph.group_cols) {
+      const size_t pos = FindUsed(used, t);
+      if (pos != static_cast<size_t>(-1)) cands.push_back({pos, col});
+    }
+    if (!cands.empty()) {
+      AggSpec agg;
+      agg.group_cols.push_back(
+          cands[static_cast<size_t>(rng->NextUInt(cands.size()))]);
+      // Occasionally a second group column.
+      if (cands.size() > 1 && rng->NextBool(0.25)) {
+        auto second = cands[static_cast<size_t>(rng->NextUInt(cands.size()))];
+        if (second != agg.group_cols[0]) agg.group_cols.push_back(second);
+      }
+      agg.prefer_sort_stream = agg.group_cols.size() == 1 &&
+                               rng->NextBool(params.sort_stream_prob);
+      spec.agg = std::move(agg);
+    }
+  }
+
+  // ORDER BY (only without aggregation, over a group-able column).
+  if (!spec.agg.has_value() && rng->NextBool(params.order_by_prob)) {
+    std::vector<std::pair<size_t, std::string>> cands;
+    for (const auto& [t, col] : graph.group_cols) {
+      const size_t pos = FindUsed(used, t);
+      if (pos != static_cast<size_t>(-1)) cands.push_back({pos, col});
+    }
+    if (!cands.empty()) {
+      spec.order_by =
+          cands[static_cast<size_t>(rng->NextUInt(cands.size()))];
+    }
+  }
+
+  // TOP.
+  if (rng->NextBool(params.top_prob)) {
+    spec.top_limit = static_cast<uint64_t>(rng->NextInt(10, 1000));
+  }
+  return spec;
+}
+
+Result<std::vector<QuerySpec>> GenerateQueries(const SchemaGraph& graph,
+                                               const QueryGenParams& params,
+                                               const std::string& name_prefix,
+                                               size_t count, Rng* rng) {
+  std::vector<QuerySpec> specs;
+  specs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    RPE_ASSIGN_OR_RETURN(
+        QuerySpec spec,
+        GenerateQuery(graph, params, name_prefix + std::to_string(i), rng));
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace rpe

@@ -1,0 +1,79 @@
+// Generic workload machinery: a schema join-graph plus a randomized query
+// generator producing QuerySpec instances (join chains via random walks on
+// the graph, randomized filters/aggregates/TOP, and physical join hints).
+// All four workload families (TPC-H-like, TPC-DS-like, Real-1, Real-2) are
+// instances of this machinery with different schemas and parameters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "optimizer/query_spec.h"
+
+namespace rpe {
+
+/// \brief A filterable column with its value domain.
+struct FilterableCol {
+  size_t table = 0;        ///< index into SchemaGraph::tables
+  std::string column;
+  int64_t lo = 0;
+  int64_t hi = 0;
+  /// Probability that a filter on this column is an equality (hot/cold
+  /// value) rather than a range.
+  double eq_prob = 0.3;
+};
+
+/// \brief One joinable edge between two schema tables (either direction).
+struct JoinPath {
+  size_t table_a = 0;
+  std::string col_a;
+  size_t table_b = 0;
+  std::string col_b;
+  /// Expected matches in b per row of a (and vice versa); used to keep the
+  /// generator's join chains from exploding (e.g. fact-dim-fact patterns).
+  double fanout_ab = 1.0;
+  double fanout_ba = 1.0;
+};
+
+/// \brief Join graph of one database schema.
+struct SchemaGraph {
+  std::vector<std::string> tables;  ///< table names (indices used by edges)
+  std::vector<double> table_rows;   ///< row count per table (for sizing)
+  std::vector<JoinPath> edges;
+  std::vector<FilterableCol> filters;
+  std::vector<std::pair<size_t, std::string>> group_cols;
+};
+
+/// \brief Knobs of the random query generator.
+struct QueryGenParams {
+  size_t min_joins = 1;
+  size_t max_joins = 3;
+  double filter_prob = 0.6;    ///< per referenced table
+  double agg_prob = 0.4;
+  double sort_stream_prob = 0.3;  ///< among aggregating queries
+  double top_prob = 0.2;
+  double order_by_prob = 0.15;
+  // Join-hint mix (remainder = kAuto).
+  double hash_hint_prob = 0.08;
+  double merge_hint_prob = 0.07;
+  double nlj_hint_prob = 0.05;
+  /// Expected-output ceiling for the join chain (fan-out product times the
+  /// start table size); edges that would exceed it are not taken.
+  double max_est_output = 400000.0;
+};
+
+/// Generate one random query over the graph. Returns an error only if the
+/// graph is unusable (no tables).
+Result<QuerySpec> GenerateQuery(const SchemaGraph& graph,
+                                const QueryGenParams& params,
+                                const std::string& name, Rng* rng);
+
+/// Generate `count` queries.
+Result<std::vector<QuerySpec>> GenerateQueries(const SchemaGraph& graph,
+                                               const QueryGenParams& params,
+                                               const std::string& name_prefix,
+                                               size_t count, Rng* rng);
+
+}  // namespace rpe

@@ -1,0 +1,155 @@
+// TPC-DS-like workload: a two-fact star schema (store_sales / web_sales with
+// shared dimensions), aggregation-heavy query mix — the paper's workload (1).
+#include <cmath>
+
+#include "workload/build_util.h"
+#include "workload/workload.h"
+
+namespace rpe {
+
+namespace {
+
+constexpr double kDateRows = 730;
+constexpr double kStoreRows = 40;
+constexpr double kPromoRows = 120;
+
+double ItemRows(double sf) { return 60 * sf; }
+double DsCustomerRows(double sf) { return 100 * sf; }
+double StoreSalesRows(double sf) { return 5000 * sf; }
+double WebSalesRows(double sf) { return 2500 * sf; }
+
+Status BuildTpcdsTables(Catalog* catalog, double sf, double z, Rng* rng) {
+  const uint64_t items = ScaledRows(ItemRows(sf), 1.0, 50);
+  const uint64_t customers = ScaledRows(DsCustomerRows(sf), 1.0, 50);
+  const uint64_t store_sales = ScaledRows(StoreSalesRows(sf), 1.0, 500);
+  const uint64_t web_sales = ScaledRows(WebSalesRows(sf), 1.0, 250);
+
+  RPE_RETURN_NOT_OK(TableBuilder("date_dim", 730)
+                        .Col("d_datekey", 8, ColumnGen::Sequential())
+                        .Col("d_month", 8, ColumnGen::Correlated(0, 30, 0))
+                        .Col("d_year", 8, ColumnGen::Correlated(0, 365, 0))
+                        .Col("d_pad", 24, ColumnGen::Constant(0))
+                        .AddTo(catalog, rng));
+  RPE_RETURN_NOT_OK(TableBuilder("item", items)
+                        .Col("i_itemkey", 8, ColumnGen::Sequential())
+                        .Col("i_category", 8, ColumnGen::Zipf(10, 0.6, false))
+                        .Col("i_brand", 8, ColumnGen::Zipf(100, z))
+                        .Col("i_price", 8, ColumnGen::Uniform(1, 1000))
+                        .Col("i_pad", 60, ColumnGen::Constant(0))
+                        .AddTo(catalog, rng));
+  RPE_RETURN_NOT_OK(TableBuilder("ds_customer", customers)
+                        .Col("dc_custkey", 8, ColumnGen::Sequential())
+                        .Col("dc_state", 8, ColumnGen::Zipf(50, 0.8, false))
+                        .Col("dc_income", 8, ColumnGen::Uniform(1, 20))
+                        .Col("dc_pad", 70, ColumnGen::Constant(0))
+                        .AddTo(catalog, rng));
+  RPE_RETURN_NOT_OK(TableBuilder("store", ScaledRows(kStoreRows, 1.0))
+                        .Col("st_storekey", 8, ColumnGen::Sequential())
+                        .Col("st_state", 8, ColumnGen::Uniform(1, 50))
+                        .Col("st_pad", 40, ColumnGen::Constant(0))
+                        .AddTo(catalog, rng));
+  RPE_RETURN_NOT_OK(TableBuilder("promotion", ScaledRows(kPromoRows, 1.0))
+                        .Col("pr_promokey", 8, ColumnGen::Sequential())
+                        .Col("pr_channel", 8, ColumnGen::Uniform(1, 6))
+                        .Col("pr_pad", 30, ColumnGen::Constant(0))
+                        .AddTo(catalog, rng));
+  RPE_RETURN_NOT_OK(
+      TableBuilder("store_sales", store_sales)
+          .Col("ss_itemkey", 8, ColumnGen::FkZipf(items, z))
+          .Col("ss_custkey", 8, ColumnGen::FkZipf(customers, z * 0.8))
+          .Col("ss_datekey", 8, ColumnGen::FkUniform(730))
+          .Col("ss_storekey", 8, ColumnGen::FkZipf(ScaledRows(kStoreRows, 1.0),
+                                                   0.8))
+          .Col("ss_promokey", 8,
+               ColumnGen::FkUniform(ScaledRows(kPromoRows, 1.0)))
+          .Col("ss_quantity", 8, ColumnGen::Zipf(100, 1.0, false))
+          .Col("ss_price", 8, ColumnGen::Uniform(1, 1000))
+          .Col("ss_pad", 16, ColumnGen::Constant(0))
+          .AddTo(catalog, rng));
+  RPE_RETURN_NOT_OK(
+      TableBuilder("web_sales", web_sales)
+          .Col("ws_itemkey", 8, ColumnGen::FkZipf(items, z))
+          .Col("ws_custkey", 8, ColumnGen::FkZipf(customers, z))
+          .Col("ws_datekey", 8, ColumnGen::FkUniform(730))
+          .Col("ws_quantity", 8, ColumnGen::Zipf(100, 1.0, false))
+          .Col("ws_price", 8, ColumnGen::Uniform(1, 1000))
+          .Col("ws_pad", 16, ColumnGen::Constant(0))
+          .AddTo(catalog, rng));
+  return Status::OK();
+}
+
+SchemaGraph TpcdsGraph(double sf) {
+  SchemaGraph g;
+  g.tables = {"date_dim", "item",       "ds_customer", "store",
+              "promotion", "store_sales", "web_sales"};
+  g.table_rows = {kDateRows,  ItemRows(sf),       DsCustomerRows(sf),
+                  kStoreRows, kPromoRows,         StoreSalesRows(sf),
+                  WebSalesRows(sf)};
+  auto edge = [&](size_t a, const char* ca, size_t b, const char* cb) {
+    JoinPath e;
+    e.table_a = a;
+    e.col_a = ca;
+    e.table_b = b;
+    e.col_b = cb;
+    e.fanout_ab = std::max(1.0, g.table_rows[b] / g.table_rows[a]);
+    e.fanout_ba = std::max(1.0, g.table_rows[a] / g.table_rows[b]);
+    g.edges.push_back(e);
+  };
+  edge(0, "d_datekey", 5, "ss_datekey");
+  edge(1, "i_itemkey", 5, "ss_itemkey");
+  edge(2, "dc_custkey", 5, "ss_custkey");
+  edge(3, "st_storekey", 5, "ss_storekey");
+  edge(4, "pr_promokey", 5, "ss_promokey");
+  edge(0, "d_datekey", 6, "ws_datekey");
+  edge(1, "i_itemkey", 6, "ws_itemkey");
+  edge(2, "dc_custkey", 6, "ws_custkey");
+
+  g.filters = {
+      {0, "d_month", 0, 24, 0.5},
+      {0, "d_year", 0, 2, 0.6},
+      {1, "i_category", 1, 10, 0.85},
+      {1, "i_brand", 1, 100, 0.7},
+      {1, "i_price", 1, 1000, 0.0},
+      {2, "dc_state", 1, 50, 0.8},
+      {2, "dc_income", 1, 20, 0.4},
+      {3, "st_state", 1, 50, 0.7},
+      {4, "pr_channel", 1, 6, 0.8},
+      {5, "ss_quantity", 1, 100, 0.2},
+      {5, "ss_price", 1, 1000, 0.0},
+      {6, "ws_quantity", 1, 100, 0.2},
+  };
+  g.group_cols = {
+      {0, "d_month"},     {0, "d_year"},    {1, "i_category"},
+      {2, "dc_state"},    {3, "st_state"},  {4, "pr_channel"},
+      {5, "ss_quantity"}, {6, "ws_quantity"},
+  };
+  return g;
+}
+
+}  // namespace
+
+Result<Workload> BuildTpcdsWorkload(const WorkloadConfig& config) {
+  Workload w;
+  w.config = config;
+  w.catalog = std::make_unique<Catalog>();
+  Rng data_rng(config.seed * 7919ULL + 101);
+  RPE_RETURN_NOT_OK(
+      BuildTpcdsTables(w.catalog.get(), config.scale, config.zipf, &data_rng));
+  w.design = DesignFor(WorkloadKind::kTpcds, config.tuning);
+  RPE_RETURN_NOT_OK(ApplyPhysicalDesign(w.catalog.get(), w.design));
+  w.graph = TpcdsGraph(config.scale);
+
+  QueryGenParams params;
+  params.min_joins = 1;
+  params.max_joins = 4;
+  params.filter_prob = 0.7;
+  params.agg_prob = 0.6;  // DS is aggregation-heavy
+  params.top_prob = 0.25;
+  Rng query_rng(config.seed * 60013ULL + 7);
+  RPE_ASSIGN_OR_RETURN(w.queries,
+                       GenerateQueries(w.graph, params, config.name + "_q",
+                                       config.num_queries, &query_rng));
+  return w;
+}
+
+}  // namespace rpe

@@ -1,0 +1,176 @@
+// TPC-H-like workload: the classic order/lineitem schema with the TPC row
+// ratios scaled down ~1000x, Zipfian skew applied to fact-table foreign keys
+// (the paper's skewed TPC-H generator [1]), and date columns correlated with
+// keys so that independence-assumption cardinality estimates err in
+// realistic ways.
+#include <cmath>
+
+#include "workload/build_util.h"
+#include "workload/workload.h"
+
+namespace rpe {
+
+namespace {
+
+constexpr double kRegionRows = 5;
+constexpr double kNationRows = 25;
+
+double SupplierRows(double sf) { return 50 + 10 * sf; }
+double CustomerRows(double sf) { return 150 * sf; }
+double PartRows(double sf) { return 200 * sf; }
+double PartsuppRows(double sf) { return 800 * sf; }
+double OrdersRows(double sf) { return 1500 * sf; }
+double LineitemRows(double sf) { return 6000 * sf; }
+
+constexpr int64_t kMaxDate = 2555;  // ~7 years of days
+
+Status BuildTpchTables(Catalog* catalog, double sf, double z, Rng* rng) {
+  const uint64_t suppliers = ScaledRows(SupplierRows(sf), 1.0);
+  const uint64_t customers = ScaledRows(CustomerRows(sf), 1.0, 50);
+  const uint64_t parts = ScaledRows(PartRows(sf), 1.0, 50);
+  const uint64_t orders = ScaledRows(OrdersRows(sf), 1.0, 200);
+  const uint64_t lineitems = ScaledRows(LineitemRows(sf), 1.0, 800);
+  // Date = orderkey / keys_per_day + noise: dates correlate with keys.
+  const int64_t keys_per_day =
+      std::max<int64_t>(1, static_cast<int64_t>(orders) / kMaxDate);
+
+  RPE_RETURN_NOT_OK(TableBuilder("region", 5)
+                        .Col("r_regionkey", 8, ColumnGen::Sequential())
+                        .Col("r_pad", 32, ColumnGen::Constant(0))
+                        .AddTo(catalog, rng));
+  RPE_RETURN_NOT_OK(TableBuilder("nation", 25)
+                        .Col("n_nationkey", 8, ColumnGen::Sequential())
+                        .Col("n_regionkey", 8, ColumnGen::FkUniform(5))
+                        .Col("n_pad", 24, ColumnGen::Constant(0))
+                        .AddTo(catalog, rng));
+  RPE_RETURN_NOT_OK(TableBuilder("supplier", suppliers)
+                        .Col("s_suppkey", 8, ColumnGen::Sequential())
+                        .Col("s_nationkey", 8, ColumnGen::FkUniform(25))
+                        .Col("s_acctbal", 8, ColumnGen::Uniform(0, 9999))
+                        .Col("s_pad", 40, ColumnGen::Constant(0))
+                        .AddTo(catalog, rng));
+  RPE_RETURN_NOT_OK(TableBuilder("customer", customers)
+                        .Col("c_custkey", 8, ColumnGen::Sequential())
+                        .Col("c_nationkey", 8, ColumnGen::FkUniform(25))
+                        .Col("c_mktsegment", 8, ColumnGen::Zipf(5, 0.5, false))
+                        .Col("c_acctbal", 8, ColumnGen::Uniform(0, 9999))
+                        .Col("c_pad", 80, ColumnGen::Constant(0))
+                        .AddTo(catalog, rng));
+  RPE_RETURN_NOT_OK(TableBuilder("part", parts)
+                        .Col("p_partkey", 8, ColumnGen::Sequential())
+                        .Col("p_brand", 8, ColumnGen::Zipf(25, z, false))
+                        .Col("p_type", 8, ColumnGen::Zipf(150, z))
+                        .Col("p_size", 8, ColumnGen::Uniform(1, 50))
+                        .Col("p_pad", 60, ColumnGen::Constant(0))
+                        .AddTo(catalog, rng));
+  RPE_RETURN_NOT_OK(TableBuilder("partsupp", ScaledRows(PartsuppRows(sf), 1.0))
+                        .Col("ps_partkey", 8, ColumnGen::FkZipf(parts, z * 0.5))
+                        .Col("ps_suppkey", 8, ColumnGen::FkUniform(suppliers))
+                        .Col("ps_availqty", 8, ColumnGen::Uniform(1, 9999))
+                        .Col("ps_supplycost", 8, ColumnGen::Uniform(1, 1000))
+                        .AddTo(catalog, rng));
+  RPE_RETURN_NOT_OK(
+      TableBuilder("orders", orders)
+          .Col("o_orderkey", 8, ColumnGen::Sequential())
+          .Col("o_custkey", 8, ColumnGen::FkZipf(customers, z))
+          // Correlated with the (sequential) order key.
+          .Col("o_orderdate", 8, ColumnGen::Correlated(0, keys_per_day, 30))
+          .Col("o_orderpriority", 8, ColumnGen::Zipf(5, 0.7, false))
+          .Col("o_totalprice", 8, ColumnGen::Uniform(1000, 500000))
+          .Col("o_pad", 40, ColumnGen::Constant(0))
+          .AddTo(catalog, rng));
+  const int64_t li_keys_per_day =
+      std::max<int64_t>(1, static_cast<int64_t>(orders) / kMaxDate);
+  RPE_RETURN_NOT_OK(
+      TableBuilder("lineitem", lineitems)
+          .Col("l_orderkey", 8, ColumnGen::FkZipf(orders, z))
+          .Col("l_partkey", 8, ColumnGen::FkZipf(parts, z))
+          .Col("l_suppkey", 8, ColumnGen::FkUniform(suppliers))
+          // Ship date correlates with the order key (and hence with
+          // o_orderdate across tables).
+          .Col("l_shipdate", 8, ColumnGen::Correlated(0, li_keys_per_day, 90))
+          .Col("l_quantity", 8,
+               ColumnGen::Zipf(50, z > 1.2 ? 1.2 : z, false))
+          .Col("l_extendedprice", 8, ColumnGen::Uniform(100, 100000))
+          .Col("l_returnflag", 8, ColumnGen::Zipf(3, 0.8, false))
+          .Col("l_pad", 24, ColumnGen::Constant(0))
+          .AddTo(catalog, rng));
+  return Status::OK();
+}
+
+SchemaGraph TpchGraph(double sf) {
+  SchemaGraph g;
+  g.tables = {"region",   "nation", "supplier", "customer",
+              "part",     "partsupp", "orders", "lineitem"};
+  g.table_rows = {kRegionRows,    kNationRows,      SupplierRows(sf),
+                  CustomerRows(sf), PartRows(sf),   PartsuppRows(sf),
+                  OrdersRows(sf),   LineitemRows(sf)};
+  auto edge = [&](size_t a, const char* ca, size_t b, const char* cb) {
+    JoinPath e;
+    e.table_a = a;
+    e.col_a = ca;
+    e.table_b = b;
+    e.col_b = cb;
+    e.fanout_ab = std::max(1.0, g.table_rows[b] / g.table_rows[a]);
+    e.fanout_ba = std::max(1.0, g.table_rows[a] / g.table_rows[b]);
+    g.edges.push_back(e);
+  };
+  edge(0, "r_regionkey", 1, "n_regionkey");
+  edge(1, "n_nationkey", 2, "s_nationkey");
+  edge(1, "n_nationkey", 3, "c_nationkey");
+  edge(3, "c_custkey", 6, "o_custkey");
+  edge(6, "o_orderkey", 7, "l_orderkey");
+  edge(4, "p_partkey", 7, "l_partkey");
+  edge(2, "s_suppkey", 7, "l_suppkey");
+  edge(4, "p_partkey", 5, "ps_partkey");
+  edge(2, "s_suppkey", 5, "ps_suppkey");
+
+  g.filters = {
+      {3, "c_mktsegment", 1, 5, 0.9},
+      {3, "c_acctbal", 0, 9999, 0.0},
+      {2, "s_acctbal", 0, 9999, 0.0},
+      {4, "p_brand", 1, 25, 0.8},
+      {4, "p_type", 1, 150, 0.6},
+      {4, "p_size", 1, 50, 0.3},
+      {5, "ps_availqty", 1, 9999, 0.0},
+      {6, "o_orderdate", 0, kMaxDate + 30, 0.05},
+      {6, "o_orderpriority", 1, 5, 0.9},
+      {7, "l_shipdate", 0, kMaxDate + 90, 0.05},
+      {7, "l_quantity", 1, 50, 0.3},
+      {7, "l_returnflag", 1, 3, 0.9},
+  };
+  g.group_cols = {
+      {1, "n_regionkey"},   {2, "s_nationkey"},  {3, "c_nationkey"},
+      {4, "p_brand"},       {4, "p_size"},       {6, "o_orderpriority"},
+      {7, "l_returnflag"},  {7, "l_quantity"},
+  };
+  return g;
+}
+
+}  // namespace
+
+Result<Workload> BuildTpchWorkload(const WorkloadConfig& config) {
+  Workload w;
+  w.config = config;
+  w.catalog = std::make_unique<Catalog>();
+  Rng data_rng(config.seed * 2654435761ULL + 17);
+  RPE_RETURN_NOT_OK(
+      BuildTpchTables(w.catalog.get(), config.scale, config.zipf, &data_rng));
+  w.design = DesignFor(WorkloadKind::kTpch, config.tuning);
+  RPE_RETURN_NOT_OK(ApplyPhysicalDesign(w.catalog.get(), w.design));
+  w.graph = TpchGraph(config.scale);
+
+  QueryGenParams params;
+  params.min_joins = 0;
+  params.max_joins = 4;
+  params.filter_prob = 0.65;
+  params.agg_prob = 0.45;
+  params.top_prob = 0.2;
+  Rng query_rng(config.seed * 99991ULL + 3);
+  RPE_ASSIGN_OR_RETURN(w.queries,
+                       GenerateQueries(w.graph, params, config.name + "_q",
+                                       config.num_queries, &query_rng));
+  return w;
+}
+
+}  // namespace rpe

@@ -1,0 +1,74 @@
+// Workload registry: the six databases + query workloads of the paper's
+// evaluation (§6, "Databases and Workloads"), at laptop scale:
+//
+//  (1) TPC-DS-like, ~200 random queries
+//  (2)-(4) TPC-H-like with Zipf z=1 data under three physical designs
+//  (5) "Real-1": sales/reporting star-snowflake, 5-8 way joins
+//  (6) "Real-2": larger snowflake, ~9-12 way joins
+//
+// Row counts are the TPC ratios scaled down ~1000x so that full workloads
+// execute in seconds; skew (z), scale factor and tuning level are the knobs
+// the sensitivity experiments (Tables 2-5) vary.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "optimizer/query_spec.h"
+#include "optimizer/tuning.h"
+#include "storage/catalog.h"
+#include "workload/schema_graph.h"
+
+namespace rpe {
+
+enum class WorkloadKind {
+  kTpch,
+  kTpcds,
+  kReal1,
+  kReal2,
+};
+
+const char* WorkloadKindName(WorkloadKind kind);
+
+/// \brief Knobs for building one workload instance.
+struct WorkloadConfig {
+  WorkloadKind kind = WorkloadKind::kTpch;
+  std::string name = "tpch";
+  /// Scale factor: base-table row counts scale linearly (TPC-H SF analog).
+  double scale = 10.0;
+  /// Zipf skew of fact-table foreign keys and categorical columns.
+  double zipf = 1.0;
+  TuningLevel tuning = TuningLevel::kPartiallyTuned;
+  size_t num_queries = 400;
+  uint64_t seed = 1;
+};
+
+/// \brief A built workload: populated catalog + logical queries + metadata.
+struct Workload {
+  WorkloadConfig config;
+  std::unique_ptr<Catalog> catalog;
+  std::vector<QuerySpec> queries;
+  SchemaGraph graph;
+  PhysicalDesign design;
+};
+
+/// Build the database (deterministically from config.seed), apply the
+/// physical design for config.tuning, and generate the query workload.
+Result<Workload> BuildWorkload(const WorkloadConfig& config);
+
+/// The paper's six evaluation workloads (scaled): TPC-DS, TPC-H x three
+/// designs, Real-1, Real-2.
+std::vector<WorkloadConfig> PaperWorkloadConfigs();
+
+// Internal per-family builders (exposed for tests).
+Result<Workload> BuildTpchWorkload(const WorkloadConfig& config);
+Result<Workload> BuildTpcdsWorkload(const WorkloadConfig& config);
+Result<Workload> BuildReal1Workload(const WorkloadConfig& config);
+Result<Workload> BuildReal2Workload(const WorkloadConfig& config);
+
+/// The physical design (index set) for a workload family at a tuning level.
+PhysicalDesign DesignFor(WorkloadKind kind, TuningLevel level);
+
+}  // namespace rpe

@@ -1,0 +1,194 @@
+// Edge-case execution tests: empty inputs, single-row tables, degenerate
+// predicates, plan-validation failures, and unusual operator compositions.
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "storage/datagen.h"
+#include "tests/test_util.h"
+
+namespace rpe {
+namespace {
+
+using ::rpe::testing::MakeSmallCatalog;
+
+class ExecEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = MakeSmallCatalog();
+    // An empty table and a single-row table for boundary cases.
+    auto empty = std::make_unique<Table>("t_empty", Schema({{"e", 8}}));
+    RPE_CHECK_OK(catalog_->AddTable(std::move(empty)));
+    auto one = std::make_unique<Table>("t_one", Schema({{"o", 8}}));
+    RPE_CHECK_OK(one->Append({42}));
+    RPE_CHECK_OK(catalog_->AddTable(std::move(one)));
+    RPE_CHECK_OK(catalog_->CreateIndex("t_empty", "e"));
+    RPE_CHECK_OK(catalog_->CreateIndex("t_one", "o"));
+  }
+
+  QueryRunResult Run(std::unique_ptr<PlanNode> root) {
+    auto plan = FinalizePlan(std::move(root), *catalog_);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    plans_.push_back(std::move(plan).ValueOrDie());
+    auto result = ExecutePlan(*plans_.back(), *catalog_);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).ValueOrDie();
+  }
+
+  std::unique_ptr<Catalog> catalog_;
+  std::vector<std::unique_ptr<PhysicalPlan>> plans_;
+};
+
+TEST_F(ExecEdgeTest, EmptyTableScan) {
+  auto run = Run(MakeTableScan("t_empty"));
+  EXPECT_EQ(run.rows_out, 0u);
+  EXPECT_GE(run.observations.size(), 1u);  // the final sample
+}
+
+TEST_F(ExecEdgeTest, EmptyBuildSideHashJoin) {
+  auto run = Run(MakeHashJoin(MakeTableScan("t_empty"),
+                              MakeTableScan("t_fact"), 0, 0));
+  EXPECT_EQ(run.rows_out, 0u);
+}
+
+TEST_F(ExecEdgeTest, EmptyProbeSideHashJoin) {
+  auto run = Run(MakeHashJoin(MakeTableScan("t_dim"),
+                              MakeTableScan("t_empty"), 0, 0));
+  EXPECT_EQ(run.rows_out, 0u);
+}
+
+TEST_F(ExecEdgeTest, EmptyOuterNestedLoop) {
+  auto run = Run(MakeNestedLoopJoin(MakeTableScan("t_empty"),
+                                    MakeIndexSeek("t_dim", "d_id"), 0));
+  EXPECT_EQ(run.rows_out, 0u);
+}
+
+TEST_F(ExecEdgeTest, SingleRowJoins) {
+  // t_one joined with itself on its only column.
+  auto run = Run(MakeHashJoin(MakeTableScan("t_one"), MakeTableScan("t_one"),
+                              0, 0));
+  EXPECT_EQ(run.rows_out, 1u);
+}
+
+TEST_F(ExecEdgeTest, SortOfEmptyInput) {
+  auto run = Run(MakeSort(MakeTableScan("t_empty"), 0));
+  EXPECT_EQ(run.rows_out, 0u);
+}
+
+TEST_F(ExecEdgeTest, AggregateOfEmptyInput) {
+  auto run = Run(MakeHashAggregate(MakeTableScan("t_empty"), {0}));
+  EXPECT_EQ(run.rows_out, 0u);
+  auto run2 = Run(MakeStreamAggregate(MakeTableScan("t_empty"), {0}));
+  EXPECT_EQ(run2.rows_out, 0u);
+}
+
+TEST_F(ExecEdgeTest, MergeJoinWithEmptySide) {
+  auto run = Run(MakeMergeJoin(MakeSort(MakeTableScan("t_empty"), 0),
+                               MakeSort(MakeTableScan("t_fact"), 1), 0, 1));
+  EXPECT_EQ(run.rows_out, 0u);
+}
+
+TEST_F(ExecEdgeTest, FilterRejectingEverything) {
+  auto run = Run(MakeFilter(MakeTableScan("t_fact"), Predicate::Eq(2, -777)));
+  EXPECT_EQ(run.rows_out, 0u);
+  // The scan still ran in full.
+  EXPECT_EQ(run.true_n[1], 1000.0);
+}
+
+TEST_F(ExecEdgeTest, FilterAcceptingEverything) {
+  auto run = Run(MakeFilter(MakeTableScan("t_fact"), Predicate::True()));
+  EXPECT_EQ(run.rows_out, 1000u);
+}
+
+TEST_F(ExecEdgeTest, TopLargerThanInput) {
+  auto run = Run(MakeTop(MakeTableScan("t_dim"), 100000));
+  EXPECT_EQ(run.rows_out, 100u);
+}
+
+TEST_F(ExecEdgeTest, TopOverJoinStopsEarly) {
+  auto run = Run(MakeTop(
+      MakeHashJoin(MakeTableScan("t_dim"), MakeTableScan("t_fact"), 0, 1),
+      10));
+  EXPECT_EQ(run.rows_out, 10u);
+  // The probe side must not have been fully consumed (early termination):
+  // node ids: 0=Top, 1=HashJoin, 2=build scan, 3=probe scan.
+  EXPECT_LT(run.true_n[3], 1000.0);
+}
+
+TEST_F(ExecEdgeTest, BatchSortBatchLargerThanInput) {
+  auto run = Run(MakeBatchSort(MakeTableScan("t_dim"), 1, 100000));
+  EXPECT_EQ(run.rows_out, 100u);
+}
+
+TEST_F(ExecEdgeTest, BatchSizeOneDegeneratesToPassThrough) {
+  auto run = Run(MakeBatchSort(MakeTableScan("t_dim"), 1, 1));
+  EXPECT_EQ(run.rows_out, 100u);
+}
+
+TEST_F(ExecEdgeTest, NestedBlockingOperators) {
+  // Sort over hash aggregate over sort: three pipeline breakers stacked.
+  auto root = MakeSort(
+      MakeHashAggregate(MakeSort(MakeTableScan("t_fact"), 2), {2}), 1);
+  auto run = Run(std::move(root));
+  EXPECT_EQ(run.rows_out, 50u);  // 50 distinct f_val groups
+  EXPECT_GE(run.pipelines.size(), 3u);
+}
+
+TEST_F(ExecEdgeTest, StreamAggregateMultiColumnGroups) {
+  // Group by (f_fk, f_val) over input sorted by f_fk with full-row
+  // tiebreak: hash and stream must agree since the tiebreak sorts all
+  // columns after the key.
+  auto hash_run = Run(MakeHashAggregate(MakeTableScan("t_fact"), {1, 2}));
+  EXPECT_GT(hash_run.rows_out, 50u);
+}
+
+// --- plan validation --------------------------------------------------------
+
+TEST_F(ExecEdgeTest, FinalizeRejectsMissingTable) {
+  auto plan = FinalizePlan(MakeTableScan("nope"), *catalog_);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecEdgeTest, FinalizeRejectsMissingIndex) {
+  auto plan = FinalizePlan(MakeIndexSeek("t_fact", "f_val"), *catalog_);
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST_F(ExecEdgeTest, FinalizeRejectsBadColumnRefs) {
+  // Join key out of range.
+  auto root = MakeHashJoin(MakeTableScan("t_dim"), MakeTableScan("t_fact"),
+                           99, 1);
+  EXPECT_FALSE(FinalizePlan(std::move(root), *catalog_).ok());
+  // Filter column out of range.
+  auto root2 = MakeFilter(MakeTableScan("t_one"), Predicate::Eq(3, 1));
+  EXPECT_FALSE(FinalizePlan(std::move(root2), *catalog_).ok());
+  // Aggregate without group columns.
+  auto root3 = MakeHashAggregate(MakeTableScan("t_dim"), {});
+  EXPECT_FALSE(FinalizePlan(std::move(root3), *catalog_).ok());
+  // Top with zero limit.
+  auto root4 = MakeTop(MakeTableScan("t_dim"), 0);
+  EXPECT_FALSE(FinalizePlan(std::move(root4), *catalog_).ok());
+  // BatchSort with zero batch size.
+  auto root5 = MakeBatchSort(MakeTableScan("t_dim"), 0, 0);
+  EXPECT_FALSE(FinalizePlan(std::move(root5), *catalog_).ok());
+}
+
+TEST_F(ExecEdgeTest, PlanToStringContainsOperatorsAndTables) {
+  auto plan = FinalizePlan(
+      MakeHashJoin(MakeTableScan("t_dim"), MakeTableScan("t_fact"), 0, 1),
+      *catalog_);
+  ASSERT_TRUE(plan.ok());
+  const std::string s = (*plan)->ToString();
+  EXPECT_NE(s.find("HashJoin"), std::string::npos);
+  EXPECT_NE(s.find("t_dim"), std::string::npos);
+  EXPECT_NE(s.find("t_fact"), std::string::npos);
+}
+
+TEST_F(ExecEdgeTest, SeekOnEmptyIndexYieldsNoRows) {
+  auto run = Run(MakeNestedLoopJoin(MakeTableScan("t_one"),
+                                    MakeIndexSeek("t_empty", "e"), 0));
+  EXPECT_EQ(run.rows_out, 0u);
+}
+
+}  // namespace
+}  // namespace rpe

@@ -1,0 +1,141 @@
+// Tests for the aggregate evaluation metrics and split helpers used by the
+// experiment harness.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/metrics.h"
+
+namespace rpe {
+namespace {
+
+PipelineRecord MakeRecordWithErrors(std::vector<double> l1,
+                                    const std::string& workload = "w",
+                                    const std::string& tag = "") {
+  PipelineRecord r;
+  r.workload = workload;
+  r.tag = tag;
+  r.features.assign(FeatureSchema::Get().num_features(), 0.0);
+  r.l1 = std::move(l1);
+  r.l1.resize(kNumEstimatorKinds, 0.9);
+  r.l2 = r.l1;
+  return r;
+}
+
+TEST(MetricsTest, BestEstimatorIgnoresOracleTail) {
+  // Oracle entries (indices 8, 9) are better but must not be selected.
+  std::vector<double> l1(kNumEstimatorKinds, 0.5);
+  l1[3] = 0.2;   // best selectable
+  l1[8] = 0.01;  // oracle — excluded
+  PipelineRecord r = MakeRecordWithErrors(l1);
+  EXPECT_EQ(r.BestEstimator(), 3u);
+  EXPECT_DOUBLE_EQ(r.BestL1(), 0.2);
+}
+
+TEST(MetricsTest, BestInPoolRestricts) {
+  std::vector<double> l1 = {0.5, 0.1, 0.3};
+  PipelineRecord r = MakeRecordWithErrors(l1);
+  EXPECT_EQ(BestInPool(r, {}), 1u);
+  EXPECT_EQ(BestInPool(r, {0, 2}), 2u);
+  EXPECT_EQ(BestInPool(r, {0}), 0u);
+}
+
+TEST(MetricsTest, EvaluateChoicesAggregates) {
+  std::vector<PipelineRecord> records = {
+      MakeRecordWithErrors({0.1, 0.2, 0.3}),
+      MakeRecordWithErrors({0.4, 0.1, 0.3}),
+  };
+  // Choose estimator 0 for both: optimal for the first, 4x off for the
+  // second.
+  const auto m = EvaluateChoices(records, {0, 0}, {0, 1, 2});
+  EXPECT_EQ(m.count, 2u);
+  EXPECT_NEAR(m.avg_l1, 0.25, 1e-9);
+  EXPECT_NEAR(m.pct_optimal, 0.5, 1e-9);
+  EXPECT_NEAR(m.frac_ratio_gt2, 0.5, 1e-9);  // 0.4/0.1 = 4x > 2x
+  EXPECT_NEAR(m.frac_ratio_gt5, 0.0, 1e-9);
+}
+
+TEST(MetricsTest, OracleChoiceIsAlwaysOptimal) {
+  std::vector<PipelineRecord> records = {
+      MakeRecordWithErrors({0.3, 0.2, 0.1}),
+      MakeRecordWithErrors({0.05, 0.2, 0.1}),
+      MakeRecordWithErrors({0.3, 0.01, 0.1}),
+  };
+  const auto m = EvaluateChoices(records, OracleChoice(records));
+  EXPECT_DOUBLE_EQ(m.pct_optimal, 1.0);
+  EXPECT_DOUBLE_EQ(m.frac_ratio_gt2, 0.0);
+}
+
+TEST(MetricsTest, FractionOptimalTiesCountForBoth) {
+  std::vector<PipelineRecord> records = {
+      MakeRecordWithErrors({0.1, 0.1, 0.5}),
+  };
+  const std::vector<size_t> pool = {0, 1, 2};
+  EXPECT_DOUBLE_EQ(FractionOptimal(records, 0, pool), 1.0);
+  EXPECT_DOUBLE_EQ(FractionOptimal(records, 1, pool), 1.0);
+  EXPECT_DOUBLE_EQ(FractionOptimal(records, 2, pool), 0.0);
+}
+
+TEST(MetricsTest, ErrorRatioCurveSortedAscending) {
+  std::vector<PipelineRecord> records = {
+      MakeRecordWithErrors({0.4, 0.1, 0.3}),
+      MakeRecordWithErrors({0.1, 0.1, 0.3}),
+      MakeRecordWithErrors({0.9, 0.1, 0.3}),
+  };
+  const auto curve = ErrorRatioCurve(records, 0, {0, 1, 2});
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(curve.begin(), curve.end()));
+  EXPECT_NEAR(curve[0], 1.0, 1e-3);
+  EXPECT_NEAR(curve[2], 9.0, 0.1);
+}
+
+TEST(MetricsTest, FiltersSplitRecords) {
+  std::vector<PipelineRecord> records = {
+      MakeRecordWithErrors({0.1}, "a", "t1"),
+      MakeRecordWithErrors({0.1}, "b", "t1"),
+      MakeRecordWithErrors({0.1}, "a", "t2"),
+  };
+  EXPECT_EQ(FilterByWorkload(records, "a").size(), 2u);
+  EXPECT_EQ(FilterByWorkload(records, "a", /*invert=*/true).size(), 1u);
+  EXPECT_EQ(FilterByTag(records, "t1").size(), 2u);
+  EXPECT_EQ(FilterByTag(records, "t2", /*invert=*/true).size(), 2u);
+}
+
+TEST(MetricsTest, SelectivityBucketsBySignatureAndSize) {
+  // Six records sharing a signature (all-zero features) with increasing
+  // total_n: two per bucket.
+  std::vector<PipelineRecord> records;
+  for (int i = 0; i < 6; ++i) {
+    PipelineRecord r = MakeRecordWithErrors({0.1, 0.2, 0.3});
+    r.total_n = 100.0 * (i + 1);
+    records.push_back(std::move(r));
+  }
+  const auto buckets = SelectivityBuckets(records, 6);
+  EXPECT_EQ(buckets, (std::vector<int>{0, 0, 1, 1, 2, 2}));
+  // A rarer signature is excluded.
+  PipelineRecord odd = MakeRecordWithErrors({0.1, 0.2, 0.3});
+  odd.features[0] = 5.0;
+  records.push_back(std::move(odd));
+  const auto buckets2 = SelectivityBuckets(records, 6);
+  EXPECT_EQ(buckets2.back(), -1);
+}
+
+TEST(MetricsTest, PipelineSignatureSeparatesShapes) {
+  PipelineRecord a = MakeRecordWithErrors({0.1});
+  PipelineRecord b = MakeRecordWithErrors({0.1});
+  b.features[5 * 5] = 2.0;  // Count of a different operator
+  EXPECT_NE(PipelineSignature(a), PipelineSignature(b));
+  PipelineRecord c = MakeRecordWithErrors({0.9});  // errors don't matter
+  EXPECT_EQ(PipelineSignature(a), PipelineSignature(c));
+}
+
+TEST(MetricsTest, FixedChoiceShape) {
+  std::vector<PipelineRecord> records = {
+      MakeRecordWithErrors({0.1}),
+      MakeRecordWithErrors({0.2}),
+  };
+  const auto choices = FixedChoice(records, 4);
+  EXPECT_EQ(choices, (std::vector<size_t>{4, 4}));
+}
+
+}  // namespace
+}  // namespace rpe

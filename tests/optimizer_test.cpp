@@ -1,0 +1,285 @@
+// Optimizer tests: equi-depth histograms, cardinality estimation formulas,
+// physical designs, and the planner's strategy selection.
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "optimizer/cardinality.h"
+#include "optimizer/planner.h"
+#include "optimizer/tuning.h"
+#include "tests/test_util.h"
+
+namespace rpe {
+namespace {
+
+using ::rpe::testing::MakeSmallCatalog;
+
+TEST(HistogramTest, TotalAndBounds) {
+  auto catalog = MakeSmallCatalog();
+  const Table* fact = *catalog->GetTable("t_fact");
+  EquiDepthHistogram h(*fact, 2);  // f_val in [0, 49]
+  EXPECT_EQ(h.total_rows(), 1000u);
+  EXPECT_GE(h.min_value(), 0);
+  EXPECT_LE(h.max_value(), 49);
+  EXPECT_EQ(h.distinct_count(), 50u);
+}
+
+TEST(HistogramTest, RangeEstimateAccuracyOnUniform) {
+  auto catalog = MakeSmallCatalog();
+  const Table* fact = *catalog->GetTable("t_fact");
+  EquiDepthHistogram h(*fact, 2);
+  uint64_t actual = 0;
+  for (const auto& row : fact->rows()) {
+    if (row[2] >= 10 && row[2] <= 29) ++actual;
+  }
+  const double est = h.EstimateRange(10, 29);
+  EXPECT_NEAR(est, static_cast<double>(actual),
+              0.15 * static_cast<double>(actual) + 20.0);
+}
+
+TEST(HistogramTest, FullRangeCoversAllRows) {
+  auto catalog = MakeSmallCatalog();
+  const Table* fact = *catalog->GetTable("t_fact");
+  EquiDepthHistogram h(*fact, 1);  // f_fk
+  EXPECT_NEAR(h.EstimateRange(h.min_value(), h.max_value()), 1000.0, 1.0);
+}
+
+TEST(HistogramTest, EqualEstimateAveragesBucket) {
+  auto catalog = MakeSmallCatalog();
+  const Table* dim = *catalog->GetTable("t_dim");
+  EquiDepthHistogram h(*dim, 0);  // d_id: 100 distinct sequential values
+  // Perfectly uniform unique column: estimate should be ~1 per key.
+  EXPECT_NEAR(h.EstimateEqual(50), 1.0, 0.5);
+  EXPECT_DOUBLE_EQ(h.EstimateEqual(1000), 0.0);  // out of domain
+}
+
+TEST(HistogramTest, SelectivityKinds) {
+  auto catalog = MakeSmallCatalog();
+  const Table* fact = *catalog->GetTable("t_fact");
+  EquiDepthHistogram h(*fact, 2);
+  EXPECT_DOUBLE_EQ(h.EstimateSelectivity(0, 0, 0), 1.0);         // true
+  EXPECT_NEAR(h.EstimateSelectivity(2, 24, 0), 0.5, 0.1);        // le
+  EXPECT_NEAR(h.EstimateSelectivity(3, 25, 0), 0.5, 0.1);        // ge
+  EXPECT_NEAR(h.EstimateSelectivity(4, 10, 19), 0.2, 0.07);      // between
+  const double ne = h.EstimateSelectivity(5, 7, 0);
+  EXPECT_GT(ne, 0.9);
+  EXPECT_LE(ne, 1.0);
+}
+
+TEST(CardinalityTest, TableRowsAndDistinct) {
+  auto catalog = MakeSmallCatalog();
+  CardinalityEstimator card(catalog.get());
+  EXPECT_DOUBLE_EQ(*card.TableRows("t_fact"), 1000.0);
+  EXPECT_DOUBLE_EQ(*card.DistinctCount("t_dim", "d_id"), 100.0);
+  EXPECT_FALSE(card.TableRows("missing").ok());
+}
+
+TEST(CardinalityTest, FkPkJoinSelectivity) {
+  auto catalog = MakeSmallCatalog();
+  CardinalityEstimator card(catalog.get());
+  // 1/max(distinct(fk), distinct(pk)) = 1/100.
+  auto sel = card.JoinSelectivity("t_fact", "f_fk", "t_dim", "d_id");
+  ASSERT_TRUE(sel.ok());
+  EXPECT_NEAR(*sel, 0.01, 0.001);
+  // Estimated join size = 1000 * 100 * 0.01 = 1000 (exact for FK-PK).
+  EXPECT_NEAR(1000.0 * 100.0 * *sel, 1000.0, 100.0);
+}
+
+TEST(CardinalityTest, GroupCountCappedByInput) {
+  auto catalog = MakeSmallCatalog();
+  CardinalityEstimator card(catalog.get());
+  EXPECT_DOUBLE_EQ(card.GroupCount(50.0, {100.0, 100.0}), 50.0);
+  EXPECT_DOUBLE_EQ(card.GroupCount(1e6, {10.0, 7.0}), 70.0);
+  EXPECT_DOUBLE_EQ(card.GroupCount(100.0, {}), 1.0);
+}
+
+TEST(CardinalityTest, FilterSelectivityMatchesHistogram) {
+  auto catalog = MakeSmallCatalog();
+  CardinalityEstimator card(catalog.get());
+  FilterSpec f;
+  f.table_idx = 0;
+  f.column = "f_val";
+  f.kind = Predicate::Kind::kLe;
+  f.v1 = 24;
+  auto sel = card.FilterSelectivity("t_fact", f);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_NEAR(*sel, 0.5, 0.1);
+}
+
+TEST(TuningTest, ApplyDesignReplacesIndexes) {
+  auto catalog = MakeSmallCatalog();
+  PhysicalDesign design;
+  design.name = "test";
+  design.indexes = {{"t_dim", "d_attr"}};
+  ASSERT_TRUE(ApplyPhysicalDesign(catalog.get(), design).ok());
+  EXPECT_TRUE(catalog->HasIndex("t_dim", "d_attr"));
+  EXPECT_FALSE(catalog->HasIndex("t_dim", "d_id"));  // dropped
+  EXPECT_EQ(catalog->num_indexes(), 1u);
+}
+
+TEST(TuningTest, LevelNames) {
+  EXPECT_STREQ(TuningLevelName(TuningLevel::kUntuned), "untuned");
+  EXPECT_STREQ(TuningLevelName(TuningLevel::kFullyTuned), "fully tuned");
+}
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = MakeSmallCatalog();
+    card_ = std::make_unique<CardinalityEstimator>(catalog_.get());
+    planner_ = std::make_unique<Planner>(catalog_.get(), card_.get());
+  }
+
+  QuerySpec JoinSpec(JoinHint hint) {
+    QuerySpec spec;
+    spec.name = "q";
+    spec.tables = {"t_fact", "t_dim"};
+    JoinEdge e;
+    e.left_idx = 0;
+    e.left_col = "f_fk";
+    e.right_col = "d_id";
+    e.hint = hint;
+    spec.joins.push_back(e);
+    return spec;
+  }
+
+  bool PlanHasOp(const PhysicalPlan& plan, OpType op) {
+    for (const auto* n : plan.nodes()) {
+      if (n->op == op) return true;
+    }
+    return false;
+  }
+
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<CardinalityEstimator> card_;
+  std::unique_ptr<Planner> planner_;
+};
+
+TEST_F(PlannerTest, AutoPicksIndexNestedLoopWhenIndexed) {
+  auto plan = planner_->Plan(JoinSpec(JoinHint::kAuto));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(PlanHasOp(**plan, OpType::kNestedLoopJoin));
+  EXPECT_TRUE(PlanHasOp(**plan, OpType::kIndexSeek));
+}
+
+TEST_F(PlannerTest, HashHintProducesHashJoin) {
+  auto plan = planner_->Plan(JoinSpec(JoinHint::kHash));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(PlanHasOp(**plan, OpType::kHashJoin));
+}
+
+TEST_F(PlannerTest, MergeHintSortsUnorderedSide) {
+  auto plan = planner_->Plan(JoinSpec(JoinHint::kMerge));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(PlanHasOp(**plan, OpType::kMergeJoin));
+  // Left side (fact) is unordered on the join key: needs a sort; right
+  // side has an index and is delivered via ordered index scan.
+  EXPECT_TRUE(PlanHasOp(**plan, OpType::kSort));
+  EXPECT_TRUE(PlanHasOp(**plan, OpType::kIndexScan));
+}
+
+TEST_F(PlannerTest, EstimatesAnnotatedEverywhere) {
+  auto plan = planner_->Plan(JoinSpec(JoinHint::kAuto));
+  ASSERT_TRUE(plan.ok());
+  for (const auto* n : (*plan)->nodes()) {
+    EXPECT_GT(n->est_rows, 0.0) << OpTypeName(n->op);
+  }
+}
+
+TEST_F(PlannerTest, FkPkJoinEstimateIsAccurate) {
+  auto plan = planner_->Plan(JoinSpec(JoinHint::kHash));
+  ASSERT_TRUE(plan.ok());
+  // The join root's estimate should be close to the true 1000 rows.
+  EXPECT_NEAR((*plan)->root()->est_rows, 1000.0, 250.0);
+}
+
+TEST_F(PlannerTest, FiltersArePushedToScans) {
+  QuerySpec spec = JoinSpec(JoinHint::kHash);
+  FilterSpec f;
+  f.table_idx = 0;
+  f.column = "f_val";
+  f.kind = Predicate::Kind::kLe;
+  f.v1 = 9;
+  spec.filters.push_back(f);
+  auto plan = planner_->Plan(spec);
+  ASSERT_TRUE(plan.ok());
+  // Find the filter node: its child must be the fact scan.
+  bool found = false;
+  for (const auto* n : (*plan)->nodes()) {
+    if (n->op == OpType::kFilter) {
+      EXPECT_EQ(n->child(0)->op, OpType::kTableScan);
+      EXPECT_EQ(n->child(0)->table, "t_fact");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(PlannerTest, AggregationChoosesStreamWhenSorted) {
+  QuerySpec spec;
+  spec.name = "agg";
+  spec.tables = {"t_fact"};
+  AggSpec agg;
+  agg.group_cols = {{0, "f_val"}};
+  agg.prefer_sort_stream = true;
+  spec.agg = agg;
+  auto plan = planner_->Plan(spec);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->root()->op, OpType::kStreamAggregate);
+  EXPECT_EQ((*plan)->root()->child(0)->op, OpType::kSort);
+}
+
+TEST_F(PlannerTest, AggregationDefaultsToHash) {
+  QuerySpec spec;
+  spec.name = "agg";
+  spec.tables = {"t_fact"};
+  AggSpec agg;
+  agg.group_cols = {{0, "f_val"}};
+  spec.agg = agg;
+  auto plan = planner_->Plan(spec);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->root()->op, OpType::kHashAggregate);
+}
+
+TEST_F(PlannerTest, TopAndOrderBy) {
+  QuerySpec spec;
+  spec.name = "top";
+  spec.tables = {"t_fact"};
+  spec.order_by = {{0, "f_val"}};
+  spec.top_limit = 5;
+  auto plan = planner_->Plan(spec);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->root()->op, OpType::kTop);
+  EXPECT_EQ((*plan)->root()->child(0)->op, OpType::kSort);
+  EXPECT_LE((*plan)->root()->est_rows, 5.0);
+}
+
+TEST_F(PlannerTest, RejectsMalformedSpecs) {
+  QuerySpec empty;
+  EXPECT_FALSE(planner_->Plan(empty).ok());
+
+  QuerySpec bad_join;
+  bad_join.tables = {"t_fact", "t_dim"};
+  // Missing join edge.
+  EXPECT_FALSE(planner_->Plan(bad_join).ok());
+
+  QuerySpec bad_filter = JoinSpec(JoinHint::kAuto);
+  FilterSpec f;
+  f.table_idx = 7;
+  bad_filter.filters.push_back(f);
+  EXPECT_FALSE(planner_->Plan(bad_filter).ok());
+}
+
+TEST_F(PlannerTest, PlannedQueryExecutes) {
+  QuerySpec spec = JoinSpec(JoinHint::kAuto);
+  AggSpec agg;
+  agg.group_cols = {{1, "d_attr"}};
+  spec.agg = agg;
+  auto plan = planner_->Plan(spec);
+  ASSERT_TRUE(plan.ok());
+  auto run = ExecutePlan(**plan, *catalog_);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->rows_out, 10u);  // d_attr has 10 distinct values
+}
+
+}  // namespace
+}  // namespace rpe

@@ -1,0 +1,186 @@
+// Tests for the schema-graph random query generator: connectivity,
+// fan-out capping, hint mix and determinism.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/schema_graph.h"
+
+namespace rpe {
+namespace {
+
+/// A star schema: one fact (t0, 100k rows) with two dims (t1: 100,
+/// t2: 1000) and a second fact (t3, 50k) sharing dim t1 — the shape where
+/// unguarded walks explode (fact-dim-fact).
+SchemaGraph StarGraph() {
+  SchemaGraph g;
+  g.tables = {"fact_a", "dim_small", "dim_big", "fact_b"};
+  g.table_rows = {100000, 100, 1000, 50000};
+  auto edge = [&](size_t a, const char* ca, size_t b, const char* cb) {
+    JoinPath e;
+    e.table_a = a;
+    e.col_a = ca;
+    e.table_b = b;
+    e.col_b = cb;
+    e.fanout_ab = std::max(1.0, g.table_rows[b] / g.table_rows[a]);
+    e.fanout_ba = std::max(1.0, g.table_rows[a] / g.table_rows[b]);
+    g.edges.push_back(e);
+  };
+  edge(1, "k", 0, "fk_small");
+  edge(2, "k", 0, "fk_big");
+  edge(1, "k", 3, "fk_small");
+  g.filters = {{0, "val", 0, 100, 0.5}, {1, "attr", 0, 10, 0.5}};
+  g.group_cols = {{1, "attr"}};
+  return g;
+}
+
+TEST(SchemaGraphTest, ChainsAreConnectedLeftDeep) {
+  SchemaGraph g = StarGraph();
+  QueryGenParams params;
+  params.min_joins = 1;
+  params.max_joins = 3;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    auto spec = GenerateQuery(g, params, "q", &rng);
+    ASSERT_TRUE(spec.ok());
+    EXPECT_EQ(spec->joins.size(), spec->tables.size() - 1);
+    for (size_t j = 0; j < spec->joins.size(); ++j) {
+      EXPECT_LE(spec->joins[j].left_idx, j);
+    }
+  }
+}
+
+TEST(SchemaGraphTest, FanoutCapPreventsFactDimFactExplosion) {
+  SchemaGraph g = StarGraph();
+  QueryGenParams params;
+  params.min_joins = 3;
+  params.max_joins = 3;
+  // Cap below |fact_a| x fanout(dim->fact_b): chains containing both facts
+  // through the shared dim must be rejected.
+  params.max_est_output = 150000.0;
+  Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    auto spec = GenerateQuery(g, params, "q", &rng);
+    ASSERT_TRUE(spec.ok());
+    const bool has_a =
+        std::find(spec->tables.begin(), spec->tables.end(), "fact_a") !=
+        spec->tables.end();
+    const bool has_b =
+        std::find(spec->tables.begin(), spec->tables.end(), "fact_b") !=
+        spec->tables.end();
+    EXPECT_FALSE(has_a && has_b)
+        << "chain joined both facts despite the output cap";
+  }
+}
+
+TEST(SchemaGraphTest, HintMixRoughlyMatchesProbabilities) {
+  SchemaGraph g = StarGraph();
+  QueryGenParams params;
+  params.min_joins = 2;
+  params.max_joins = 3;
+  params.hash_hint_prob = 0.2;
+  params.merge_hint_prob = 0.1;
+  params.nlj_hint_prob = 0.1;
+  Rng rng(3);
+  std::map<JoinHint, int> counts;
+  int total = 0;
+  for (int i = 0; i < 500; ++i) {
+    auto spec = GenerateQuery(g, params, "q", &rng);
+    ASSERT_TRUE(spec.ok());
+    for (const auto& j : spec->joins) {
+      counts[j.hint]++;
+      ++total;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(counts[JoinHint::kHash]) / total, 0.2,
+              0.05);
+  EXPECT_NEAR(static_cast<double>(counts[JoinHint::kMerge]) / total, 0.1,
+              0.04);
+  EXPECT_NEAR(static_cast<double>(counts[JoinHint::kAuto]) / total, 0.6,
+              0.06);
+}
+
+TEST(SchemaGraphTest, FiltersReferenceUsedTables) {
+  SchemaGraph g = StarGraph();
+  QueryGenParams params;
+  params.filter_prob = 1.0;
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    auto spec = GenerateQuery(g, params, "q", &rng);
+    ASSERT_TRUE(spec.ok());
+    for (const auto& f : spec->filters) {
+      ASSERT_LT(f.table_idx, spec->tables.size());
+      // The filter's column must be filterable for that schema table.
+      bool found = false;
+      for (const auto& fc : g.filters) {
+        if (g.tables[fc.table] == spec->tables[f.table_idx] &&
+            fc.column == f.column) {
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found) << f.column;
+    }
+  }
+}
+
+TEST(SchemaGraphTest, RangeFiltersWithinDomain) {
+  SchemaGraph g = StarGraph();
+  QueryGenParams params;
+  params.filter_prob = 1.0;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    auto spec = GenerateQuery(g, params, "q", &rng);
+    ASSERT_TRUE(spec.ok());
+    for (const auto& f : spec->filters) {
+      if (f.kind == Predicate::Kind::kBetween) {
+        EXPECT_LE(f.v1, f.v2);
+      }
+    }
+  }
+}
+
+TEST(SchemaGraphTest, DeterministicPerSeed) {
+  SchemaGraph g = StarGraph();
+  QueryGenParams params;
+  Rng rng1(6), rng2(6);
+  auto a = GenerateQueries(g, params, "q", 50, &rng1);
+  auto b = GenerateQueries(g, params, "q", 50, &rng2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].tables, (*b)[i].tables);
+    EXPECT_EQ((*a)[i].top_limit, (*b)[i].top_limit);
+    EXPECT_EQ((*a)[i].filters.size(), (*b)[i].filters.size());
+  }
+}
+
+TEST(SchemaGraphTest, EmptyGraphRejected) {
+  SchemaGraph g;
+  QueryGenParams params;
+  Rng rng(7);
+  EXPECT_FALSE(GenerateQuery(g, params, "q", &rng).ok());
+}
+
+TEST(SchemaGraphTest, AggRespectsGroupableColumns) {
+  SchemaGraph g = StarGraph();
+  QueryGenParams params;
+  params.agg_prob = 1.0;
+  params.min_joins = 1;
+  params.max_joins = 2;
+  Rng rng(8);
+  size_t with_agg = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto spec = GenerateQuery(g, params, "q", &rng);
+    ASSERT_TRUE(spec.ok());
+    if (!spec->agg.has_value()) continue;  // group table not in the chain
+    ++with_agg;
+    for (const auto& [pos, col] : spec->agg->group_cols) {
+      ASSERT_LT(pos, spec->tables.size());
+      EXPECT_EQ(col, "attr");  // only groupable column in the graph
+      EXPECT_EQ(spec->tables[pos], "dim_small");
+    }
+  }
+  EXPECT_GT(with_agg, 20u);
+}
+
+}  // namespace
+}  // namespace rpe

@@ -1,0 +1,47 @@
+// Shared fixtures for the test suite: a tiny deterministic catalog with
+// known contents so operator results can be checked against brute force.
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "common/logging.h"
+#include "storage/catalog.h"
+#include "storage/datagen.h"
+
+namespace rpe::testing {
+
+/// Build a catalog with two small tables:
+///   t_fact(f_id, f_fk, f_val)   — 1000 rows, f_fk in [0,100), f_val [0,50)
+///   t_dim(d_id, d_attr)         — 100 rows, d_id = 0..99
+/// plus indexes on t_dim.d_id and t_fact.f_fk.
+inline std::unique_ptr<Catalog> MakeSmallCatalog(uint64_t seed = 5) {
+  auto catalog = std::make_unique<Catalog>();
+  Rng rng(seed);
+  {
+    TableGenSpec spec;
+    spec.name = "t_dim";
+    spec.num_rows = 100;
+    spec.columns = {{"d_id", 8}, {"d_attr", 8}};
+    spec.generators = {ColumnGen::Sequential(), ColumnGen::Uniform(0, 9)};
+    auto table = GenerateTable(spec, &rng);
+    RPE_CHECK(table.ok());
+    RPE_CHECK_OK(catalog->AddTable(std::move(table).ValueOrDie()));
+  }
+  {
+    TableGenSpec spec;
+    spec.name = "t_fact";
+    spec.num_rows = 1000;
+    spec.columns = {{"f_id", 8}, {"f_fk", 8}, {"f_val", 8}};
+    spec.generators = {ColumnGen::Sequential(), ColumnGen::FkZipf(100, 1.0),
+                       ColumnGen::Uniform(0, 49)};
+    auto table = GenerateTable(spec, &rng);
+    RPE_CHECK(table.ok());
+    RPE_CHECK_OK(catalog->AddTable(std::move(table).ValueOrDie()));
+  }
+  RPE_CHECK_OK(catalog->CreateIndex("t_dim", "d_id"));
+  RPE_CHECK_OK(catalog->CreateIndex("t_fact", "f_fk"));
+  return catalog;
+}
+
+}  // namespace rpe::testing

@@ -1,0 +1,184 @@
+// Workload-generator tests: schema construction, physical designs, query
+// generation validity, and the paper's six-workload registry.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/workload.h"
+
+namespace rpe {
+namespace {
+
+WorkloadConfig TinyConfig(WorkloadKind kind, const char* name) {
+  WorkloadConfig config;
+  config.kind = kind;
+  config.name = name;
+  config.scale = 1.0;
+  config.zipf = 1.0;
+  config.tuning = TuningLevel::kPartiallyTuned;
+  config.num_queries = 25;
+  config.seed = 99;
+  return config;
+}
+
+TEST(WorkloadTest, TpchSchemaComplete) {
+  auto w = BuildWorkload(TinyConfig(WorkloadKind::kTpch, "t"));
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  for (const char* table :
+       {"region", "nation", "supplier", "customer", "part", "partsupp",
+        "orders", "lineitem"}) {
+    EXPECT_TRUE(w->catalog->HasTable(table)) << table;
+  }
+  // Row ratios: lineitem == 4x orders, orders == 10x customer.
+  const double li = static_cast<double>((*w->catalog->GetTable("lineitem"))->num_rows());
+  const double ord = static_cast<double>((*w->catalog->GetTable("orders"))->num_rows());
+  EXPECT_NEAR(li / ord, 4.0, 0.2);
+}
+
+TEST(WorkloadTest, ScaleFactorScalesRows) {
+  auto small = BuildWorkload(TinyConfig(WorkloadKind::kTpch, "s"));
+  auto big_config = TinyConfig(WorkloadKind::kTpch, "b");
+  big_config.scale = 4.0;
+  auto big = BuildWorkload(big_config);
+  ASSERT_TRUE(small.ok() && big.ok());
+  EXPECT_NEAR(static_cast<double>(
+                  (*big->catalog->GetTable("lineitem"))->num_rows()) /
+                  static_cast<double>(
+                      (*small->catalog->GetTable("lineitem"))->num_rows()),
+              4.0, 0.5);
+}
+
+TEST(WorkloadTest, DesignsAreNested) {
+  // Each tuning level's index set contains the previous one's.
+  for (WorkloadKind kind : {WorkloadKind::kTpch, WorkloadKind::kTpcds,
+                            WorkloadKind::kReal1, WorkloadKind::kReal2}) {
+    const auto untuned = DesignFor(kind, TuningLevel::kUntuned);
+    const auto partial = DesignFor(kind, TuningLevel::kPartiallyTuned);
+    const auto full = DesignFor(kind, TuningLevel::kFullyTuned);
+    EXPECT_LT(untuned.indexes.size(), partial.indexes.size());
+    EXPECT_LT(partial.indexes.size(), full.indexes.size());
+    auto contains = [](const PhysicalDesign& d, const IndexSpec& ix) {
+      for (const auto& e : d.indexes) {
+        if (e.table == ix.table && e.column == ix.column) return true;
+      }
+      return false;
+    };
+    for (const auto& ix : untuned.indexes) {
+      EXPECT_TRUE(contains(partial, ix));
+    }
+    for (const auto& ix : partial.indexes) {
+      EXPECT_TRUE(contains(full, ix));
+    }
+  }
+}
+
+TEST(WorkloadTest, GeneratedQueriesAreValid) {
+  auto w = BuildWorkload(TinyConfig(WorkloadKind::kTpch, "t"));
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->queries.size(), 25u);
+  for (const auto& q : w->queries) {
+    EXPECT_FALSE(q.tables.empty());
+    EXPECT_EQ(q.joins.size(), q.tables.size() - 1);
+    for (const auto& j : q.joins) {
+      EXPECT_LT(j.left_idx, q.tables.size());
+    }
+    for (const auto& f : q.filters) {
+      EXPECT_LT(f.table_idx, q.tables.size());
+    }
+  }
+}
+
+TEST(WorkloadTest, QueriesAreDeterministicPerSeed) {
+  auto w1 = BuildWorkload(TinyConfig(WorkloadKind::kTpch, "t"));
+  auto w2 = BuildWorkload(TinyConfig(WorkloadKind::kTpch, "t"));
+  ASSERT_TRUE(w1.ok() && w2.ok());
+  for (size_t i = 0; i < w1->queries.size(); ++i) {
+    EXPECT_EQ(w1->queries[i].tables, w2->queries[i].tables);
+    EXPECT_EQ(w1->queries[i].top_limit, w2->queries[i].top_limit);
+  }
+}
+
+TEST(WorkloadTest, Real1JoinDepthMatchesPaper) {
+  auto config = TinyConfig(WorkloadKind::kReal1, "r1");
+  config.num_queries = 40;
+  auto w = BuildWorkload(config);
+  ASSERT_TRUE(w.ok());
+  // Paper: most queries join 5-8 tables.
+  size_t deep = 0;
+  for (const auto& q : w->queries) {
+    if (q.tables.size() >= 5) ++deep;
+  }
+  EXPECT_GT(deep, w->queries.size() / 2);
+}
+
+TEST(WorkloadTest, Real2JoinDepthMatchesPaper) {
+  auto config = TinyConfig(WorkloadKind::kReal2, "r2");
+  config.num_queries = 40;
+  auto w = BuildWorkload(config);
+  ASSERT_TRUE(w.ok());
+  // Paper: a typical query involves ~12 joins.
+  size_t deep = 0;
+  for (const auto& q : w->queries) {
+    if (q.tables.size() >= 9) ++deep;
+  }
+  EXPECT_GT(deep, w->queries.size() / 2);
+}
+
+TEST(WorkloadTest, TpcdsHasTwoFacts) {
+  auto w = BuildWorkload(TinyConfig(WorkloadKind::kTpcds, "ds"));
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(w->catalog->HasTable("store_sales"));
+  EXPECT_TRUE(w->catalog->HasTable("web_sales"));
+}
+
+TEST(WorkloadTest, PaperRegistryHasSixWorkloads) {
+  const auto configs = PaperWorkloadConfigs();
+  ASSERT_EQ(configs.size(), 6u);
+  std::set<std::string> names;
+  size_t tpch_count = 0;
+  for (const auto& c : configs) {
+    names.insert(c.name);
+    if (c.kind == WorkloadKind::kTpch) ++tpch_count;
+  }
+  EXPECT_EQ(names.size(), 6u);      // distinct labels
+  EXPECT_EQ(tpch_count, 3u);        // three TPC-H physical designs
+}
+
+TEST(WorkloadTest, GraphEdgesReferenceRealColumns) {
+  auto w = BuildWorkload(TinyConfig(WorkloadKind::kReal2, "r2"));
+  ASSERT_TRUE(w.ok());
+  for (const auto& e : w->graph.edges) {
+    ASSERT_LT(e.table_a, w->graph.tables.size());
+    ASSERT_LT(e.table_b, w->graph.tables.size());
+    const Table* a = *w->catalog->GetTable(w->graph.tables[e.table_a]);
+    const Table* b = *w->catalog->GetTable(w->graph.tables[e.table_b]);
+    EXPECT_TRUE(a->schema().ColumnIndex(e.col_a).ok()) << e.col_a;
+    EXPECT_TRUE(b->schema().ColumnIndex(e.col_b).ok()) << e.col_b;
+  }
+  for (const auto& f : w->graph.filters) {
+    const Table* t = *w->catalog->GetTable(w->graph.tables[f.table]);
+    EXPECT_TRUE(t->schema().ColumnIndex(f.column).ok()) << f.column;
+  }
+}
+
+TEST(WorkloadTest, ZipfSkewsLineitemForeignKeys) {
+  auto uniform_config = TinyConfig(WorkloadKind::kTpch, "u");
+  uniform_config.zipf = 0.0;
+  auto skewed_config = TinyConfig(WorkloadKind::kTpch, "s");
+  skewed_config.zipf = 2.0;
+  auto uniform = BuildWorkload(uniform_config);
+  auto skewed = BuildWorkload(skewed_config);
+  ASSERT_TRUE(uniform.ok() && skewed.ok());
+  auto max_fk_count = [](const Workload& w) {
+    const Table* li = *w.catalog->GetTable("lineitem");
+    std::map<int64_t, int> counts;
+    for (const auto& row : li->rows()) counts[row[1]]++;  // l_partkey
+    int max_c = 0;
+    for (const auto& [k, c] : counts) max_c = std::max(max_c, c);
+    return max_c;
+  };
+  EXPECT_GT(max_fk_count(*skewed), 4 * max_fk_count(*uniform));
+}
+
+}  // namespace
+}  // namespace rpe

@@ -1,0 +1,214 @@
+// Command-line driver for the progress-estimation library:
+//
+//   rpe_cli run      --kind tpch --queries 200 --scale 10 --zipf 1.0
+//                    --tuning partial --seed 1 --out records.csv
+//       Build a workload, execute it, and write the pipeline records.
+//
+//   rpe_cli train    --records records.csv [--pool three|six|all]
+//                    [--dynamic] [--trees 200] --out model.txt
+//       Train the estimator-selection models and persist them.
+//
+//   rpe_cli evaluate --train a.csv --test b.csv [--pool ...] [--dynamic]
+//       Train on one record set, evaluate on another, print the metrics.
+//
+//   rpe_cli inspect  --records records.csv
+//       Summarize a record set (per-estimator error stats and win rates).
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/table_printer.h"
+#include "harness/experiment.h"
+#include "harness/runner.h"
+
+namespace rpe {
+namespace {
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags[arg] = argv[++i];
+    } else {
+      flags[arg] = "true";
+    }
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+Result<WorkloadKind> ParseKind(const std::string& s) {
+  if (s == "tpch") return WorkloadKind::kTpch;
+  if (s == "tpcds") return WorkloadKind::kTpcds;
+  if (s == "real1") return WorkloadKind::kReal1;
+  if (s == "real2") return WorkloadKind::kReal2;
+  return Status::InvalidArgument("unknown workload kind: " + s);
+}
+
+Result<TuningLevel> ParseTuning(const std::string& s) {
+  if (s == "untuned") return TuningLevel::kUntuned;
+  if (s == "partial") return TuningLevel::kPartiallyTuned;
+  if (s == "full") return TuningLevel::kFullyTuned;
+  return Status::InvalidArgument("unknown tuning level: " + s);
+}
+
+std::vector<size_t> ParsePool(const std::string& s) {
+  if (s == "three") return PoolOriginalThree();
+  if (s == "all") return PoolAll();
+  return PoolSix();
+}
+
+int CmdRun(const std::map<std::string, std::string>& flags) {
+  WorkloadConfig config;
+  auto kind = ParseKind(FlagOr(flags, "kind", "tpch"));
+  if (!kind.ok()) {
+    std::cerr << kind.status().ToString() << "\n";
+    return 1;
+  }
+  config.kind = *kind;
+  config.name = FlagOr(flags, "name", FlagOr(flags, "kind", "tpch"));
+  config.scale = std::stod(FlagOr(flags, "scale", "10"));
+  config.zipf = std::stod(FlagOr(flags, "zipf", "1.0"));
+  auto tuning = ParseTuning(FlagOr(flags, "tuning", "partial"));
+  if (!tuning.ok()) {
+    std::cerr << tuning.status().ToString() << "\n";
+    return 1;
+  }
+  config.tuning = *tuning;
+  config.num_queries =
+      static_cast<size_t>(std::stoul(FlagOr(flags, "queries", "200")));
+  config.seed = std::stoull(FlagOr(flags, "seed", "1"));
+
+  RunOptions options;
+  options.progress_every = 100;
+  std::cerr << "building + running workload " << config.name << " ...\n";
+  auto records = BuildAndRun(config, options, FlagOr(flags, "tag", ""));
+  if (!records.ok()) {
+    std::cerr << records.status().ToString() << "\n";
+    return 1;
+  }
+  const std::string out = FlagOr(flags, "out", "records.csv");
+  auto save = SaveRecords(*records, out);
+  if (!save.ok()) {
+    std::cerr << save.ToString() << "\n";
+    return 1;
+  }
+  std::cout << records->size() << " pipeline records -> " << out << "\n";
+  return 0;
+}
+
+int CmdTrain(const std::map<std::string, std::string>& flags) {
+  auto records = LoadRecords(FlagOr(flags, "records", "records.csv"));
+  if (!records.ok()) {
+    std::cerr << records.status().ToString() << "\n";
+    return 1;
+  }
+  MartParams params = EstimatorSelector::DefaultParams();
+  params.num_trees = std::stoi(FlagOr(flags, "trees", "200"));
+  const bool dynamic = flags.count("dynamic") > 0;
+  EstimatorSelector selector = EstimatorSelector::Train(
+      *records, ParsePool(FlagOr(flags, "pool", "six")), dynamic, params);
+
+  const std::string out = FlagOr(flags, "out", "model.txt");
+  std::ofstream file(out);
+  if (!file) {
+    std::cerr << "cannot write " << out << "\n";
+    return 1;
+  }
+  file << selector.pool().size() << " " << (dynamic ? 1 : 0) << "\n";
+  for (size_t i = 0; i < selector.models().size(); ++i) {
+    file << "ESTIMATOR "
+         << EstimatorName(static_cast<EstimatorKind>(selector.pool()[i]))
+         << "\n"
+         << selector.models()[i].Serialize();
+  }
+  std::cout << "trained " << selector.models().size() << " models on "
+            << records->size() << " records -> " << out << "\n";
+  return 0;
+}
+
+int CmdEvaluate(const std::map<std::string, std::string>& flags) {
+  auto train = LoadRecords(FlagOr(flags, "train", "train.csv"));
+  auto test = LoadRecords(FlagOr(flags, "test", "test.csv"));
+  if (!train.ok() || !test.ok()) {
+    std::cerr << "failed to load records\n";
+    return 1;
+  }
+  const auto pool = ParsePool(FlagOr(flags, "pool", "six"));
+  const bool dynamic = flags.count("dynamic") > 0;
+  MartParams params = EstimatorSelector::DefaultParams();
+  params.num_trees = std::stoi(FlagOr(flags, "trees", "100"));
+  const auto eval = TrainAndEvaluate(*train, *test, pool, dynamic, params);
+
+  TablePrinter table({"Policy", "avg L1", "avg L2", "% optimal", ">5x"});
+  for (size_t est : pool) {
+    const auto m = EvaluateChoices(*test, FixedChoice(*test, est), pool);
+    table.AddRow({EstimatorName(static_cast<EstimatorKind>(est)),
+                  TablePrinter::Fmt(m.avg_l1, 4),
+                  TablePrinter::Fmt(m.avg_l2, 4),
+                  TablePrinter::Pct(m.pct_optimal),
+                  TablePrinter::Pct(m.frac_ratio_gt5)});
+  }
+  table.AddRow({"EST. SELECTION", TablePrinter::Fmt(eval.metrics.avg_l1, 4),
+                TablePrinter::Fmt(eval.metrics.avg_l2, 4),
+                TablePrinter::Pct(eval.metrics.pct_optimal),
+                TablePrinter::Pct(eval.metrics.frac_ratio_gt5)});
+  table.Print();
+  return 0;
+}
+
+int CmdInspect(const std::map<std::string, std::string>& flags) {
+  auto records = LoadRecords(FlagOr(flags, "records", "records.csv"));
+  if (!records.ok()) {
+    std::cerr << records.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << records->size() << " pipeline records\n";
+  std::map<std::string, size_t> per_workload;
+  for (const auto& r : *records) per_workload[r.workload]++;
+  for (const auto& [w, n] : per_workload) {
+    std::cout << "  " << w << ": " << n << "\n";
+  }
+  TablePrinter table({"Estimator", "avg L1", "win rate"});
+  for (int e = 0; e < kNumSelectableEstimators; ++e) {
+    const auto m =
+        EvaluateChoices(*records, FixedChoice(*records, static_cast<size_t>(e)));
+    table.AddRow({EstimatorName(static_cast<EstimatorKind>(e)),
+                  TablePrinter::Fmt(m.avg_l1, 4),
+                  TablePrinter::Pct(
+                      FractionOptimal(*records, static_cast<size_t>(e)))});
+  }
+  table.Print();
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: rpe_cli <run|train|evaluate|inspect> [--flags]\n";
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const auto flags = ParseFlags(argc, argv, 2);
+  if (cmd == "run") return CmdRun(flags);
+  if (cmd == "train") return CmdTrain(flags);
+  if (cmd == "evaluate") return CmdEvaluate(flags);
+  if (cmd == "inspect") return CmdInspect(flags);
+  std::cerr << "unknown command: " << cmd << "\n";
+  return 2;
+}
+
+}  // namespace
+}  // namespace rpe
+
+int main(int argc, char** argv) { return rpe::Main(argc, argv); }
