@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "exec/executor.h"
+#include "mart/flat_ensemble.h"
 #include "mart/mart.h"
 #include "optimizer/histogram.h"
 #include "selection/features.h"
@@ -87,22 +88,109 @@ void BM_MartTrain1k(benchmark::State& state) {
 }
 BENCHMARK(BM_MartTrain1k)->Arg(10)->Arg(50);
 
+// Shared fixture for the inference benchmarks: a 500x50 dataset and a
+// 100-tree model (plus an 8-model set mirroring the selection pool).
+struct InferenceFixture {
+  InferenceFixture() : data(50) {
+    Rng rng(3);
+    std::vector<double> x(50);
+    for (size_t i = 0; i < 500; ++i) {
+      for (auto& v : x) v = rng.NextDouble();
+      RPE_CHECK_OK(data.AddExample(x, x[0]));
+    }
+    probe = x;
+    MartParams params;
+    params.num_trees = 100;
+    model = MartModel::Train(data, params);
+    flat = FlatEnsemble::Compile(model);
+    // The deployed selection configuration of the paper (Fig. 3): eight
+    // candidate regressors at M = 200 boosting iterations each.
+    params.num_trees = 200;
+    for (int m = 0; m < 8; ++m) {
+      params.seed = static_cast<uint64_t>(m + 1);
+      pool_models.push_back(MartModel::Train(data, params));
+    }
+    pool_set = FlatEnsembleSet::Compile(pool_models);
+  }
+  Dataset data;
+  std::vector<double> probe;
+  MartModel model;
+  FlatEnsemble flat;
+  std::vector<MartModel> pool_models;  // the per-candidate selection pool
+  FlatEnsembleSet pool_set;
+};
+
+InferenceFixture& Inference() {
+  static InferenceFixture fixture;
+  return fixture;
+}
+
 void BM_MartPredict(benchmark::State& state) {
-  Dataset data(50);
-  Rng rng(3);
-  std::vector<double> x(50);
-  for (size_t i = 0; i < 500; ++i) {
-    for (auto& v : x) v = rng.NextDouble();
-    RPE_CHECK_OK(data.AddExample(x, x[0]));
-  }
-  MartParams params;
-  params.num_trees = 100;
-  MartModel model = MartModel::Train(data, params);
+  auto& fx = Inference();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(model.Predict(x));
+    benchmark::DoNotOptimize(fx.model.Predict(fx.probe));
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MartPredict);
+
+void BM_FlatPredict(benchmark::State& state) {
+  auto& fx = Inference();
+  const std::span<const double> x(fx.probe);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.flat.Predict(x));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatPredict);
+
+void BM_FlatPredictBatch(benchmark::State& state) {
+  auto& fx = Inference();
+  std::vector<double> out(fx.data.num_examples());
+  for (auto _ : state) {
+    fx.flat.PredictBatch(fx.data, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(out.size()));
+}
+BENCHMARK(BM_FlatPredictBatch);
+
+// Multi-model scoring, one feature vector per decision: the per-decision
+// cost of the selection stack (8 candidate regressors), seed loop vs.
+// compiled set. The probe row rotates so the walk pattern varies between
+// decisions the way real selection traffic does — repeating one row would
+// let the branch predictor memorize the seed path.
+void BM_MultiModelPredictSeed(benchmark::State& state) {
+  auto& fx = Inference();
+  std::vector<double> out(fx.pool_models.size());
+  size_t row = 0;
+  for (auto _ : state) {
+    const auto x = fx.data.ExampleSpan(row);
+    row = (row + 1) % fx.data.num_examples();
+    for (size_t m = 0; m < fx.pool_models.size(); ++m) {
+      out[m] = fx.pool_models[m].Predict(x);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(out.size()));
+}
+BENCHMARK(BM_MultiModelPredictSeed);
+
+void BM_MultiModelPredictFlat(benchmark::State& state) {
+  auto& fx = Inference();
+  std::vector<double> out(fx.pool_set.num_models());
+  size_t row = 0;
+  for (auto _ : state) {
+    fx.pool_set.PredictAll(fx.data.ExampleSpan(row), out);
+    row = (row + 1) % fx.data.num_examples();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(out.size()));
+}
+BENCHMARK(BM_MultiModelPredictFlat);
 
 void BM_ZipfSample(benchmark::State& state) {
   ZipfGenerator zipf(100000, 1.0);

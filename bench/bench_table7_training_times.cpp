@@ -7,6 +7,7 @@
 
 #include "bench/bench_util.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "mart/mart.h"
 
 using namespace rpe;
@@ -29,15 +30,18 @@ Dataset MakeSyntheticData(size_t examples, size_t features, uint64_t seed) {
 
 }  // namespace
 
-int main() {
-  std::cout << "=== Table 7: MART training times in seconds ===\n";
+int main(int argc, char** argv) {
+  // --parallel-only skips the (long) paper sweep and runs just the
+  // thread-count comparison below.
+  const bool parallel_only =
+      argc > 1 && std::string(argv[1]) == "--parallel-only";
   const size_t kFeatures = 200;  // the paper: ~200 double values per query
   const std::vector<size_t> example_counts = {100, 500, 3000, 6000, 60000};
   const std::vector<int> boosting = {20, 50, 100, 200, 500, 1000};
 
   TablePrinter table({"Examples", "M=20", "M=50", "M=100", "M=200", "M=500",
                       "M=1000"});
-  for (size_t n : example_counts) {
+  for (size_t n : parallel_only ? std::vector<size_t>{} : example_counts) {
     Dataset data = MakeSyntheticData(n, kFeatures, 42 + n);
     std::vector<std::string> row = {std::to_string(n)};
     for (int m : boosting) {
@@ -58,9 +62,50 @@ int main() {
     }
     table.AddRow(std::move(row));
   }
-  table.Print();
-  std::cout << "\nPaper's Table 7: sub-second up to 6K examples; 60K\n"
-               "examples range from 8s (M=20) to 41s (M=1000). Training\n"
-               "scales ~linearly in examples x M.\n";
+  if (!parallel_only) {
+    std::cout << "=== Table 7: MART training times in seconds ===\n";
+    table.Print();
+    std::cout << "\nPaper's Table 7: sub-second up to 6K examples; 60K\n"
+                 "examples range from 8s (M=20) to 41s (M=1000). Training\n"
+                 "scales ~linearly in examples x M.\n";
+  }
+
+  // Parallel-training delta: the same fit at several thread counts. The
+  // fitted model is thread-count invariant (ordered split reduction), so
+  // this measures pure wall-clock, not a different model. Hardware
+  // concurrency on this host bounds the achievable speedup.
+  std::cout << "\n=== Parallel training: wall-clock vs. thread count ===\n"
+            << "(hardware concurrency: "
+            << std::thread::hardware_concurrency() << ")\n";
+  TablePrinter threads_table(
+      {"Examples x M", "T=1", "T=2", "T=4", "speedup T=4"});
+  const std::vector<std::pair<size_t, int>> parallel_cases = {
+      {6000, 100}, {20000, 100}};
+  for (const auto& [n, m] : parallel_cases) {
+    Dataset data = MakeSyntheticData(n, kFeatures, 42 + n);
+    MartParams params;
+    params.num_trees = m;
+    params.tree.max_leaves = 30;
+    std::vector<double> secs_by_threads;
+    for (const int threads : {1, 2, 4}) {
+      ThreadPool pool(threads);
+      params.pool = &pool;
+      const auto start = std::chrono::steady_clock::now();
+      MartModel model = MartModel::Train(data, params);
+      const auto end = std::chrono::steady_clock::now();
+      secs_by_threads.push_back(
+          std::chrono::duration<double>(end - start).count());
+      std::cerr << n << " examples, M=" << m << ", T=" << threads << ": "
+                << secs_by_threads.back() << "s\n";
+    }
+    threads_table.AddRow(
+        {std::to_string(n) + " x M=" + std::to_string(m),
+         TablePrinter::Fmt(secs_by_threads[0], 2),
+         TablePrinter::Fmt(secs_by_threads[1], 2),
+         TablePrinter::Fmt(secs_by_threads[2], 2),
+         TablePrinter::Fmt(secs_by_threads[0] / secs_by_threads[2], 2) +
+             "x"});
+  }
+  threads_table.Print();
   return 0;
 }

@@ -93,11 +93,10 @@ int main() {
       continue;
     }
     PipelineView view{&run->result, &pipeline};
-    const auto static_features = ExtractStaticFeatures(view);
-    // Static features are a prefix of the full vector; pad for Select().
-    std::vector<double> padded = static_features;
-    padded.resize(FeatureSchema::Get().num_features(), 0.0);
-    const size_t initial_choice = static_selector.Select(padded);
+    // Static features are a prefix of the full vector; the static
+    // selector reads exactly that prefix, no padding needed.
+    const size_t initial_choice =
+        static_selector.Select(ExtractStaticFeatures(view));
     const auto all_features = ExtractAllFeatures(view);
     const size_t revised_choice = dynamic_selector.Select(all_features);
     const int revision_obs = MarkerObservation(view, 20.0);

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,12 @@ class Dataset {
   }
   double target(size_t example) const { return targets_[example]; }
   const std::vector<double>& targets() const { return targets_; }
+
+  /// Zero-copy row view — the hot-path accessor: prediction and training
+  /// loops read features through this without materializing a vector.
+  std::span<const double> ExampleSpan(size_t example) const {
+    return {features_.data() + example * num_features_, num_features_};
+  }
 
   /// Row accessor (copy) — convenience for tests.
   std::vector<double> ExampleFeatures(size_t example) const;

@@ -1,0 +1,395 @@
+#include "mart/flat_ensemble.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace rpe {
+namespace flat_internal {
+
+NodeStore::Emitted NodeStore::EmitSubtree(
+    const std::vector<RegressionTree::Node>& nodes, int old_idx,
+    double learning_rate) {
+  const RegressionTree::Node& n = nodes[static_cast<size_t>(old_idx)];
+  const int32_t my = static_cast<int32_t>(topo.size());
+  if (n.feature < 0) {
+    // x <= NaN is false for every x (including -inf and NaN), so the walk
+    // always takes `right`, which points back at the leaf itself: the
+    // cursor parks here for the rest of a fixed-depth walk.
+    topo.push_back(PackTopo(0, 0));
+    split.push_back(std::numeric_limits<double>::quiet_NaN());
+    leaf.push_back(learning_rate * n.value);
+    return {my, 0};
+  }
+  RPE_CHECK_LT(n.feature, 1 << kFeatureBits);
+  topo.push_back(0);  // patched below once the right child's slot is known
+  split.push_back(n.threshold);
+  leaf.push_back(0.0);
+  const Emitted left = EmitSubtree(nodes, n.left, learning_rate);
+  const Emitted right_child = EmitSubtree(nodes, n.right, learning_rate);
+  // The delta must fit the topo word's upper bits (trees beyond ~2M
+  // nodes would silently corrupt the walk otherwise).
+  RPE_CHECK_LT(right_child.slot - my, 1 << (31 - kFeatureBits));
+  topo[static_cast<size_t>(my)] = PackTopo(n.feature, right_child.slot - my);
+  return {my, 1 + std::max(left.depth, right_child.depth)};
+}
+
+int32_t NodeStore::EmitTree(const RegressionTree& tree,
+                            double learning_rate) {
+  Emitted emitted;
+  if (tree.nodes().empty()) {
+    // MartModel sums lr * 0.0 for an empty tree; emit that as a leaf.
+    emitted.slot = static_cast<int32_t>(topo.size());
+    emitted.depth = 0;
+    topo.push_back(PackTopo(0, 0));
+    split.push_back(std::numeric_limits<double>::quiet_NaN());
+    leaf.push_back(learning_rate * 0.0);
+  } else {
+    emitted = EmitSubtree(tree.nodes(), 0, learning_rate);
+  }
+  roots.push_back(emitted.slot);
+  depth.push_back(emitted.depth);
+  return emitted.slot;
+}
+
+void NodeStore::ScheduleRange(size_t t0, size_t t1) {
+  RPE_CHECK_EQ(sched.size(), t0);  // ranges are scheduled back to back
+  sched.resize(t1);
+  for (size_t b = t0; b < t1; b += kBlock) {
+    const size_t e = std::min(t1, b + kBlock);
+    std::iota(sched.begin() + static_cast<ptrdiff_t>(b),
+              sched.begin() + static_cast<ptrdiff_t>(e),
+              static_cast<int32_t>(b));
+    // Stable depth sort inside the block: the 8-chain walk groups get
+    // trees of similar depth, so no chain idles in a parked leaf while a
+    // lone deep tree finishes.
+    std::stable_sort(sched.begin() + static_cast<ptrdiff_t>(b),
+                     sched.begin() + static_cast<ptrdiff_t>(e),
+                     [this](int32_t a, int32_t b2) {
+                       return depth[static_cast<size_t>(a)] <
+                              depth[static_cast<size_t>(b2)];
+                     });
+  }
+}
+
+namespace {
+
+/// One walk step: one 4-byte topo load yields both the feature id and the
+/// right-child distance; the split load and the (dependent) feature
+/// gather complete the step. Compiles to a conditional move — no
+/// data-dependent branch.
+inline int32_t Step(const double* __restrict x,
+                    const int32_t* __restrict topo,
+                    const double* __restrict split, int32_t idx) {
+  const int32_t packed = topo[idx];
+  const int32_t feat = packed & ((1 << NodeStore::kFeatureBits) - 1);
+  const int32_t right = idx + (packed >> NodeStore::kFeatureBits);
+  return x[feat] <= split[idx] ? idx + 1 : right;
+}
+
+}  // namespace
+
+double NodeStore::Score(const double* __restrict x, size_t t0, size_t t1,
+                        double init) const {
+  const int32_t* __restrict tp = topo.data();
+  const double* __restrict sp = split.data();
+  const double* __restrict lv = leaf.data();
+  const int32_t* __restrict sc = sched.data();
+  double f = init;
+  // Per block: walk in depth-sorted order, park leaf values in a block
+  // buffer, then accumulate in original tree order — the sum runs
+  // bias-first, tree 0, 1, 2, … exactly like MartModel::Predict, so the
+  // result bits don't depend on the walk schedule. Eight trees walk
+  // concurrently: eight independent load→compare→step chains overlap in
+  // the pipeline, where a single chain would stall on every node fetch.
+  for (size_t b = t0; b < t1; b += kBlock) {
+    const size_t e = std::min(t1, b + kBlock);
+    // While this block walks (~tens of cycles per chain round), pull the
+    // next block's root nodes into cache: their addresses are known now,
+    // and the walk would otherwise start with eight serial misses.
+    const size_t prefetch_end = std::min(t1, b + 2 * kBlock);
+    for (size_t k = e; k < prefetch_end; ++k) {
+      const int32_t r = roots[sc[k]];
+      __builtin_prefetch(&tp[r], 0, 1);
+      __builtin_prefetch(&sp[r], 0, 1);
+    }
+    double vals[kBlock];
+    size_t t = b;
+    for (; t + 8 <= e; t += 8) {
+      const int32_t T0 = sc[t], T1 = sc[t + 1], T2 = sc[t + 2],
+                    T3 = sc[t + 3], T4 = sc[t + 4], T5 = sc[t + 5],
+                    T6 = sc[t + 6], T7 = sc[t + 7];
+      int32_t c0 = roots[T0], c1 = roots[T1], c2 = roots[T2],
+              c3 = roots[T3], c4 = roots[T4], c5 = roots[T5],
+              c6 = roots[T6], c7 = roots[T7];
+      // Depth-sorted within the block: the group's max is the last tree.
+      // Best-first trees are unbalanced, so a typical root→leaf path is
+      // much shorter than the max depth; once every cursor is parked in a
+      // self-looping leaf (nothing moved this step), the group is done.
+      const int32_t steps = depth[T7];
+      for (int32_t s = 0; s < steps; ++s) {
+        const int32_t n0 = Step(x, tp, sp, c0);
+        const int32_t n1 = Step(x, tp, sp, c1);
+        const int32_t n2 = Step(x, tp, sp, c2);
+        const int32_t n3 = Step(x, tp, sp, c3);
+        const int32_t n4 = Step(x, tp, sp, c4);
+        const int32_t n5 = Step(x, tp, sp, c5);
+        const int32_t n6 = Step(x, tp, sp, c6);
+        const int32_t n7 = Step(x, tp, sp, c7);
+        const int32_t moved = (n0 ^ c0) | (n1 ^ c1) | (n2 ^ c2) |
+                              (n3 ^ c3) | (n4 ^ c4) | (n5 ^ c5) |
+                              (n6 ^ c6) | (n7 ^ c7);
+        c0 = n0;
+        c1 = n1;
+        c2 = n2;
+        c3 = n3;
+        c4 = n4;
+        c5 = n5;
+        c6 = n6;
+        c7 = n7;
+        if (moved == 0) break;
+      }
+      vals[T0 - b] = lv[c0];
+      vals[T1 - b] = lv[c1];
+      vals[T2 - b] = lv[c2];
+      vals[T3 - b] = lv[c3];
+      vals[T4 - b] = lv[c4];
+      vals[T5 - b] = lv[c5];
+      vals[T6 - b] = lv[c6];
+      vals[T7 - b] = lv[c7];
+    }
+    for (; t < e; ++t) {
+      const int32_t tree = sc[t];
+      int32_t c = roots[tree];
+      const int32_t steps = depth[tree];
+      for (int32_t s = 0; s < steps; ++s) {
+        const int32_t n = Step(x, tp, sp, c);
+        if (n == c) break;  // parked in a leaf
+        c = n;
+      }
+      vals[tree - b] = lv[c];
+    }
+    for (size_t k = b; k < e; ++k) f += vals[k - b];
+  }
+  return f;
+}
+
+namespace {
+
+/// One split node during QuickScorer table construction.
+struct QsRawEntry {
+  int32_t feature;
+  double threshold;
+  int32_t tree;
+  uint64_t mask;
+};
+
+/// Leaf bookkeeping for one tree during QuickScorer table construction:
+/// DFS left-first so leaf j is the j-th leaf in left-to-right order, and
+/// each interior node's left subtree covers a contiguous leaf range.
+struct QsTreeBuilder {
+  const std::vector<RegressionTree::Node>* nodes;
+  std::vector<QsRawEntry>* entries;
+  std::vector<double>* leaf_value;
+  int32_t tree_id;
+  int32_t next_leaf = 0;
+
+  /// Returns the leaf range [first, last) of the subtree at old_idx.
+  std::pair<int32_t, int32_t> Walk(int old_idx, double learning_rate) {
+    const RegressionTree::Node& n = (*nodes)[static_cast<size_t>(old_idx)];
+    if (n.feature < 0) {
+      leaf_value->push_back(learning_rate * n.value);
+      const int32_t j = next_leaf++;
+      return {j, j + 1};
+    }
+    const auto left = Walk(n.left, learning_rate);
+    const auto right = Walk(n.right, learning_rate);
+    // A false node (x > threshold) abandons its left subtree: the mask
+    // clears that contiguous leaf range.
+    const int32_t width = left.second - left.first;
+    const uint64_t left_bits =
+        (width >= 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1)
+        << left.first;
+    entries->push_back({n.feature, n.threshold, tree_id, ~left_bits});
+    return {left.first, right.second};
+  }
+};
+
+}  // namespace
+
+QuickScorerModel QuickScorerModel::Build(const MartModel& model) {
+  QuickScorerModel qs;
+  qs.bias = model.bias();
+  qs.num_trees = static_cast<int32_t>(model.num_trees());
+  for (const RegressionTree& tree : model.trees()) {
+    if (tree.num_leaves() > 64) return qs;  // usable stays false
+    for (const auto& n : tree.nodes()) {
+      qs.num_features = std::max(qs.num_features, n.feature + 1);
+    }
+  }
+
+  std::vector<QsRawEntry> entries;
+  for (int32_t t = 0; t < qs.num_trees; ++t) {
+    const RegressionTree& tree = model.trees()[static_cast<size_t>(t)];
+    qs.leaf_base.push_back(static_cast<int32_t>(qs.leaf_value.size()));
+    QsTreeBuilder builder{&tree.nodes(), &entries, &qs.leaf_value, t};
+    if (tree.nodes().empty()) {
+      // MartModel sums lr * 0.0 for an empty tree: one constant leaf.
+      qs.leaf_value.push_back(model.learning_rate() * 0.0);
+      builder.next_leaf = 1;
+    } else {
+      builder.Walk(0, model.learning_rate());
+    }
+    qs.init_mask.push_back(
+        builder.next_leaf >= 64 ? ~uint64_t{0}
+                                : (uint64_t{1} << builder.next_leaf) - 1);
+  }
+
+  // Group by feature, ascending threshold within each group. Threshold
+  // ties need no particular order: x > threshold fires all or none.
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const QsRawEntry& a, const QsRawEntry& b) {
+                     return a.feature != b.feature
+                                ? a.feature < b.feature
+                                : a.threshold < b.threshold;
+                   });
+  qs.feat_begin.assign(static_cast<size_t>(qs.num_features) + 1, 0);
+  qs.threshold.reserve(entries.size());
+  qs.entry_tree.reserve(entries.size());
+  qs.entry_mask.reserve(entries.size());
+  for (const QsRawEntry& entry : entries) {
+    qs.feat_begin[static_cast<size_t>(entry.feature) + 1]++;
+    qs.threshold.push_back(entry.threshold);
+    qs.entry_tree.push_back(entry.tree);
+    qs.entry_mask.push_back(entry.mask);
+  }
+  for (size_t f = 1; f < qs.feat_begin.size(); ++f) {
+    qs.feat_begin[f] += qs.feat_begin[f - 1];
+  }
+  qs.usable = true;
+  return qs;
+}
+
+double QuickScorerModel::Score(const double* __restrict x,
+                               std::vector<uint64_t>* bits_scratch) const {
+  std::vector<uint64_t>& bits = *bits_scratch;
+  bits.assign(init_mask.begin(), init_mask.end());
+  const double* __restrict thr = threshold.data();
+  const int32_t* __restrict tr = entry_tree.data();
+  const uint64_t* __restrict mk = entry_mask.data();
+  for (int32_t f = 0; f < num_features; ++f) {
+    const size_t end = feat_begin[static_cast<size_t>(f) + 1];
+    size_t k = feat_begin[static_cast<size_t>(f)];
+    const double xf = x[f];
+    if (std::isnan(xf)) {
+      // The tree walk sends NaN right at every node (x <= t is false),
+      // so every node of this feature is a false node.
+      for (; k < end; ++k) bits[static_cast<size_t>(tr[k])] &= mk[k];
+      continue;
+    }
+    // Ascending thresholds: once xf <= thr[k] the walk would go left at
+    // this and every later node of this feature — stop.
+    for (; k < end && xf > thr[k]; ++k) {
+      bits[static_cast<size_t>(tr[k])] &= mk[k];
+    }
+  }
+  double f = bias;
+  const int32_t* __restrict lb = leaf_base.data();
+  const double* __restrict lv = leaf_value.data();
+  for (int32_t t = 0; t < num_trees; ++t) {
+    // The exit leaf is the lowest surviving bit (leaves left of it were
+    // cleared by a false node on the exit path; see header comment).
+    f += lv[lb[t] + std::countr_zero(bits[static_cast<size_t>(t)])];
+  }
+  return f;
+}
+
+}  // namespace flat_internal
+
+FlatEnsemble FlatEnsemble::Compile(const MartModel& model) {
+  FlatEnsemble flat;
+  flat.bias_ = model.bias();
+  flat.store_.roots.reserve(model.num_trees());
+  flat.store_.depth.reserve(model.num_trees());
+  for (const RegressionTree& tree : model.trees()) {
+    flat.store_.EmitTree(tree, model.learning_rate());
+  }
+  flat.store_.ScheduleRange(0, model.num_trees());
+  return flat;
+}
+
+double FlatEnsemble::Predict(std::span<const double> features) const {
+  return store_.Score(features.data(), 0, num_trees(), bias_);
+}
+
+void FlatEnsemble::PredictBatch(const Dataset& data,
+                                std::span<double> out) const {
+  RPE_CHECK_EQ(out.size(), data.num_examples());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = bias_;
+  // Tile over tree blocks small enough to stay cache-resident across the
+  // whole batch; every row still accumulates trees in ascending order
+  // (bias first), so each out[i] is bitwise equal to Predict(row i).
+  const size_t nt = num_trees();
+  for (size_t t0 = 0; t0 < nt; t0 += flat_internal::NodeStore::kBlock) {
+    const size_t t1 = std::min(nt, t0 + flat_internal::NodeStore::kBlock);
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] = store_.Score(data.ExampleSpan(i).data(), t0, t1, out[i]);
+    }
+  }
+}
+
+FlatEnsembleSet FlatEnsembleSet::Compile(const std::vector<MartModel>& models) {
+  FlatEnsembleSet set;
+  set.bias_.reserve(models.size());
+  set.tree_begin_.reserve(models.size() + 1);
+  set.tree_begin_.push_back(0);
+  for (const MartModel& model : models) {
+    set.bias_.push_back(model.bias());
+    for (const RegressionTree& tree : model.trees()) {
+      set.store_.EmitTree(tree, model.learning_rate());
+    }
+    set.store_.ScheduleRange(set.tree_begin_.back(),
+                             set.store_.roots.size());
+    set.tree_begin_.push_back(set.store_.roots.size());
+    set.qs_.push_back(flat_internal::QuickScorerModel::Build(model));
+  }
+  return set;
+}
+
+double FlatEnsembleSet::ScoreModel(size_t m, const double* x) const {
+  if (qs_[m].usable) {
+    // Thread-local scratch keeps the hot path allocation-free after the
+    // first call on each thread.
+    static thread_local std::vector<uint64_t> bits;
+    return qs_[m].Score(x, &bits);
+  }
+  return store_.Score(x, tree_begin_[m], tree_begin_[m + 1], bias_[m]);
+}
+
+void FlatEnsembleSet::PredictAll(std::span<const double> features,
+                                 std::span<double> out) const {
+  RPE_CHECK_EQ(out.size(), num_models());
+  for (size_t m = 0; m < out.size(); ++m) {
+    out[m] = ScoreModel(m, features.data());
+  }
+}
+
+size_t FlatEnsembleSet::ArgMin(std::span<const double> features) const {
+  RPE_CHECK_GT(num_models(), 0u);
+  size_t best = 0;
+  double best_value = ScoreModel(0, features.data());
+  for (size_t m = 1; m < num_models(); ++m) {
+    const double v = ScoreModel(m, features.data());
+    if (v < best_value) {
+      best_value = v;
+      best = m;
+    }
+  }
+  return best;
+}
+
+}  // namespace rpe

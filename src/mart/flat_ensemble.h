@@ -1,0 +1,177 @@
+// Compiled inference layout for trained MART ensembles. A FlatEnsemble
+// re-packs a MartModel's pointer-chased per-tree Node vectors into one
+// contiguous structure-of-arrays buffer: per-node packed topology words
+// (feature id + right-child offset in one int32), split thresholds, leaf
+// values, and per-tree roots/depths; nodes in preorder so the left child
+// is always the next slot, with the learning rate pre-folded into the
+// leaf values. Leaves are self-looping (NaN split, right = self), so
+// scoring walks a fixed per-tree depth with no leaf test, and eight trees
+// walk concurrently as independent dependency chains to hide load
+// latency; trees are walked depth-sorted within 16-tree blocks so the
+// chains finish together instead of idling at the block's deepest tree.
+// This is what makes the per-candidate scoring of the selection stack
+// (selector × pool × observation) cheap enough for continuous
+// monitoring. Predictions are bit-exact with MartModel::Predict: leaf
+// values land in a block buffer and accumulate in original tree order
+// from the bias, so only the walk schedule differs, never the summation
+// order.
+//
+// FlatEnsembleSet packs several models (the per-candidate error
+// regressors of EstimatorSelector) into a single buffer for multi-model
+// scoring of one feature vector without per-model call overhead.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mart/mart.h"
+
+namespace rpe {
+
+namespace flat_internal {
+
+/// QuickScorer-style evaluation tables for one model (Lucchese et al.,
+/// SIGIR'15 idiom): per feature, the model's split nodes sorted by
+/// threshold; each carries a bitmask clearing its left subtree's leaves.
+/// Scoring scans each feature's list while x[f] > threshold (a false
+/// node means the walk would go right, abandoning the left subtree) and
+/// ANDs the masks into per-tree leaf bitvectors; the exit leaf of every
+/// tree is then the lowest surviving bit. Sequential streaming replaces
+/// the pointer-chased walk entirely; the chosen leaf — and therefore the
+/// scored value — is identical, and leaves accumulate in tree order, so
+/// results stay bit-exact with MartModel::Predict. Only usable when every
+/// tree has at most 64 leaves (one uint64 bitvector per tree).
+struct QuickScorerModel {
+  /// Build from `model`; sets usable = false (leaving the store's walk
+  /// path in charge) if a tree exceeds 64 leaves.
+  static QuickScorerModel Build(const MartModel& model);
+
+  double Score(const double* x, std::vector<uint64_t>* bits_scratch) const;
+
+  bool usable = false;
+  double bias = 0.0;
+  int32_t num_trees = 0;
+  int32_t num_features = 0;  ///< max split feature id + 1
+
+  /// Per feature f: entries [feat_begin[f], feat_begin[f+1]) sorted by
+  /// ascending threshold (parallel arrays).
+  std::vector<size_t> feat_begin;
+  std::vector<double> threshold;
+  std::vector<int32_t> entry_tree;
+  std::vector<uint64_t> entry_mask;
+
+  std::vector<uint64_t> init_mask;  ///< per tree: one bit per leaf
+  std::vector<int32_t> leaf_base;   ///< per tree, into leaf_value
+  std::vector<double> leaf_value;   ///< lr * leaf, left-to-right per tree
+};
+
+/// The shared structure-of-arrays node store; one instance holds every
+/// tree of one ensemble (or of a whole model set) back to back.
+struct NodeStore {
+  /// Append `tree` in preorder; returns its root slot. Leaves carry
+  /// lr * value in `leaf` and self-loop (NaN split / right = self).
+  int32_t EmitTree(const RegressionTree& tree, double learning_rate);
+
+  /// Build the depth-sorted walk schedule for the tree range [t0, t1)
+  /// (one range per model). Call once per range after its EmitTree calls.
+  void ScheduleRange(size_t t0, size_t t1);
+
+  /// Walk trees [t0, t1) for `x`, accumulating onto `init` in tree order
+  /// (bit-exact with the sequential per-tree sum). [t0, t1) must be a
+  /// scheduled range or a kBlock-aligned sub-range of one.
+  double Score(const double* x, size_t t0, size_t t1, double init) const;
+
+  /// Feature id (low 10 bits) and the right child's forward distance
+  /// (upper 22 bits, preorder ⇒ always in (0, subtree size)) packed so one
+  /// 4-byte load fetches a node's topology; the left child is always
+  /// slot + 1. Leaves pack feature 0 and distance 0 (right = self).
+  static constexpr int kFeatureBits = 10;
+  static int32_t PackTopo(int32_t feature, int32_t right_delta) {
+    return right_delta << kFeatureBits | feature;
+  }
+
+  /// Trees are depth-sorted and leaf-buffered in blocks of this many
+  /// trees (two 8-chain groups); PredictBatch tiles must align to it.
+  static constexpr size_t kBlock = 16;
+
+  std::vector<int32_t> roots;  ///< per tree: root node slot
+  std::vector<int32_t> depth;  ///< per tree: exact walk length
+  /// Walk order: per kBlock-aligned block of each scheduled range, tree
+  /// ids sorted by depth so concurrently walked trees have similar
+  /// depths. A permutation within each block.
+  std::vector<int32_t> sched;
+  std::vector<int32_t> topo;  ///< packed (feature id, right-child delta)
+  /// Split threshold; quiet NaN at leaves so any comparison sends the
+  /// walk right, i.e. back to the leaf itself.
+  std::vector<double> split;
+  /// learning_rate * leaf value (folding the multiply is bit-exact: FP
+  /// multiplication is deterministic, only computed once); 0 elsewhere.
+  std::vector<double> leaf;
+
+ private:
+  struct Emitted {
+    int32_t slot;
+    int32_t depth;
+  };
+  Emitted EmitSubtree(const std::vector<RegressionTree::Node>& nodes,
+                      int old_idx, double learning_rate);
+};
+
+}  // namespace flat_internal
+
+/// \brief One MartModel compiled for fast scoring.
+class FlatEnsemble {
+ public:
+  FlatEnsemble() = default;
+
+  static FlatEnsemble Compile(const MartModel& model);
+
+  /// Bit-exact equivalent of MartModel::Predict.
+  double Predict(std::span<const double> features) const;
+
+  /// Score every example of `data`; out.size() must equal
+  /// data.num_examples().
+  void PredictBatch(const Dataset& data, std::span<double> out) const;
+
+  size_t num_trees() const { return store_.roots.size(); }
+  size_t num_nodes() const { return store_.topo.size(); }
+  double bias() const { return bias_; }
+
+ private:
+  double bias_ = 0.0;
+  flat_internal::NodeStore store_;
+};
+
+/// \brief Several models packed into one buffer, scored together — the
+/// selection-stack hot path (one error regressor per pool candidate).
+class FlatEnsembleSet {
+ public:
+  FlatEnsembleSet() = default;
+
+  static FlatEnsembleSet Compile(const std::vector<MartModel>& models);
+
+  size_t num_models() const { return bias_.size(); }
+  size_t num_nodes() const { return store_.topo.size(); }
+
+  /// out[m] = prediction of model m; out.size() must equal num_models().
+  /// Bit-exact with calling MartModel::Predict per model.
+  void PredictAll(std::span<const double> features,
+                  std::span<double> out) const;
+
+  /// Index of the model with the smallest prediction (first on ties);
+  /// requires num_models() > 0. No allocation.
+  size_t ArgMin(std::span<const double> features) const;
+
+ private:
+  double ScoreModel(size_t m, const double* x) const;
+
+  std::vector<double> bias_;        ///< per model
+  std::vector<size_t> tree_begin_;  ///< per model, index into roots; +1 slot
+  flat_internal::NodeStore store_;
+  /// QuickScorer tables per model; the scoring path of choice whenever
+  /// usable (store_ remains the fallback for >64-leaf trees).
+  std::vector<flat_internal::QuickScorerModel> qs_;
+};
+
+}  // namespace rpe

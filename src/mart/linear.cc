@@ -87,7 +87,7 @@ LinearModel LinearModel::Train(const Dataset& data, double ridge_lambda) {
   return model;
 }
 
-double LinearModel::Predict(const std::vector<double>& features) const {
+double LinearModel::Predict(std::span<const double> features) const {
   RPE_CHECK_EQ(features.size(), weights_.size());
   double y = bias_;
   for (size_t j = 0; j < weights_.size(); ++j) {
@@ -100,7 +100,7 @@ double LinearModel::MeanSquaredError(const Dataset& data) const {
   if (data.num_examples() == 0) return 0.0;
   double mse = 0.0;
   for (size_t i = 0; i < data.num_examples(); ++i) {
-    const double d = Predict(data.ExampleFeatures(i)) - data.target(i);
+    const double d = Predict(data.ExampleSpan(i)) - data.target(i);
     mse += d * d;
   }
   return mse / static_cast<double>(data.num_examples());

@@ -3,6 +3,7 @@
 // because they cannot capture the non-linear feature/error dependencies).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "mart/dataset.h"
@@ -14,7 +15,10 @@ class LinearModel {
  public:
   static LinearModel Train(const Dataset& data, double ridge_lambda = 1e-3);
 
-  double Predict(const std::vector<double>& features) const;
+  double Predict(std::span<const double> features) const;
+  double Predict(const std::vector<double>& features) const {
+    return Predict(std::span<const double>(features));
+  }
   double MeanSquaredError(const Dataset& data) const;
 
   const std::vector<double>& weights() const { return weights_; }

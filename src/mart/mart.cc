@@ -4,8 +4,15 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace rpe {
+
+namespace {
+/// Below this many example×tree steps the pool hand-off costs more than
+/// the prediction-update loop it parallelizes.
+constexpr size_t kMinParallelPredict = 1 << 13;
+}  // namespace
 
 MartModel MartModel::Train(const Dataset& data, const MartParams& params) {
   MartModel model;
@@ -13,6 +20,8 @@ MartModel MartModel::Train(const Dataset& data, const MartParams& params) {
   model.feature_gains_.assign(data.num_features(), 0.0);
   const size_t n = data.num_examples();
   if (n == 0) return model;
+  ThreadPool* pool =
+      params.pool != nullptr ? params.pool : &ThreadPool::Global();
 
   // F_0: the mean target.
   double mean = 0.0;
@@ -47,17 +56,24 @@ MartModel MartModel::Train(const Dataset& data, const MartParams& params) {
     }
 
     RegressionTree tree = RegressionTree::Fit(
-        binned, residuals, sample, params.tree, &model.feature_gains_);
-    for (size_t i = 0; i < n; ++i) {
+        binned, residuals, sample, params.tree, &model.feature_gains_, pool);
+    // Each index writes only predictions[i], so the parallel update is
+    // bitwise identical to the sequential loop.
+    const auto update = [&](size_t i) {
       predictions[i] +=
-          params.learning_rate * tree.Predict(data.ExampleFeatures(i));
+          params.learning_rate * tree.Predict(data.ExampleSpan(i));
+    };
+    if (pool->num_threads() > 1 && n >= kMinParallelPredict) {
+      pool->ParallelFor(n, update);
+    } else {
+      for (size_t i = 0; i < n; ++i) update(i);
     }
     model.trees_.push_back(std::move(tree));
   }
   return model;
 }
 
-double MartModel::Predict(const std::vector<double>& features) const {
+double MartModel::Predict(std::span<const double> features) const {
   double f = bias_;
   for (const auto& tree : trees_) {
     f += learning_rate_ * tree.Predict(features);
@@ -69,7 +85,7 @@ double MartModel::MeanSquaredError(const Dataset& data) const {
   if (data.num_examples() == 0) return 0.0;
   double mse = 0.0;
   for (size_t i = 0; i < data.num_examples(); ++i) {
-    const double d = Predict(data.ExampleFeatures(i)) - data.target(i);
+    const double d = Predict(data.ExampleSpan(i)) - data.target(i);
     mse += d * d;
   }
   return mse / static_cast<double>(data.num_examples());

@@ -1,9 +1,12 @@
 // MART — Multiple Additive Regression Trees (stochastic gradient boosting,
 // Friedman [10]): the statistical model behind estimator selection
 // (paper §4.2). Squared loss, steepest-descent residual fitting, regression
-// trees as the functional approximators.
+// trees as the functional approximators. Training parallelizes the split
+// search and the per-tree prediction update on a ThreadPool; the fitted
+// (and serialized) model is identical at any thread count.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -12,6 +15,8 @@
 #include "mart/tree.h"
 
 namespace rpe {
+
+class ThreadPool;
 
 /// \brief Boosting parameters (paper defaults: M = 200, 30 leaves).
 struct MartParams {
@@ -22,6 +27,9 @@ struct MartParams {
   double subsample = 1.0;
   int max_bins = 255;
   uint64_t seed = 7;
+  /// Worker pool for training; nullptr = the global pool. The trained
+  /// model does not depend on the pool's thread count.
+  ThreadPool* pool = nullptr;
 };
 
 /// \brief A trained boosted ensemble.
@@ -32,13 +40,19 @@ class MartModel {
   /// Train on `data` with squared loss.
   static MartModel Train(const Dataset& data, const MartParams& params = {});
 
-  double Predict(const std::vector<double>& features) const;
+  double Predict(std::span<const double> features) const;
+  double Predict(const std::vector<double>& features) const {
+    return Predict(std::span<const double>(features));
+  }
 
   /// Mean squared error over a dataset.
   double MeanSquaredError(const Dataset& data) const;
 
   size_t num_trees() const { return trees_.size(); }
   double bias() const { return bias_; }
+  double learning_rate() const { return learning_rate_; }
+  /// Read-only tree access for ensemble compilation (FlatEnsemble).
+  const std::vector<RegressionTree>& trees() const { return trees_; }
   /// Total split gain accumulated per feature during training.
   const std::vector<double>& feature_gains() const { return feature_gains_; }
   /// Training MSE after each boosting iteration.

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace rpe {
 
@@ -28,54 +29,89 @@ struct GrowableLeaf {
   SplitCandidate best;
 };
 
-SplitCandidate FindBestSplit(const BinnedDataset& data,
-                             const std::vector<double>& residuals,
-                             const GrowableLeaf& leaf,
-                             const TreeParams& params) {
+/// Histogram scan of one feature: the best split of `leaf` on feature `f`
+/// alone. Pure function of (data, residuals, leaf, f), so feature scans
+/// can run concurrently and reduce in feature order afterwards.
+SplitCandidate ScanFeature(const BinnedDataset& data,
+                           const std::vector<double>& residuals,
+                           const GrowableLeaf& leaf, size_t f,
+                           const TreeParams& params) {
   SplitCandidate best;
+  const size_t nbins = data.num_bins(f);
+  if (nbins < 2) return best;
   const size_t n = leaf.indices.size();
-  if (n < 2 * static_cast<size_t>(params.min_examples_per_leaf)) return best;
   const double total_sum = leaf.sum;
   const double parent_score = total_sum * total_sum / static_cast<double>(n);
 
   double hist_sum[256];
   uint32_t hist_cnt[256];
-  for (size_t f = 0; f < data.num_features(); ++f) {
-    const size_t nbins = data.num_bins(f);
-    if (nbins < 2) continue;
-    std::fill(hist_sum, hist_sum + nbins, 0.0);
-    std::fill(hist_cnt, hist_cnt + nbins, 0u);
-    for (uint32_t idx : leaf.indices) {
-      const uint8_t b = data.bin(idx, f);
-      hist_sum[b] += residuals[idx];
-      hist_cnt[b] += 1;
+  std::fill(hist_sum, hist_sum + nbins, 0.0);
+  std::fill(hist_cnt, hist_cnt + nbins, 0u);
+  for (uint32_t idx : leaf.indices) {
+    const uint8_t b = data.bin(idx, f);
+    hist_sum[b] += residuals[idx];
+    hist_cnt[b] += 1;
+  }
+  double left_sum = 0.0;
+  size_t left_cnt = 0;
+  for (size_t b = 0; b + 1 < nbins; ++b) {
+    left_sum += hist_sum[b];
+    left_cnt += hist_cnt[b];
+    const size_t right_cnt = n - left_cnt;
+    if (left_cnt < static_cast<size_t>(params.min_examples_per_leaf) ||
+        right_cnt < static_cast<size_t>(params.min_examples_per_leaf)) {
+      continue;
     }
-    double left_sum = 0.0;
-    size_t left_cnt = 0;
-    for (size_t b = 0; b + 1 < nbins; ++b) {
-      left_sum += hist_sum[b];
-      left_cnt += hist_cnt[b];
-      const size_t right_cnt = n - left_cnt;
-      if (left_cnt < static_cast<size_t>(params.min_examples_per_leaf) ||
-          right_cnt < static_cast<size_t>(params.min_examples_per_leaf)) {
-        continue;
-      }
-      const double right_sum = total_sum - left_sum;
-      const double score =
-          left_sum * left_sum / static_cast<double>(left_cnt) +
-          right_sum * right_sum / static_cast<double>(right_cnt);
-      const double gain = score - parent_score;
-      if (gain > best.gain && gain > params.min_gain) {
-        best.valid = true;
-        best.feature = f;
-        best.bin = b;
-        best.threshold = data.bin_upper(f, b);
-        best.gain = gain;
-        best.left_sum = left_sum;
-        best.right_sum = right_sum;
-        best.left_count = left_cnt;
-        best.right_count = right_cnt;
-      }
+    const double right_sum = total_sum - left_sum;
+    const double score =
+        left_sum * left_sum / static_cast<double>(left_cnt) +
+        right_sum * right_sum / static_cast<double>(right_cnt);
+    const double gain = score - parent_score;
+    if (gain > best.gain && gain > params.min_gain) {
+      best.valid = true;
+      best.feature = f;
+      best.bin = b;
+      best.threshold = data.bin_upper(f, b);
+      best.gain = gain;
+      best.left_sum = left_sum;
+      best.right_sum = right_sum;
+      best.left_count = left_cnt;
+      best.right_count = right_cnt;
+    }
+  }
+  return best;
+}
+
+/// Don't fan a scan out unless the histogram accumulation amortizes the
+/// pool hand-off (indices × features touched).
+constexpr size_t kMinParallelWork = 1 << 14;
+
+SplitCandidate FindBestSplit(const BinnedDataset& data,
+                             const std::vector<double>& residuals,
+                             const GrowableLeaf& leaf,
+                             const TreeParams& params, ThreadPool* pool) {
+  SplitCandidate best;
+  const size_t n = leaf.indices.size();
+  if (n < 2 * static_cast<size_t>(params.min_examples_per_leaf)) return best;
+  const size_t nf = data.num_features();
+
+  std::vector<SplitCandidate> per_feature(nf);
+  if (pool != nullptr && pool->num_threads() > 1 && nf > 1 &&
+      n * nf >= kMinParallelWork) {
+    pool->ParallelFor(nf, [&](size_t f) {
+      per_feature[f] = ScanFeature(data, residuals, leaf, f, params);
+    });
+  } else {
+    for (size_t f = 0; f < nf; ++f) {
+      per_feature[f] = ScanFeature(data, residuals, leaf, f, params);
+    }
+  }
+  // Ordered reduction: ascending feature id with a strict comparison keeps
+  // the same winner as the sequential single-loop scan (earliest feature
+  // and bin on gain ties), so the fitted tree is thread-count invariant.
+  for (size_t f = 0; f < nf; ++f) {
+    if (per_feature[f].valid && per_feature[f].gain > best.gain) {
+      best = per_feature[f];
     }
   }
   return best;
@@ -87,8 +123,10 @@ RegressionTree RegressionTree::Fit(const BinnedDataset& data,
                                    const std::vector<double>& residuals,
                                    const std::vector<uint32_t>& example_indices,
                                    const TreeParams& params,
-                                   std::vector<double>* feature_gains) {
+                                   std::vector<double>* feature_gains,
+                                   ThreadPool* pool) {
   RPE_CHECK_EQ(residuals.size(), data.num_examples());
+  if (pool == nullptr) pool = &ThreadPool::Global();
   RegressionTree tree;
 
   GrowableLeaf root;
@@ -108,7 +146,7 @@ RegressionTree RegressionTree::Fit(const BinnedDataset& data,
                         : root.sum / static_cast<double>(root.indices.size());
   tree.nodes_.push_back(root_node);
   root.node_id = 0;
-  root.best = FindBestSplit(data, residuals, root, params);
+  root.best = FindBestSplit(data, residuals, root, params, pool);
 
   std::vector<GrowableLeaf> leaves;
   leaves.push_back(std::move(root));
@@ -162,8 +200,8 @@ RegressionTree RegressionTree::Fit(const BinnedDataset& data,
     parent.left = left.node_id;
     parent.right = right.node_id;
 
-    left.best = FindBestSplit(data, residuals, left, params);
-    right.best = FindBestSplit(data, residuals, right, params);
+    left.best = FindBestSplit(data, residuals, left, params, pool);
+    right.best = FindBestSplit(data, residuals, right, params, pool);
     leaves.push_back(std::move(left));
     leaves.push_back(std::move(right));
     ++num_leaves;
@@ -171,7 +209,7 @@ RegressionTree RegressionTree::Fit(const BinnedDataset& data,
   return tree;
 }
 
-double RegressionTree::Predict(const std::vector<double>& features) const {
+double RegressionTree::Predict(std::span<const double> features) const {
   if (nodes_.empty()) return 0.0;
   size_t cur = 0;
   while (nodes_[cur].feature >= 0) {

@@ -1,14 +1,19 @@
 // Binary regression tree with best-first (leaf-wise) growth over binned
 // features, fit to residuals with the MSE criterion — the weak learner
-// inside MART (paper §4.2).
+// inside MART (paper §4.2). Split search runs the per-feature histogram
+// scans on a ThreadPool with an ordered reduction, so the fitted tree is
+// identical to the sequential result at any thread count.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
 #include "mart/dataset.h"
 
 namespace rpe {
+
+class ThreadPool;
 
 /// \brief Tree-growth parameters.
 struct TreeParams {
@@ -20,25 +25,8 @@ struct TreeParams {
 /// \brief A fitted regression tree; predicts from raw feature vectors.
 class RegressionTree {
  public:
-  /// Fit to `residuals` (one per example of `data`). Optionally restrict to
-  /// `example_indices` (stochastic boosting subsample); empty = all.
-  /// Accumulates per-feature split gains into `feature_gains` if non-null.
-  static RegressionTree Fit(const BinnedDataset& data,
-                            const std::vector<double>& residuals,
-                            const std::vector<uint32_t>& example_indices,
-                            const TreeParams& params,
-                            std::vector<double>* feature_gains);
-
-  double Predict(const std::vector<double>& features) const;
-
-  size_t num_nodes() const { return nodes_.size(); }
-  size_t num_leaves() const;
-
-  /// Compact text form (one node per line) for model persistence.
-  std::string Serialize() const;
-  static Result<RegressionTree> Deserialize(const std::string& text);
-
- private:
+  /// \brief One tree node; exposed read-only so FlatEnsemble can compile
+  /// the ensemble into its contiguous layout.
   struct Node {
     int feature = -1;      ///< -1 for leaves
     double threshold = 0;  ///< go left iff x[feature] <= threshold
@@ -46,6 +34,33 @@ class RegressionTree {
     int right = -1;
     double value = 0.0;    ///< leaf prediction
   };
+
+  /// Fit to `residuals` (one per example of `data`). Optionally restrict to
+  /// `example_indices` (stochastic boosting subsample); empty = all.
+  /// Accumulates per-feature split gains into `feature_gains` if non-null.
+  /// Split search parallelizes across features on `pool` (nullptr = the
+  /// global pool); results are independent of the thread count.
+  static RegressionTree Fit(const BinnedDataset& data,
+                            const std::vector<double>& residuals,
+                            const std::vector<uint32_t>& example_indices,
+                            const TreeParams& params,
+                            std::vector<double>* feature_gains,
+                            ThreadPool* pool = nullptr);
+
+  double Predict(std::span<const double> features) const;
+  double Predict(const std::vector<double>& features) const {
+    return Predict(std::span<const double>(features));
+  }
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_leaves() const;
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Compact text form (one node per line) for model persistence.
+  std::string Serialize() const;
+  static Result<RegressionTree> Deserialize(const std::string& text);
+
+ private:
   std::vector<Node> nodes_;  // nodes_[0] is the root
 };
 

@@ -32,10 +32,9 @@ std::vector<ProgressMonitor::PipelineDecision> ProgressMonitor::DecideForRun(
       decisions.push_back(d);
       continue;
     }
-    // Static choice: available before the pipeline starts.
-    std::vector<double> static_features = ExtractStaticFeatures(view);
-    static_features.resize(FeatureSchema::Get().num_features(), 0.0);
-    d.initial_choice = static_selector_->Select(static_features);
+    // Static choice: available before the pipeline starts. The static
+    // selector reads only the static prefix, so no padding is needed.
+    d.initial_choice = static_selector_->Select(ExtractStaticFeatures(view));
     // Dynamic revision at the driver marker, if the pipeline gets there.
     d.revision_obs = MarkerObservation(view, revision_marker_pct_);
     if (d.revision_obs >= 0) {

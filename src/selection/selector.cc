@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace rpe {
 
@@ -16,14 +17,18 @@ MartParams EstimatorSelector::DefaultParams() {
 
 std::vector<double> EstimatorSelector::ProjectFeatures(
     const std::vector<double>& features) const {
+  const std::span<const double> s = ProjectSpan(features);
+  return std::vector<double>(s.begin(), s.end());
+}
+
+std::span<const double> EstimatorSelector::ProjectSpan(
+    std::span<const double> features) const {
   if (use_dynamic_) {
     RPE_CHECK_EQ(features.size(), num_inputs_);
     return features;
   }
   RPE_CHECK_GE(features.size(), num_inputs_);
-  return std::vector<double>(features.begin(),
-                             features.begin() +
-                                 static_cast<ptrdiff_t>(num_inputs_));
+  return features.first(num_inputs_);
 }
 
 EstimatorSelector EstimatorSelector::Train(
@@ -38,36 +43,36 @@ EstimatorSelector EstimatorSelector::Train(
                              : schema.num_static_features();
   RPE_CHECK(!selector.pool_.empty());
 
-  for (size_t est : selector.pool_) {
+  // The per-candidate error regressors are independent (same features,
+  // different labels), so they train concurrently; each lands in its own
+  // slot and MartModel::Train is itself deterministic, so the result is
+  // identical to the sequential loop.
+  ThreadPool* workers =
+      params.pool != nullptr ? params.pool : &ThreadPool::Global();
+  selector.models_.resize(selector.pool_.size());
+  workers->ParallelFor(selector.pool_.size(), [&](size_t k) {
+    const size_t est = selector.pool_[k];
     Dataset data(selector.num_inputs_);
     for (const auto& r : records) {
       RPE_CHECK_LT(est, r.l1.size());
       RPE_CHECK_OK(
           data.AddExample(selector.ProjectFeatures(r.features), r.l1[est]));
     }
-    selector.models_.push_back(MartModel::Train(data, params));
-  }
+    selector.models_[k] = MartModel::Train(data, params);
+  });
+  selector.flat_ = FlatEnsembleSet::Compile(selector.models_);
   return selector;
 }
 
 std::vector<double> EstimatorSelector::PredictErrors(
-    const std::vector<double>& features) const {
-  const std::vector<double> input = ProjectFeatures(features);
-  std::vector<double> predicted;
-  predicted.reserve(models_.size());
-  for (const auto& model : models_) {
-    predicted.push_back(model.Predict(input));
-  }
+    std::span<const double> features) const {
+  std::vector<double> predicted(flat_.num_models());
+  flat_.PredictAll(ProjectSpan(features), predicted);
   return predicted;
 }
 
-size_t EstimatorSelector::Select(const std::vector<double>& features) const {
-  const std::vector<double> predicted = PredictErrors(features);
-  size_t best = 0;
-  for (size_t i = 1; i < predicted.size(); ++i) {
-    if (predicted[i] < predicted[best]) best = i;
-  }
-  return pool_[best];
+size_t EstimatorSelector::Select(std::span<const double> features) const {
+  return pool_[flat_.ArgMin(ProjectSpan(features))];
 }
 
 size_t EstimatorSelector::SelectForRecord(

@@ -4,10 +4,20 @@
 // execution) and static+dynamic mode (choice revised at the 20% driver
 // marker), and arbitrary candidate pools (e.g. {DNE, TGN, LUO} vs. the full
 // six of Figure 5).
+//
+// Scoring runs on a FlatEnsembleSet compiled from the per-candidate models
+// at training time: one contiguous buffer scores the whole pool per
+// decision with no allocation, which is what the continuous-monitoring
+// path (ProgressMonitor replay: selector × pipeline × observation) leans
+// on. The candidate regressors themselves train concurrently on the
+// ThreadPool; training is deterministic, so the serialized models are
+// identical at any thread count.
 #pragma once
 
+#include <span>
 #include <vector>
 
+#include "mart/flat_ensemble.h"
 #include "mart/mart.h"
 #include "selection/record.h"
 
@@ -29,11 +39,18 @@ class EstimatorSelector {
   static MartParams DefaultParams();
 
   /// Predicted L1 error per pool candidate (pool order).
+  std::vector<double> PredictErrors(std::span<const double> features) const;
   std::vector<double> PredictErrors(
-      const std::vector<double>& features) const;
+      const std::vector<double>& features) const {
+    return PredictErrors(std::span<const double>(features));
+  }
 
   /// Index into SelectableEstimators order of the chosen estimator.
-  size_t Select(const std::vector<double>& features) const;
+  /// Allocation-free: scores the compiled ensemble set directly.
+  size_t Select(std::span<const double> features) const;
+  size_t Select(const std::vector<double>& features) const {
+    return Select(std::span<const double>(features));
+  }
 
   /// Chosen estimator for a record (uses its stored features).
   size_t SelectForRecord(const PipelineRecord& record) const;
@@ -41,6 +58,7 @@ class EstimatorSelector {
   const std::vector<size_t>& pool() const { return pool_; }
   bool uses_dynamic_features() const { return use_dynamic_; }
   const std::vector<MartModel>& models() const { return models_; }
+  const FlatEnsembleSet& flat() const { return flat_; }
 
   /// Aggregate split-gain importance across the per-estimator models,
   /// indexed by feature (full schema indices).
@@ -49,11 +67,15 @@ class EstimatorSelector {
  private:
   std::vector<double> ProjectFeatures(
       const std::vector<double>& features) const;
+  /// Zero-copy projection: the model inputs are always a prefix of the
+  /// full feature vector (static features come first in the schema).
+  std::span<const double> ProjectSpan(std::span<const double> features) const;
 
   std::vector<size_t> pool_;
   bool use_dynamic_ = false;
   size_t num_inputs_ = 0;
   std::vector<MartModel> models_;  // one per pool entry
+  FlatEnsembleSet flat_;           // compiled from models_, scoring path
 };
 
 /// Convenience pools.

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "exec/executor.h"
 #include "selection/selector.h"
 #include "tests/test_util.h"
@@ -222,6 +223,32 @@ TEST_F(SelectionTest, FeatureImportanceConcentratesOnSignal) {
   const auto gains = selector.FeatureImportance();
   // Feature 0 carries all signal; feature 5 is pure noise.
   EXPECT_GT(gains[0], 10.0 * (gains[5] + 1e-12));
+}
+
+TEST_F(SelectionTest, ParallelTrainingIsByteIdenticalToSequential) {
+  const auto train = SyntheticRecords(300, 5);
+  MartParams params;
+  params.num_trees = 15;
+  params.tree.max_leaves = 8;
+  ThreadPool sequential(1);
+  ThreadPool parallel(4);
+
+  params.pool = &sequential;
+  const EstimatorSelector a = EstimatorSelector::Train(
+      train, PoolOriginalThree(), /*use_dynamic=*/false, params);
+  params.pool = &parallel;
+  const EstimatorSelector b = EstimatorSelector::Train(
+      train, PoolOriginalThree(), /*use_dynamic=*/false, params);
+
+  ASSERT_EQ(a.models().size(), b.models().size());
+  for (size_t i = 0; i < a.models().size(); ++i) {
+    EXPECT_EQ(a.models()[i].Serialize(), b.models()[i].Serialize());
+  }
+  // And the compiled scoring path agrees decision-for-decision.
+  for (const auto& r : train) {
+    EXPECT_EQ(a.SelectForRecord(r), b.SelectForRecord(r));
+    EXPECT_EQ(a.PredictErrors(r.features), b.PredictErrors(r.features));
+  }
 }
 
 }  // namespace

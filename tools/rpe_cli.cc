@@ -13,6 +13,10 @@
 //
 //   rpe_cli inspect  --records records.csv
 //       Summarize a record set (per-estimator error stats and win rates).
+//
+// All commands accept --threads N to size the training/selection worker
+// pool (default: RPE_NUM_THREADS env var, else hardware concurrency).
+// Trained models are identical at any thread count.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -20,6 +24,7 @@
 #include <string>
 
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "harness/experiment.h"
 #include "harness/runner.h"
 
@@ -195,11 +200,15 @@ int CmdInspect(const std::map<std::string, std::string>& flags) {
 
 int Main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: rpe_cli <run|train|evaluate|inspect> [--flags]\n";
+    std::cerr << "usage: rpe_cli <run|train|evaluate|inspect> [--flags]\n"
+                 "       common flags: --threads N\n";
     return 2;
   }
   const std::string cmd = argv[1];
   const auto flags = ParseFlags(argc, argv, 2);
+  if (flags.count("threads") > 0) {
+    ThreadPool::SetGlobalThreads(std::stoi(flags.at("threads")));
+  }
   if (cmd == "run") return CmdRun(flags);
   if (cmd == "train") return CmdTrain(flags);
   if (cmd == "evaluate") return CmdEvaluate(flags);
