@@ -1,7 +1,9 @@
 // Micro-benchmarks (google-benchmark): executor throughput per operator,
-// feature extraction, MART training and prediction, Zipf sampling and
-// histogram construction — the building blocks whose cost determines the
-// (low) overhead the paper requires of progress estimation.
+// feature extraction, MART training and prediction, Zipf sampling,
+// histogram construction, and the serving layer (binary snapshots vs. the
+// CSV/text persistence path, concurrent MonitorService replay) — the
+// building blocks whose cost determines the (low) overhead the paper
+// requires of progress estimation.
 #include <benchmark/benchmark.h>
 
 #include "exec/executor.h"
@@ -9,6 +11,8 @@
 #include "mart/mart.h"
 #include "optimizer/histogram.h"
 #include "selection/features.h"
+#include "serving/monitor_service.h"
+#include "serving/snapshot.h"
 #include "tests/test_util.h"
 
 namespace rpe {
@@ -191,6 +195,147 @@ void BM_MultiModelPredictFlat(benchmark::State& state) {
                           static_cast<int64_t>(out.size()));
 }
 BENCHMARK(BM_MultiModelPredictFlat);
+
+// Serving-layer fixture: a synthetic record set at full schema arity, a
+// trained selector stack, and a few executed runs to replay — the
+// ingredients of the snapshot and MonitorService benchmarks.
+struct ServingFixture {
+  ServingFixture() : records(rpe::testing::RandomRecords(200, 17)) {
+    records_csv = RecordsToCsv(records);
+    records_snapshot = EncodeRecordBatch(records);
+
+    MartParams params;
+    params.num_trees = 20;
+    params.tree.max_leaves = 16;
+    stack = std::make_shared<const SelectorStack>(
+        SelectorStack::Train(records, PoolOriginalThree(), params));
+    stack_snapshot = EncodeSelectorStack(*stack);
+    for (const EstimatorSelector* sel :
+         {&stack->static_selector, &stack->dynamic_selector}) {
+      for (const MartModel& m : sel->models()) {
+        model_texts.push_back(m.Serialize());
+      }
+    }
+
+    auto& catalog = SharedCatalog();
+    auto add_run = [&](std::unique_ptr<PlanNode> root) {
+      auto plan = FinalizePlan(std::move(root), *catalog);
+      auto run = ExecutePlan(**plan, *catalog);
+      plans.push_back(std::move(plan).ValueOrDie());
+      runs.push_back(std::move(run).ValueOrDie());
+    };
+    add_run(MakeTableScan("t_fact"));
+    add_run(MakeHashJoin(MakeTableScan("t_dim"), MakeTableScan("t_fact"), 0,
+                         1));
+    add_run(MakeNestedLoopJoin(MakeTableScan("t_fact"),
+                               MakeIndexSeek("t_dim", "d_id"), 1));
+    for (size_t s = 0; s < 64; ++s) {
+      session_runs.push_back(&runs[s % runs.size()]);
+    }
+  }
+
+  std::vector<PipelineRecord> records;
+  std::string records_csv;
+  std::string records_snapshot;
+  std::shared_ptr<const SelectorStack> stack;
+  std::string stack_snapshot;
+  std::vector<std::string> model_texts;
+  std::vector<std::unique_ptr<PhysicalPlan>> plans;
+  std::vector<QueryRunResult> runs;
+  std::vector<const QueryRunResult*> session_runs;
+};
+
+ServingFixture& Serving() {
+  static ServingFixture fixture;
+  return fixture;
+}
+
+// The "including read/write" cost of Table 7: record persistence via the
+// text CSV path vs. the binary snapshot path.
+void BM_RecordsCsvEncode(benchmark::State& state) {
+  auto& fx = Serving();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RecordsToCsv(fx.records));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.records.size()));
+}
+BENCHMARK(BM_RecordsCsvEncode);
+
+void BM_RecordsCsvDecode(benchmark::State& state) {
+  auto& fx = Serving();
+  for (auto _ : state) {
+    auto records = RecordsFromCsv(fx.records_csv);
+    benchmark::DoNotOptimize(records->size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.records.size()));
+}
+BENCHMARK(BM_RecordsCsvDecode);
+
+void BM_RecordsSnapshotEncode(benchmark::State& state) {
+  auto& fx = Serving();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeRecordBatch(fx.records));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.records.size()));
+}
+BENCHMARK(BM_RecordsSnapshotEncode);
+
+void BM_RecordsSnapshotDecode(benchmark::State& state) {
+  auto& fx = Serving();
+  for (auto _ : state) {
+    auto records = DecodeRecordBatch(fx.records_snapshot);
+    benchmark::DoNotOptimize(records->size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.records.size()));
+}
+BENCHMARK(BM_RecordsSnapshotDecode);
+
+// Model (re)load for warm restarts: text Deserialize of every model of the
+// stack vs. one binary snapshot decode (which includes recompiling the
+// flat scoring buffers).
+void BM_SelectorStackTextDecode(benchmark::State& state) {
+  auto& fx = Serving();
+  for (auto _ : state) {
+    size_t trees = 0;
+    for (const std::string& text : fx.model_texts) {
+      auto model = MartModel::Deserialize(text);
+      trees += model->num_trees();
+    }
+    benchmark::DoNotOptimize(trees);
+  }
+}
+BENCHMARK(BM_SelectorStackTextDecode);
+
+void BM_SelectorStackSnapshotDecode(benchmark::State& state) {
+  auto& fx = Serving();
+  for (auto _ : state) {
+    auto stack = DecodeSelectorStack(fx.stack_snapshot);
+    benchmark::DoNotOptimize(stack->static_selector.models().size());
+  }
+}
+BENCHMARK(BM_SelectorStackSnapshotDecode);
+
+// Concurrent monitor serving: 64 sessions replayed through the service
+// (sharded on the global pool); items = observations scored.
+void BM_MonitorServiceReplayAll64(benchmark::State& state) {
+  auto& fx = Serving();
+  MonitorService service(fx.stack);
+  int64_t observations = 0;
+  for (auto _ : state) {
+    const auto series = service.ReplayAll(fx.session_runs);
+    observations = 0;
+    for (const auto& s : series) {
+      observations += static_cast<int64_t>(s.size());
+    }
+    benchmark::DoNotOptimize(series.data());
+  }
+  state.SetItemsProcessed(state.iterations() * observations);
+}
+BENCHMARK(BM_MonitorServiceReplayAll64);
 
 void BM_ZipfSample(benchmark::State& state) {
   ZipfGenerator zipf(100000, 1.0);

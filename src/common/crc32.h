@@ -1,0 +1,15 @@
+// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant) over byte buffers.
+// Used by the binary snapshot container to detect corrupted or truncated
+// payloads before any field is decoded.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rpe {
+
+/// CRC of `data[0, size)`; `seed` chains incremental computations (pass the
+/// previous call's result to continue a running checksum).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace rpe

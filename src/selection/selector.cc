@@ -64,6 +64,44 @@ EstimatorSelector EstimatorSelector::Train(
   return selector;
 }
 
+Result<EstimatorSelector> EstimatorSelector::FromModels(
+    std::vector<size_t> pool, bool use_dynamic_features,
+    std::vector<MartModel> models) {
+  if (pool.empty()) return Status::InvalidArgument("empty selector pool");
+  if (models.size() != pool.size()) {
+    return Status::InvalidArgument("selector pool/model count mismatch");
+  }
+  const FeatureSchema& schema = FeatureSchema::Get();
+  for (size_t est : pool) {
+    if (est >= static_cast<size_t>(kNumEstimatorKinds)) {
+      return Status::InvalidArgument("selector pool entry out of range");
+    }
+  }
+  EstimatorSelector selector;
+  selector.pool_ = std::move(pool);
+  selector.use_dynamic_ = use_dynamic_features;
+  selector.num_inputs_ = use_dynamic_features ? schema.num_features()
+                                              : schema.num_static_features();
+  // The models come from persisted bytes: a split on a feature beyond the
+  // selector's input width would read past the feature vector at scoring
+  // time, so it must be an error here, not a crash later.
+  for (const MartModel& model : models) {
+    for (const RegressionTree& tree : model.trees()) {
+      for (const RegressionTree::Node& n : tree.nodes()) {
+        if (n.feature >= static_cast<int>(selector.num_inputs_)) {
+          return Status::InvalidArgument(
+              "selector model splits on feature " +
+              std::to_string(n.feature) + ", beyond its " +
+              std::to_string(selector.num_inputs_) + " inputs");
+        }
+      }
+    }
+  }
+  selector.models_ = std::move(models);
+  selector.flat_ = FlatEnsembleSet::Compile(selector.models_);
+  return selector;
+}
+
 std::vector<double> EstimatorSelector::PredictErrors(
     std::span<const double> features) const {
   std::vector<double> predicted(flat_.num_models());

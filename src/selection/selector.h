@@ -38,6 +38,14 @@ class EstimatorSelector {
   /// Paper training setup: M = 200 boosting iterations, 30-leaf trees.
   static MartParams DefaultParams();
 
+  /// Reassemble a trained selector from persisted models (binary snapshot
+  /// load path). The flat scoring buffers are recompiled — compilation is
+  /// deterministic from the models, so the rebuilt selector scores
+  /// bit-identically to the one that was saved.
+  static Result<EstimatorSelector> FromModels(std::vector<size_t> pool,
+                                              bool use_dynamic_features,
+                                              std::vector<MartModel> models);
+
   /// Predicted L1 error per pool candidate (pool order).
   std::vector<double> PredictErrors(std::span<const double> features) const;
   std::vector<double> PredictErrors(

@@ -1,0 +1,271 @@
+#include "serving/monitor_service.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "common/thread_pool.h"
+
+namespace rpe {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+uint64_t CountDecisions(
+    const std::vector<ProgressMonitor::PipelineDecision>& decisions) {
+  uint64_t n = 0;
+  for (const auto& d : decisions) {
+    n += 1 + (d.revised_choice.has_value() ? 1 : 0);
+  }
+  return n;
+}
+
+}  // namespace
+
+MonitorService::Session::Session(std::shared_ptr<const SelectorStack> stack,
+                                 const QueryRunResult* r, double marker_pct)
+    : pinned(std::move(stack)),
+      monitor(&pinned->static_selector, &pinned->dynamic_selector, marker_pct),
+      run(r) {}
+
+MonitorService::MonitorService(std::shared_ptr<const SelectorStack> models)
+    : MonitorService(std::move(models), Options()) {}
+
+MonitorService::MonitorService(std::shared_ptr<const SelectorStack> models,
+                               Options options)
+    : options_(options), models_(std::move(models)) {
+  RPE_CHECK(models_ != nullptr);
+}
+
+void MonitorService::SwapModels(std::shared_ptr<const SelectorStack> models) {
+  RPE_CHECK(models != nullptr);
+  std::lock_guard<std::mutex> lock(models_mu_);
+  models_ = std::move(models);
+}
+
+std::shared_ptr<const SelectorStack> MonitorService::models() const {
+  std::lock_guard<std::mutex> lock(models_mu_);
+  return models_;
+}
+
+Result<MonitorService::SessionId> MonitorService::OpenSession(
+    const QueryRunResult* run) {
+  if (run == nullptr) {
+    return Status::InvalidArgument("OpenSession: null run");
+  }
+  const auto start = Clock::now();
+  auto session = std::make_shared<Session>(models(), run,
+                                           options_.revision_marker_pct);
+  // The estimator decisions — the selector scoring — happen at open, once,
+  // exactly as a live monitor decides when the query is admitted.
+  session->decisions = session->monitor.DecideForRun(*run);
+  session->elapsed_sec = SecondsSince(start);
+  const double session_elapsed = session->elapsed_sec;
+  const uint64_t decisions = CountDecisions(session->decisions);
+  SessionId id = 0;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    id = next_id_++;
+    sessions_.emplace(id, std::move(session));
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++sessions_opened_;
+    decisions_ += decisions;
+    scoring_time_sec_ += session_elapsed;
+  }
+  return id;
+}
+
+Result<std::shared_ptr<MonitorService::Session>> MonitorService::Find(
+    SessionId id) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no open session " + std::to_string(id));
+  }
+  return it->second;
+}
+
+double MonitorService::StepLocked(Session* s) {
+  const auto start = Clock::now();
+  s->last_progress =
+      s->monitor.QueryProgressAt(*s->run, s->decisions, s->next_obs);
+  ++s->next_obs;
+  const double dt = SecondsSince(start);
+  s->elapsed_sec += dt;
+  return dt;
+}
+
+Result<double> MonitorService::Advance(SessionId id) {
+  RPE_ASSIGN_OR_RETURN(std::shared_ptr<Session> s, Find(id));
+  double progress = 0.0;
+  double dt = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (s->next_obs >= s->run->observations.size()) {
+      return Status::OutOfRange("session " + std::to_string(id) +
+                                " replay complete");
+    }
+    dt = StepLocked(s.get());
+    progress = s->last_progress;
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++observations_scored_;
+  scoring_time_sec_ += dt;
+  return progress;
+}
+
+Result<double> MonitorService::Progress(SessionId id) const {
+  RPE_ASSIGN_OR_RETURN(std::shared_ptr<Session> s, Find(id));
+  std::lock_guard<std::mutex> lock(s->mu);
+  return s->last_progress;
+}
+
+Result<bool> MonitorService::Done(SessionId id) const {
+  RPE_ASSIGN_OR_RETURN(std::shared_ptr<Session> s, Find(id));
+  std::lock_guard<std::mutex> lock(s->mu);
+  return s->next_obs >= s->run->observations.size();
+}
+
+void MonitorService::PushLatencyLocked(double latency_ms) {
+  if (replay_latency_ms_.size() < kLatencyWindow) {
+    replay_latency_ms_.push_back(latency_ms);
+  } else {
+    replay_latency_ms_[latency_next_] = latency_ms;  // overwrite the oldest
+    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+  }
+}
+
+void MonitorService::RecordCompletion(const Session& s) {
+  // Scoring time already accrued live (at open and per step); only the
+  // completion latency sample and count are recorded here.
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++sessions_completed_;
+  PushLatencyLocked(s.elapsed_sec * 1e3);
+}
+
+Status MonitorService::CloseSession(SessionId id) {
+  std::shared_ptr<Session> s;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      return Status::NotFound("no open session " + std::to_string(id));
+    }
+    s = std::move(it->second);
+    sessions_.erase(it);
+  }
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->next_obs >= s->run->observations.size()) RecordCompletion(*s);
+  return Status::OK();
+}
+
+size_t MonitorService::num_open_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+size_t MonitorService::Tick() {
+  // Snapshot the active set, then shard the per-observation scoring: every
+  // unfinished session is advanced exactly once, each writing only its own
+  // state, so the tick is deterministic at any thread count.
+  std::vector<std::shared_ptr<Session>> active;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    active.reserve(sessions_.size());
+    for (auto& [id, s] : sessions_) active.push_back(s);
+  }
+  ThreadPool* pool =
+      options_.pool != nullptr ? options_.pool : &ThreadPool::Global();
+  std::vector<uint8_t> stepped(active.size(), 0);
+  std::vector<uint8_t> unfinished(active.size(), 0);
+  std::vector<double> step_sec(active.size(), 0.0);
+  pool->ParallelFor(active.size(), [&](size_t i) {
+    Session* s = active[i].get();
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (s->next_obs < s->run->observations.size()) {
+      step_sec[i] = StepLocked(s);
+      stepped[i] = 1;
+    }
+    unfinished[i] = s->next_obs < s->run->observations.size() ? 1 : 0;
+  });
+  size_t scored = 0, remaining = 0;
+  double elapsed = 0.0;
+  for (size_t i = 0; i < active.size(); ++i) {
+    scored += stepped[i];
+    remaining += unfinished[i];
+    elapsed += step_sec[i];
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  observations_scored_ += scored;
+  scoring_time_sec_ += elapsed;
+  return remaining;
+}
+
+std::vector<std::vector<double>> MonitorService::ReplayAll(
+    std::span<const QueryRunResult* const> runs) {
+  const std::shared_ptr<const SelectorStack> stack = models();
+  ThreadPool* pool =
+      options_.pool != nullptr ? options_.pool : &ThreadPool::Global();
+  std::vector<std::vector<double>> out(runs.size());
+  std::vector<double> latency_ms(runs.size(), 0.0);
+  std::vector<uint64_t> decisions(runs.size(), 0);
+  std::vector<uint64_t> scored(runs.size(), 0);
+  pool->ParallelFor(runs.size(), [&](size_t i) {
+    const QueryRunResult& run = *runs[i];
+    const auto start = Clock::now();
+    // Same decision + per-observation evaluation sequence as the
+    // sequential ProgressMonitor::ReplayQueryProgress, so each series is
+    // bit-identical to it regardless of how sessions are sharded.
+    ProgressMonitor monitor(&stack->static_selector, &stack->dynamic_selector,
+                            options_.revision_marker_pct);
+    const auto decided = monitor.DecideForRun(run);
+    std::vector<double>& series = out[i];
+    series.reserve(run.observations.size());
+    for (size_t oi = 0; oi < run.observations.size(); ++oi) {
+      series.push_back(monitor.QueryProgressAt(run, decided, oi));
+    }
+    latency_ms[i] = SecondsSince(start) * 1e3;
+    decisions[i] = CountDecisions(decided);
+    scored[i] = run.observations.size();
+  });
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  for (size_t i = 0; i < runs.size(); ++i) {
+    ++sessions_opened_;
+    ++sessions_completed_;
+    decisions_ += decisions[i];
+    observations_scored_ += scored[i];
+    scoring_time_sec_ += latency_ms[i] / 1e3;
+    PushLatencyLocked(latency_ms[i]);
+  }
+  return out;
+}
+
+MonitorService::Stats MonitorService::GetStats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  Stats stats;
+  stats.sessions_opened = sessions_opened_;
+  stats.sessions_completed = sessions_completed_;
+  stats.decisions = decisions_;
+  stats.observations_scored = observations_scored_;
+  stats.p50_replay_ms = Percentile(replay_latency_ms_, 50.0);
+  stats.p95_replay_ms = Percentile(replay_latency_ms_, 95.0);
+  if (scoring_time_sec_ > 0.0) {
+    // Throughput over cumulative scoring time (accrued live at every
+    // decision and observation tick, so open or early-closed sessions
+    // are counted): per-core rates comparable across thread counts.
+    stats.decisions_per_sec =
+        static_cast<double>(decisions_) / scoring_time_sec_;
+    stats.observations_per_sec =
+        static_cast<double>(observations_scored_) / scoring_time_sec_;
+  }
+  return stats;
+}
+
+}  // namespace rpe

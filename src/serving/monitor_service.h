@@ -1,0 +1,152 @@
+// MonitorService: the concurrent serving front of the deployed architecture
+// (paper Figure 3). Many queries are monitored at once; each open session
+// replays one recorded run through the online select-then-revise protocol
+// of ProgressMonitor, and the service shards the per-observation scoring
+// across the shared ThreadPool.
+//
+// Model ownership is an immutable-snapshot hot swap: the service holds a
+// std::shared_ptr<const SelectorStack>, every session pins the snapshot
+// that was current when it opened, and SwapModels atomically publishes a
+// new stack for future sessions without stopping in-flight traffic —
+// nothing is ever mutated after publication, so no scoring path takes a
+// lock.
+//
+// Replay is deterministic: each session advances through the same
+// QueryProgressAt evaluations as the sequential
+// ProgressMonitor::ReplayQueryProgress, and every session writes only its
+// own state, so the progress series is bit-identical at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "selection/monitor.h"
+#include "serving/snapshot.h"
+
+namespace rpe {
+
+class ThreadPool;
+
+/// \brief Concurrent progress-monitoring service over immutable model
+/// snapshots. All public methods are thread-safe.
+class MonitorService {
+ public:
+  struct Options {
+    /// Driver-consumption marker at which choices are revised (§4.4).
+    double revision_marker_pct = 20.0;
+    /// Worker pool for sharded replay; nullptr = the global pool.
+    ThreadPool* pool = nullptr;
+  };
+
+  using SessionId = uint64_t;
+
+  explicit MonitorService(std::shared_ptr<const SelectorStack> models);
+  MonitorService(std::shared_ptr<const SelectorStack> models,
+                 Options options);
+
+  /// Atomically publish a new model snapshot. Sessions opened before the
+  /// swap keep scoring against the snapshot they pinned at open; only new
+  /// sessions see the replacement.
+  void SwapModels(std::shared_ptr<const SelectorStack> models);
+  std::shared_ptr<const SelectorStack> models() const;
+
+  /// Open a monitoring session over a recorded run. The per-pipeline
+  /// estimator decisions (initial + revision) are made here, against the
+  /// current snapshot. `run` must outlive the session.
+  Result<SessionId> OpenSession(const QueryRunResult* run);
+
+  /// Advance the session by one observation tick; returns the query
+  /// progress reported at the new observation. OutOfRange once the run's
+  /// observation stream is exhausted.
+  Result<double> Advance(SessionId id);
+
+  /// Last reported progress (0 before the first Advance).
+  Result<double> Progress(SessionId id) const;
+
+  /// True once every observation of the session's run has been scored.
+  Result<bool> Done(SessionId id) const;
+
+  /// Close the session; its replay latency enters the aggregate stats.
+  Status CloseSession(SessionId id);
+
+  size_t num_open_sessions() const;
+
+  /// Advance every unfinished session by one observation in a single
+  /// sharded pass (all active sessions are scored in one batch per tick).
+  /// Returns the number of sessions still unfinished afterwards.
+  size_t Tick();
+
+  /// Replay whole runs concurrently, one session per entry; out[i] is
+  /// bit-identical to ProgressMonitor::ReplayQueryProgress(*runs[i]) run
+  /// sequentially against the same snapshot.
+  std::vector<std::vector<double>> ReplayAll(
+      std::span<const QueryRunResult* const> runs);
+
+  /// \brief Aggregate serving statistics since construction.
+  struct Stats {
+    size_t sessions_opened = 0;
+    size_t sessions_completed = 0;  ///< fully replayed (closed or ReplayAll)
+    uint64_t decisions = 0;  ///< estimator selections (initial + revised)
+    uint64_t observations_scored = 0;
+    /// Per-session full-replay latency percentiles over a sliding window
+    /// of the most recent completions (the service is long-running; the
+    /// window keeps stats memory bounded).
+    double p50_replay_ms = 0.0;
+    double p95_replay_ms = 0.0;
+    double decisions_per_sec = 0.0;  ///< over cumulative scoring time
+    double observations_per_sec = 0.0;
+  };
+  Stats GetStats() const;
+
+ private:
+  struct Session {
+    std::shared_ptr<const SelectorStack> pinned;  ///< keeps monitor valid
+    ProgressMonitor monitor;
+    const QueryRunResult* run = nullptr;
+    std::vector<ProgressMonitor::PipelineDecision> decisions;
+    size_t next_obs = 0;
+    double last_progress = 0.0;
+    double elapsed_sec = 0.0;  ///< cumulative scoring time
+    /// Serializes Advance/Tick on the same session; distinct sessions
+    /// never contend.
+    mutable std::mutex mu;
+    Session(std::shared_ptr<const SelectorStack> stack,
+            const QueryRunResult* r, double marker_pct);
+  };
+
+  Result<std::shared_ptr<Session>> Find(SessionId id) const;
+  /// One observation tick of one session (caller holds s->mu); returns
+  /// the scoring time spent.
+  static double StepLocked(Session* s);
+  void RecordCompletion(const Session& s);
+  /// Caller holds stats_mu_.
+  void PushLatencyLocked(double latency_ms);
+
+  const Options options_;
+
+  mutable std::mutex models_mu_;
+  std::shared_ptr<const SelectorStack> models_;
+
+  mutable std::mutex sessions_mu_;
+  SessionId next_id_ = 1;
+  std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
+
+  mutable std::mutex stats_mu_;
+  size_t sessions_opened_ = 0;
+  size_t sessions_completed_ = 0;
+  uint64_t decisions_ = 0;
+  uint64_t observations_scored_ = 0;
+  /// Cumulative scoring time, accrued live (session open, every Advance/
+  /// Tick step, every ReplayAll session) — the rate denominator.
+  double scoring_time_sec_ = 0.0;
+  /// Bounded ring of recent per-session replay latencies (see Stats).
+  static constexpr size_t kLatencyWindow = 4096;
+  std::vector<double> replay_latency_ms_;
+  size_t latency_next_ = 0;
+};
+
+}  // namespace rpe

@@ -1,0 +1,89 @@
+// Binary snapshot layer for the serving stack: a versioned, checksummed
+// container for (a) trained selector stacks — the static + dynamic
+// EstimatorSelector pair a ProgressMonitor runs on — and (b) batches of
+// PipelineRecord training data. Snapshots replace the text/CSV persistence
+// path on the hot load path: doubles are stored as raw IEEE-754 bits (so
+// round-trips are bit-exact by construction, not by printf precision), all
+// numeric arrays are contiguous little-endian slabs (mmap-friendly: a
+// future reader can point straight into the payload), and the payload is
+// guarded by a CRC-32 so corruption or truncation is rejected before any
+// field is decoded.
+//
+// Container layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       4     magic  "RPSN" (0x4E535052)
+//   4       4     format version (kSnapshotVersion)
+//   8       4     payload kind (SnapshotKind)
+//   12      4     reserved (0)
+//   16      8     payload size in bytes
+//   24      4     CRC-32 of the payload bytes
+//   28      4     reserved (0)   — header is 32 bytes, payload 8-aligned
+//   32      ...   payload
+//
+// Selector-stack payload: feature-schema metadata (count, static count,
+// names — validated against the running binary's FeatureSchema at load),
+// then the static and dynamic selectors back to back; each selector is its
+// pool, feature mode, and per-candidate MART models with trees stored as
+// structure-of-arrays node slabs. The flat scoring buffers
+// (FlatEnsembleSet) are recompiled at load — compilation is deterministic
+// from the models, so storing them would duplicate state that must never
+// disagree.
+//
+// Record-batch payload: feature/estimator arity header (validated against
+// the schema at load) followed by the records.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "selection/record.h"
+#include "selection/selector.h"
+
+namespace rpe {
+
+inline constexpr uint32_t kSnapshotMagic = 0x4E535052;  // "RPSN"
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+enum class SnapshotKind : uint32_t {
+  kSelectorStack = 1,
+  kRecordBatch = 2,
+};
+
+/// \brief The trained model pair the serving layer runs on: static-feature
+/// selector for initial choices, dynamic-feature selector for revisions.
+struct SelectorStack {
+  EstimatorSelector static_selector;
+  EstimatorSelector dynamic_selector;
+
+  /// Train both selectors of the stack on one record set (the static one
+  /// on the static feature prefix, the dynamic one on the full vector).
+  static SelectorStack Train(
+      const std::vector<PipelineRecord>& records, std::vector<size_t> pool,
+      const MartParams& params = EstimatorSelector::DefaultParams());
+};
+
+/// In-memory encode/decode (the file functions below wrap these).
+std::string EncodeSelectorStack(const SelectorStack& stack);
+Result<SelectorStack> DecodeSelectorStack(std::string_view bytes);
+std::string EncodeRecordBatch(const std::vector<PipelineRecord>& records);
+Result<std::vector<PipelineRecord>> DecodeRecordBatch(std::string_view bytes);
+
+/// Kind of a snapshot buffer/file without decoding the payload (CRC is
+/// still verified).
+Result<SnapshotKind> PeekSnapshotKind(std::string_view bytes);
+Result<SnapshotKind> PeekSnapshotFileKind(const std::string& path);
+
+/// Raw snapshot bytes from disk, so a caller can Peek and Decode the same
+/// buffer without reading (and CRC-checking) the file twice.
+Result<std::string> ReadSnapshotFile(const std::string& path);
+
+Status SaveSelectorStack(const SelectorStack& stack, const std::string& path);
+Result<SelectorStack> LoadSelectorStack(const std::string& path);
+Status SaveRecordBatch(const std::vector<PipelineRecord>& records,
+                       const std::string& path);
+Result<std::vector<PipelineRecord>> LoadRecordBatch(const std::string& path);
+
+}  // namespace rpe

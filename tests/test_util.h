@@ -6,10 +6,40 @@
 #include <set>
 
 #include "common/logging.h"
+#include "selection/record.h"
 #include "storage/catalog.h"
 #include "storage/datagen.h"
 
 namespace rpe::testing {
+
+/// Random PipelineRecords at full schema arity (features uniform in
+/// [0, 1), l1/l2 for every estimator kind): the fixture for
+/// persistence/serving tests and benches that need structurally valid
+/// records but no learnable labels.
+inline std::vector<PipelineRecord> RandomRecords(size_t n, uint64_t seed) {
+  const FeatureSchema& schema = FeatureSchema::Get();
+  Rng rng(seed);
+  std::vector<PipelineRecord> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    PipelineRecord r;
+    r.workload = "synthetic";
+    r.query = "q" + std::to_string(i % 7);
+    r.pipeline_id = static_cast<int>(i % 3);
+    r.tag = i % 2 == 0 ? "even" : "odd";
+    r.total_n = 100.0 + rng.NextDouble() * 1000.0;
+    r.features.reserve(schema.num_features());
+    for (size_t f = 0; f < schema.num_features(); ++f) {
+      r.features.push_back(rng.NextDouble());
+    }
+    for (int e = 0; e < kNumEstimatorKinds; ++e) {
+      r.l1.push_back(rng.NextDouble() * 0.3);
+      r.l2.push_back(rng.NextDouble() * 0.3);
+    }
+    records.push_back(std::move(r));
+  }
+  return records;
+}
 
 /// Build a catalog with two small tables:
 ///   t_fact(f_id, f_fk, f_val)   — 1000 rows, f_fk in [0,100), f_val [0,50)

@@ -3,16 +3,31 @@
 //   rpe_cli run      --kind tpch --queries 200 --scale 10 --zipf 1.0
 //                    --tuning partial --seed 1 --out records.csv
 //       Build a workload, execute it, and write the pipeline records.
+//       `--out x.rpsn` (or --binary) writes a binary record snapshot.
 //
-//   rpe_cli train    --records records.csv [--pool three|six|all]
-//                    [--dynamic] [--trees 200] --out model.txt
-//       Train the estimator-selection models and persist them.
+//   rpe_cli train    --records records.{csv|rpsn} [--pool three|six|all]
+//                    [--trees 200] --out stack.rpsn
+//       Train the full selector stack (static + dynamic) and persist it as
+//       a binary model snapshot.
 //
 //   rpe_cli evaluate --train a.csv --test b.csv [--pool ...] [--dynamic]
 //       Train on one record set, evaluate on another, print the metrics.
 //
-//   rpe_cli inspect  --records records.csv
+//   rpe_cli inspect  --records records.{csv|rpsn}
 //       Summarize a record set (per-estimator error stats and win rates).
+//
+//   rpe_cli snapshot-save --records records.csv --out records.rpsn
+//       Convert a CSV record set into a binary record snapshot.
+//
+//   rpe_cli snapshot-load --in x.rpsn [--out records.csv]
+//       Verify + describe a snapshot (either kind); optionally convert a
+//       record snapshot back to CSV.
+//
+//   rpe_cli serve-replay --kind tpch --queries 60 [--sessions 64]
+//                        [--model stack.rpsn] [--trees 50] [--verify]
+//       Run a workload, then replay every query concurrently through the
+//       MonitorService and print the serving stats (p50/p95 replay
+//       latency, decisions/sec).
 //
 // All commands accept --threads N to size the training/selection worker
 // pool (default: RPE_NUM_THREADS env var, else hardware concurrency).
@@ -27,6 +42,8 @@
 #include "common/thread_pool.h"
 #include "harness/experiment.h"
 #include "harness/runner.h"
+#include "serving/monitor_service.h"
+#include "serving/snapshot.h"
 
 namespace rpe {
 namespace {
@@ -74,37 +91,58 @@ std::vector<size_t> ParsePool(const std::string& s) {
   return PoolSix();
 }
 
-int CmdRun(const std::map<std::string, std::string>& flags) {
+/// Shared workload flags (kind/name/scale/zipf/tuning/queries/seed);
+/// per-command defaults differ only in scale and query count.
+Result<WorkloadConfig> ParseWorkloadFlags(
+    const std::map<std::string, std::string>& flags,
+    const std::string& default_scale, const std::string& default_queries) {
   WorkloadConfig config;
-  auto kind = ParseKind(FlagOr(flags, "kind", "tpch"));
-  if (!kind.ok()) {
-    std::cerr << kind.status().ToString() << "\n";
-    return 1;
-  }
-  config.kind = *kind;
+  RPE_ASSIGN_OR_RETURN(config.kind, ParseKind(FlagOr(flags, "kind", "tpch")));
   config.name = FlagOr(flags, "name", FlagOr(flags, "kind", "tpch"));
-  config.scale = std::stod(FlagOr(flags, "scale", "10"));
+  config.scale = std::stod(FlagOr(flags, "scale", default_scale));
   config.zipf = std::stod(FlagOr(flags, "zipf", "1.0"));
-  auto tuning = ParseTuning(FlagOr(flags, "tuning", "partial"));
-  if (!tuning.ok()) {
-    std::cerr << tuning.status().ToString() << "\n";
+  RPE_ASSIGN_OR_RETURN(config.tuning,
+                       ParseTuning(FlagOr(flags, "tuning", "partial")));
+  config.num_queries = static_cast<size_t>(
+      std::stoul(FlagOr(flags, "queries", default_queries)));
+  config.seed = std::stoull(FlagOr(flags, "seed", "1"));
+  return config;
+}
+
+bool IsSnapshotPath(const std::string& path) {
+  return path.size() >= 5 &&
+         path.compare(path.size() - 5, 5, ".rpsn") == 0;
+}
+
+/// Records load from either persistence format, keyed by extension:
+/// `.rpsn` is the binary snapshot, anything else the CSV path.
+Result<std::vector<PipelineRecord>> LoadRecordsAuto(const std::string& path) {
+  if (IsSnapshotPath(path)) return LoadRecordBatch(path);
+  return LoadRecords(path);
+}
+
+int CmdRun(const std::map<std::string, std::string>& flags) {
+  auto config = ParseWorkloadFlags(flags, /*default_scale=*/"10",
+                                   /*default_queries=*/"200");
+  if (!config.ok()) {
+    std::cerr << config.status().ToString() << "\n";
     return 1;
   }
-  config.tuning = *tuning;
-  config.num_queries =
-      static_cast<size_t>(std::stoul(FlagOr(flags, "queries", "200")));
-  config.seed = std::stoull(FlagOr(flags, "seed", "1"));
 
   RunOptions options;
   options.progress_every = 100;
-  std::cerr << "building + running workload " << config.name << " ...\n";
-  auto records = BuildAndRun(config, options, FlagOr(flags, "tag", ""));
+  std::cerr << "building + running workload " << config->name << " ...\n";
+  auto records = BuildAndRun(*config, options, FlagOr(flags, "tag", ""));
   if (!records.ok()) {
     std::cerr << records.status().ToString() << "\n";
     return 1;
   }
-  const std::string out = FlagOr(flags, "out", "records.csv");
-  auto save = SaveRecords(*records, out);
+  const bool binary = flags.count("binary") > 0;
+  const std::string out =
+      FlagOr(flags, "out", binary ? "records.rpsn" : "records.csv");
+  const Status save = binary || IsSnapshotPath(out)
+                          ? SaveRecordBatch(*records, out)
+                          : SaveRecords(*records, out);
   if (!save.ok()) {
     std::cerr << save.ToString() << "\n";
     return 1;
@@ -114,38 +152,32 @@ int CmdRun(const std::map<std::string, std::string>& flags) {
 }
 
 int CmdTrain(const std::map<std::string, std::string>& flags) {
-  auto records = LoadRecords(FlagOr(flags, "records", "records.csv"));
+  auto records = LoadRecordsAuto(FlagOr(flags, "records", "records.csv"));
   if (!records.ok()) {
     std::cerr << records.status().ToString() << "\n";
     return 1;
   }
   MartParams params = EstimatorSelector::DefaultParams();
   params.num_trees = std::stoi(FlagOr(flags, "trees", "200"));
-  const bool dynamic = flags.count("dynamic") > 0;
-  EstimatorSelector selector = EstimatorSelector::Train(
-      *records, ParsePool(FlagOr(flags, "pool", "six")), dynamic, params);
+  const SelectorStack stack = SelectorStack::Train(
+      *records, ParsePool(FlagOr(flags, "pool", "six")), params);
 
-  const std::string out = FlagOr(flags, "out", "model.txt");
-  std::ofstream file(out);
-  if (!file) {
-    std::cerr << "cannot write " << out << "\n";
+  const std::string out = FlagOr(flags, "out", "stack.rpsn");
+  const Status save = SaveSelectorStack(stack, out);
+  if (!save.ok()) {
+    std::cerr << save.ToString() << "\n";
     return 1;
   }
-  file << selector.pool().size() << " " << (dynamic ? 1 : 0) << "\n";
-  for (size_t i = 0; i < selector.models().size(); ++i) {
-    file << "ESTIMATOR "
-         << EstimatorName(static_cast<EstimatorKind>(selector.pool()[i]))
-         << "\n"
-         << selector.models()[i].Serialize();
-  }
-  std::cout << "trained " << selector.models().size() << " models on "
-            << records->size() << " records -> " << out << "\n";
+  std::cout << "trained static+dynamic selectors ("
+            << stack.static_selector.models().size()
+            << " candidate models each) on " << records->size()
+            << " records -> " << out << "\n";
   return 0;
 }
 
 int CmdEvaluate(const std::map<std::string, std::string>& flags) {
-  auto train = LoadRecords(FlagOr(flags, "train", "train.csv"));
-  auto test = LoadRecords(FlagOr(flags, "test", "test.csv"));
+  auto train = LoadRecordsAuto(FlagOr(flags, "train", "train.csv"));
+  auto test = LoadRecordsAuto(FlagOr(flags, "test", "test.csv"));
   if (!train.ok() || !test.ok()) {
     std::cerr << "failed to load records\n";
     return 1;
@@ -174,7 +206,7 @@ int CmdEvaluate(const std::map<std::string, std::string>& flags) {
 }
 
 int CmdInspect(const std::map<std::string, std::string>& flags) {
-  auto records = LoadRecords(FlagOr(flags, "records", "records.csv"));
+  auto records = LoadRecordsAuto(FlagOr(flags, "records", "records.csv"));
   if (!records.ok()) {
     std::cerr << records.status().ToString() << "\n";
     return 1;
@@ -198,9 +230,180 @@ int CmdInspect(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int CmdSnapshotSave(const std::map<std::string, std::string>& flags) {
+  auto records = LoadRecordsAuto(FlagOr(flags, "records", "records.csv"));
+  if (!records.ok()) {
+    std::cerr << records.status().ToString() << "\n";
+    return 1;
+  }
+  const std::string out = FlagOr(flags, "out", "records.rpsn");
+  auto save = SaveRecordBatch(*records, out);
+  if (!save.ok()) {
+    std::cerr << save.ToString() << "\n";
+    return 1;
+  }
+  std::cout << records->size() << " records -> binary snapshot " << out
+            << "\n";
+  return 0;
+}
+
+int CmdSnapshotLoad(const std::map<std::string, std::string>& flags) {
+  const std::string in = FlagOr(flags, "in", "records.rpsn");
+  auto bytes = ReadSnapshotFile(in);
+  if (!bytes.ok()) {
+    std::cerr << bytes.status().ToString() << "\n";
+    return 1;
+  }
+  auto kind = PeekSnapshotKind(*bytes);
+  if (!kind.ok()) {
+    std::cerr << kind.status().ToString() << "\n";
+    return 1;
+  }
+  if (*kind == SnapshotKind::kRecordBatch) {
+    auto records = DecodeRecordBatch(*bytes);
+    if (!records.ok()) {
+      std::cerr << records.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << in << ": record batch, " << records->size()
+              << " records (CRC ok)\n";
+    if (flags.count("out") > 0) {
+      auto save = SaveRecords(*records, flags.at("out"));
+      if (!save.ok()) {
+        std::cerr << save.ToString() << "\n";
+        return 1;
+      }
+      std::cout << "  -> CSV " << flags.at("out") << "\n";
+    }
+    return 0;
+  }
+  auto stack = DecodeSelectorStack(*bytes);
+  if (!stack.ok()) {
+    std::cerr << stack.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << in << ": selector stack (CRC ok)\n";
+  for (const auto* sel : {&stack->static_selector, &stack->dynamic_selector}) {
+    size_t trees = 0;
+    for (const auto& m : sel->models()) trees += m.num_trees();
+    std::cout << "  " << (sel->uses_dynamic_features() ? "dynamic" : "static")
+              << ": " << sel->models().size() << " candidate models, "
+              << trees << " trees total, pool {";
+    for (size_t i = 0; i < sel->pool().size(); ++i) {
+      std::cout << (i > 0 ? " " : "")
+                << EstimatorName(static_cast<EstimatorKind>(sel->pool()[i]));
+    }
+    std::cout << "}\n";
+  }
+  return 0;
+}
+
+int CmdServeReplay(const std::map<std::string, std::string>& flags) {
+  auto parsed = ParseWorkloadFlags(flags, /*default_scale=*/"5",
+                                   /*default_queries=*/"60");
+  if (!parsed.ok()) {
+    std::cerr << parsed.status().ToString() << "\n";
+    return 1;
+  }
+  const WorkloadConfig& config = *parsed;
+
+  std::cerr << "building + running workload " << config.name << " ...\n";
+  auto workload = BuildWorkload(config);
+  if (!workload.ok()) {
+    std::cerr << workload.status().ToString() << "\n";
+    return 1;
+  }
+  RunOptions options;
+  std::vector<OwnedRun> runs;
+  std::vector<PipelineRecord> records;
+  for (const QuerySpec& spec : workload->queries) {
+    auto run = RunQuery(*workload, spec, options);
+    if (!run.ok()) continue;
+    for (const Pipeline& pipeline : run->result.pipelines) {
+      PipelineView view{&run->result, &pipeline};
+      PipelineRecord record;
+      if (MakeRecord(view, config.name, spec.name, "", &record,
+                     options.min_observations)) {
+        records.push_back(std::move(record));
+      }
+    }
+    runs.push_back(std::move(run).ValueOrDie());
+  }
+  if (runs.empty()) {
+    std::cerr << "no query of the workload executed successfully\n";
+    return 1;
+  }
+
+  std::shared_ptr<const SelectorStack> stack;
+  if (flags.count("model") > 0) {
+    auto loaded = LoadSelectorStack(flags.at("model"));
+    if (!loaded.ok()) {
+      std::cerr << loaded.status().ToString() << "\n";
+      return 1;
+    }
+    stack = std::make_shared<const SelectorStack>(
+        std::move(loaded).ValueOrDie());
+    std::cerr << "loaded selector stack from " << flags.at("model") << "\n";
+  } else {
+    MartParams params = EstimatorSelector::DefaultParams();
+    params.num_trees = std::stoi(FlagOr(flags, "trees", "50"));
+    std::cerr << "training selector stack on " << records.size()
+              << " records ...\n";
+    stack = std::make_shared<const SelectorStack>(SelectorStack::Train(
+        records, ParsePool(FlagOr(flags, "pool", "six")), params));
+  }
+
+  // One session per requested slot, cycling the executed runs.
+  const size_t num_sessions = static_cast<size_t>(
+      std::stoul(FlagOr(flags, "sessions", "64")));
+  std::vector<const QueryRunResult*> session_runs;
+  session_runs.reserve(num_sessions);
+  for (size_t s = 0; s < num_sessions; ++s) {
+    session_runs.push_back(&runs[s % runs.size()].result);
+  }
+
+  MonitorService service(stack);
+  const auto series = service.ReplayAll(session_runs);
+
+  if (flags.count("verify") > 0) {
+    // Every replica of a run must match the sequential monitor bit for bit.
+    ProgressMonitor sequential(&stack->static_selector,
+                               &stack->dynamic_selector);
+    for (size_t s = 0; s < session_runs.size(); ++s) {
+      const auto expected = sequential.ReplayQueryProgress(*session_runs[s]);
+      if (series[s] != expected) {
+        std::cerr << "VERIFY FAILED: session " << s
+                  << " diverges from the sequential replay\n";
+        return 1;
+      }
+    }
+    std::cout << "verify: " << session_runs.size()
+              << " concurrent sessions bit-identical to sequential replay\n";
+  }
+
+  const MonitorService::Stats stats = service.GetStats();
+  TablePrinter table({"Metric", "Value"});
+  table.AddRow({"sessions replayed",
+                std::to_string(stats.sessions_completed)});
+  table.AddRow({"decisions", std::to_string(stats.decisions)});
+  table.AddRow({"observations scored",
+                std::to_string(stats.observations_scored)});
+  table.AddRow({"p50 replay latency (ms)",
+                TablePrinter::Fmt(stats.p50_replay_ms, 3)});
+  table.AddRow({"p95 replay latency (ms)",
+                TablePrinter::Fmt(stats.p95_replay_ms, 3)});
+  table.AddRow({"decisions/sec", TablePrinter::Fmt(stats.decisions_per_sec,
+                                                   0)});
+  table.AddRow({"observations/sec",
+                TablePrinter::Fmt(stats.observations_per_sec, 0)});
+  table.Print();
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: rpe_cli <run|train|evaluate|inspect> [--flags]\n"
+    std::cerr << "usage: rpe_cli <run|train|evaluate|inspect|snapshot-save|"
+                 "snapshot-load|serve-replay> [--flags]\n"
                  "       common flags: --threads N\n";
     return 2;
   }
@@ -213,6 +416,9 @@ int Main(int argc, char** argv) {
   if (cmd == "train") return CmdTrain(flags);
   if (cmd == "evaluate") return CmdEvaluate(flags);
   if (cmd == "inspect") return CmdInspect(flags);
+  if (cmd == "snapshot-save") return CmdSnapshotSave(flags);
+  if (cmd == "snapshot-load") return CmdSnapshotLoad(flags);
+  if (cmd == "serve-replay") return CmdServeReplay(flags);
   std::cerr << "unknown command: " << cmd << "\n";
   return 2;
 }
