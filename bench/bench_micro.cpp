@@ -1,7 +1,8 @@
 // Micro-benchmarks (google-benchmark): executor throughput per operator,
 // feature extraction, MART training and prediction, Zipf sampling,
 // histogram construction, and the serving layer (binary snapshots vs. the
-// CSV/text persistence path, concurrent MonitorService replay) — the
+// CSV/text persistence path, concurrent MonitorService replay, ingest
+// push throughput and TrainerLoop retrain+publish latency) — the
 // building blocks whose cost determines the (low) overhead the paper
 // requires of progress estimation.
 #include <benchmark/benchmark.h>
@@ -13,6 +14,7 @@
 #include "selection/features.h"
 #include "serving/monitor_service.h"
 #include "serving/snapshot.h"
+#include "serving/trainer_loop.h"
 #include "tests/test_util.h"
 
 namespace rpe {
@@ -336,6 +338,56 @@ void BM_MonitorServiceReplayAll64(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * observations);
 }
 BENCHMARK(BM_MonitorServiceReplayAll64);
+
+// Online-learning loop: producer-side ingest throughput (Push with a
+// consumer keeping the queue drained) — the per-record overhead a running
+// executor pays to stream training data out.
+void BM_IngestQueuePush(benchmark::State& state) {
+  auto& fx = Serving();
+  RecordIngestQueue queue(4096);
+  std::vector<PipelineRecord> drain;
+  size_t i = 0;
+  for (auto _ : state) {
+    const size_t idx = i++ % fx.records.size();
+    if (!queue.Push(fx.records[idx])) {
+      // Queue full: batch-drain (amortized consumer cost) and retry the
+      // dropped record.
+      drain.clear();
+      queue.DrainBatch(&drain, 4096);
+      queue.Push(fx.records[idx]);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IngestQueuePush);
+
+// One full retrain + publish cycle of the TrainerLoop (drain a
+// threshold's worth of records, retrain the selector stack, hot-swap it
+// into the service) — the latency budget of keeping models current.
+void BM_TrainerLoopRetrain(benchmark::State& state) {
+  auto& fx = Serving();
+  MonitorService service(fx.stack);
+  RecordIngestQueue queue(4096);
+  TrainerLoop::Options options;
+  options.retrain_min_records = 64;
+  options.min_corpus = 64;
+  options.max_corpus = 512;
+  options.pool = PoolOriginalThree();
+  options.params.num_trees = 20;
+  options.params.tree.max_leaves = 16;
+  TrainerLoop trainer(&queue, &service, options);
+  size_t i = 0;
+  for (auto _ : state) {
+    for (size_t k = 0; k < options.retrain_min_records; ++k) {
+      queue.Push(fx.records[i++ % fx.records.size()]);
+    }
+    trainer.RunOnce();  // drains the batch, retrains, publishes
+    benchmark::DoNotOptimize(service.model_generation());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(options.retrain_min_records));
+}
+BENCHMARK(BM_TrainerLoopRetrain);
 
 void BM_ZipfSample(benchmark::State& state) {
   ZipfGenerator zipf(100000, 1.0);

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Docs gate (run by the CI docs job, usable locally):
+#   1. every relative markdown link in docs/*.md and README.md resolves
+#      to an existing file, and
+#   2. every `rpe_cli <subcommand>` documented in docs/CLI.md exists in
+#      the built binary's --help output.
+#
+# usage: scripts/check_docs.sh [path/to/rpe_cli]
+set -u
+
+cd "$(dirname "$0")/.."
+RPE_CLI="${1:-./build/rpe_cli}"
+failures=0
+
+# --- 1. internal links -----------------------------------------------------
+for doc in README.md docs/*.md; do
+  dir=$(dirname "$doc")
+  # Markdown inline links: capture the (target) part, strip anchors.
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:* | \#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN LINK: $doc -> $target"
+      failures=$((failures + 1))
+    fi
+  done < <(grep -oE '\[[^]]+\]\([^)]+\)' "$doc" | sed -E 's/^\[[^]]+\]\(([^)]+)\)$/\1/')
+done
+
+# --- 2. documented subcommands exist ---------------------------------------
+if [ ! -x "$RPE_CLI" ]; then
+  echo "rpe_cli binary not found/executable at $RPE_CLI"
+  exit 1
+fi
+help_output=$("$RPE_CLI" --help)
+commands=$(grep -oE '^### `rpe_cli [a-z-]+`' docs/CLI.md |
+  sed -E 's/^### `rpe_cli ([a-z-]+)`$/\1/')
+if [ -z "$commands" ]; then
+  # Guard against the gate passing vacuously after a heading reformat.
+  echo "NO SUBCOMMANDS EXTRACTED from docs/CLI.md (expected '### \`rpe_cli <cmd>\`' headings)"
+  failures=$((failures + 1))
+fi
+while IFS= read -r cmd; do
+  [ -z "$cmd" ] && continue
+  if ! printf '%s\n' "$help_output" | grep -qE "^  $cmd( |\$)"; then
+    echo "UNDOCUMENTED-IN-BINARY: docs/CLI.md names subcommand '$cmd' but rpe_cli --help does not list it"
+    failures=$((failures + 1))
+  fi
+done <<EOF
+$commands
+EOF
+
+if [ "$failures" -ne 0 ]; then
+  echo "check_docs: $failures failure(s)"
+  exit 1
+fi
+echo "check_docs: all links resolve and all documented subcommands exist"

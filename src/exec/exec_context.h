@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "exec/counters.h"
@@ -11,6 +12,8 @@
 #include "storage/catalog.h"
 
 namespace rpe {
+
+struct QueryRunResult;
 
 /// \brief Executor knobs.
 struct ExecOptions {
@@ -21,6 +24,12 @@ struct ExecOptions {
   int target_observations = 220;
   /// Hard cap; when reached, the sampler halves its resolution.
   int max_observations = 1200;
+  /// Emission hook: invoked with the fully assembled run (observations,
+  /// pipelines, ground truth) just before ExecutePlan returns — the tap
+  /// the online-learning loop uses to capture training data from a
+  /// running system. Called on the executing thread; must not throw. The
+  /// referenced result is only valid for the duration of the call.
+  std::function<void(const QueryRunResult&)> on_run_complete;
 };
 
 /// \brief Per-query execution state shared by all operators.

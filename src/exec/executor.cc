@@ -75,6 +75,7 @@ Result<QueryRunResult> ExecutePlan(const PhysicalPlan& plan,
   result.observations = ctx.TakeObservations();
   result.pipelines = DecomposePipelines(plan);
   ComputePipelineWindows(result.observations, &result.pipelines);
+  if (options.on_run_complete) options.on_run_complete(result);
   return result;
 }
 

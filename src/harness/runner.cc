@@ -54,6 +54,7 @@ Result<std::vector<PipelineRecord>> RunWorkload(const Workload& workload,
       PipelineRecord record;
       if (MakeRecord(view, workload.config.name, spec.name, tag, &record,
                      options.min_observations)) {
+        if (options.on_record) options.on_record(record);
         records.push_back(std::move(record));
       }
     }

@@ -3,6 +3,7 @@
 // PipelineRecord (the unit of training/evaluation throughout §6).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,6 +30,12 @@ struct RunOptions {
   size_t min_observations = 5;
   /// Print one progress line per N queries (0 = silent).
   size_t progress_every = 0;
+  /// Record emission hook: invoked for every record a workload run
+  /// produces, in execution order, before it is appended to the returned
+  /// batch — wire it to RecordIngestQueue::Push to stream training data
+  /// out of a running workload (the online-learning tap). Called on the
+  /// executing thread; must not throw.
+  std::function<void(const PipelineRecord&)> on_record;
 };
 
 /// Plan and execute a single query of a workload.

@@ -12,6 +12,22 @@
 // on. The candidate regressors themselves train concurrently on the
 // ThreadPool; training is deterministic, so the serialized models are
 // identical at any thread count.
+//
+// Threading contract: an EstimatorSelector is immutable once built
+// (Train/FromModels are the only constructors-of-state), so all const
+// methods — Select / PredictErrors / SelectForRecord / accessors — are
+// safe to call concurrently from any number of threads without locking.
+// This is what lets the serving layer share one selector stack across
+// every session via shared_ptr<const ...> (see serving/monitor_service.h).
+// Train itself runs parallel work on params.pool (nullptr = the global
+// pool) and must not be re-entered with the same mutable output.
+//
+// Error behavior: Train and the Select/Predict paths RPE_CHECK their
+// invariants (feature-vector arity must match the schema) — violations
+// are programming errors and abort. FromModels is the untrusted-input
+// gate (snapshot loading): malformed persisted models (wrong pool/model
+// count, split features beyond the input width, hostile node graphs)
+// return Status instead of aborting.
 #pragma once
 
 #include <span>

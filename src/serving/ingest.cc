@@ -1,0 +1,92 @@
+#include "serving/ingest.h"
+
+#include "common/logging.h"
+
+namespace rpe {
+
+RecordIngestQueue::RecordIngestQueue(size_t capacity) : capacity_(capacity) {
+  RPE_CHECK(capacity_ > 0);
+}
+
+bool RecordIngestQueue::Push(PipelineRecord record) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || queue_.size() >= capacity_) {
+      ++dropped_;
+      return false;
+    }
+    queue_.push_back(std::move(record));
+    ++pushed_;
+  }
+  cv_.notify_one();
+  return true;
+}
+
+size_t RecordIngestQueue::DrainBatch(std::vector<PipelineRecord>* out,
+                                     size_t max_records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t n = std::min(max_records, queue_.size());
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  drained_ += n;
+  if (n > 0) ++batches_;
+  return n;
+}
+
+size_t RecordIngestQueue::WaitAndDrain(std::vector<PipelineRecord>* out,
+                                       size_t max_records,
+                                       std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, timeout, [&] { return !queue_.empty() || closed_; });
+  const size_t n = std::min(max_records, queue_.size());
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  drained_ += n;
+  if (n > 0) ++batches_;
+  return n;
+}
+
+void RecordIngestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RecordIngestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+size_t RecordIngestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+uint64_t RecordIngestQueue::pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pushed_;
+}
+
+uint64_t RecordIngestQueue::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+IngestStats RecordIngestQueue::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  IngestStats stats;
+  stats.pushed = pushed_;
+  stats.dropped = dropped_;
+  stats.drained = drained_;
+  stats.batches = batches_;
+  stats.queue_size = queue_.size();
+  return stats;
+}
+
+}  // namespace rpe

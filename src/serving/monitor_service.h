@@ -15,9 +15,16 @@
 // QueryProgressAt evaluations as the sequential
 // ProgressMonitor::ReplayQueryProgress, and every session writes only its
 // own state, so the progress series is bit-identical at any thread count.
+//
+// The service is also the publish point of the online-learning loop
+// (serving/ingest.h + serving/trainer_loop.h): SwapModels carries a
+// monotonic model generation, and GetStats can surface the trainer's
+// IngestStats next to the replay counters so one call describes the whole
+// observe → record → retrain → publish cycle.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -25,6 +32,7 @@
 #include <vector>
 
 #include "selection/monitor.h"
+#include "serving/ingest.h"
 #include "serving/snapshot.h"
 
 namespace rpe {
@@ -50,9 +58,12 @@ class MonitorService {
 
   /// Atomically publish a new model snapshot. Sessions opened before the
   /// swap keep scoring against the snapshot they pinned at open; only new
-  /// sessions see the replacement.
-  void SwapModels(std::shared_ptr<const SelectorStack> models);
+  /// sessions see the replacement. Returns the new model generation
+  /// (strictly increasing; the construction-time snapshot is generation 0).
+  uint64_t SwapModels(std::shared_ptr<const SelectorStack> models);
   std::shared_ptr<const SelectorStack> models() const;
+  /// Generation of the currently published snapshot (number of swaps).
+  uint64_t model_generation() const;
 
   /// Open a monitoring session over a recorded run. The per-pipeline
   /// estimator decisions (initial + revision) are made here, against the
@@ -75,10 +86,17 @@ class MonitorService {
 
   size_t num_open_sessions() const;
 
-  /// Advance every unfinished session by one observation in a single
-  /// sharded pass (all active sessions are scored in one batch per tick).
-  /// Returns the number of sessions still unfinished afterwards.
-  size_t Tick();
+  /// Advance unfinished sessions by one observation each in a single
+  /// sharded pass. `max_steps` bounds the per-call work when the pool is
+  /// saturated: 0 (the default) advances every unfinished session; a
+  /// positive budget advances at most that many, chosen by per-session
+  /// deficit counters (deficit round-robin). Every unfinished session
+  /// earns one credit per budgeted tick and the highest-credit sessions
+  /// go first (ties by session id, credits reset on service), so any
+  /// session waits at most ceil(active / max_steps) ticks — long-running
+  /// replays cannot starve short ones. Returns the number of sessions
+  /// still unfinished afterwards.
+  size_t Tick(size_t max_steps = 0);
 
   /// Replay whole runs concurrently, one session per entry; out[i] is
   /// bit-identical to ProgressMonitor::ReplayQueryProgress(*runs[i]) run
@@ -99,8 +117,19 @@ class MonitorService {
     double p95_replay_ms = 0.0;
     double decisions_per_sec = 0.0;  ///< over cumulative scoring time
     double observations_per_sec = 0.0;
+    /// Generation of the published model snapshot (see SwapModels).
+    uint64_t model_generation = 0;
+    /// Online-learning counters (zeros unless a provider is registered
+    /// via SetIngestStatsProvider).
+    IngestStats ingest;
   };
   Stats GetStats() const;
+
+  /// Register the source of Stats::ingest (typically
+  /// TrainerLoop::GetStats). The provider is called outside the service's
+  /// locks on every GetStats; pass nullptr to unregister. It must stay
+  /// callable until unregistered or the service is destroyed.
+  void SetIngestStatsProvider(std::function<IngestStats()> provider);
 
  private:
   struct Session {
@@ -111,6 +140,9 @@ class MonitorService {
     size_t next_obs = 0;
     double last_progress = 0.0;
     double elapsed_sec = 0.0;  ///< cumulative scoring time
+    /// Fairness credit for budgeted Tick (guarded by the service's
+    /// tick_mu_: only the serialized scheduling pass touches it).
+    uint64_t deficit = 0;
     /// Serializes Advance/Tick on the same session; distinct sessions
     /// never contend.
     mutable std::mutex mu;
@@ -130,10 +162,18 @@ class MonitorService {
 
   mutable std::mutex models_mu_;
   std::shared_ptr<const SelectorStack> models_;
+  uint64_t model_generation_ = 0;
 
   mutable std::mutex sessions_mu_;
   SessionId next_id_ = 1;
   std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
+
+  /// Serializes Tick passes (the deficit scheduling state is
+  /// single-ticker); Advance/ReplayAll do not take it.
+  std::mutex tick_mu_;
+
+  mutable std::mutex ingest_mu_;
+  std::function<IngestStats()> ingest_provider_;
 
   mutable std::mutex stats_mu_;
   size_t sessions_opened_ = 0;

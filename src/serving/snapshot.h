@@ -32,6 +32,16 @@
 //
 // Record-batch payload: feature/estimator arity header (validated against
 // the schema at load) followed by the records.
+//
+// Threading contract: all functions here are stateless and thread-safe;
+// encode/decode touch only their arguments. A decoded SelectorStack is
+// immutable and safe to share across threads (the serving layer wraps it
+// in shared_ptr<const SelectorStack>).
+//
+// Error behavior: snapshots are untrusted input. Decode/Load functions
+// never abort on malformed bytes — bad magic, version or kind skew, CRC
+// mismatch, truncation, schema mismatch, and hostile model payloads all
+// return a descriptive Status before any decoded field is used.
 #pragma once
 
 #include <string>

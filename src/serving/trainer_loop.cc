@@ -1,0 +1,161 @@
+#include "serving/trainer_loop.h"
+
+#include <iostream>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace rpe {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+TrainerLoop::TrainerLoop(RecordIngestQueue* queue, MonitorService* service,
+                         Options options)
+    : queue_(queue), service_(service), options_(std::move(options)) {
+  RPE_CHECK(queue_ != nullptr);
+  RPE_CHECK(service_ != nullptr);
+  RPE_CHECK(!options_.pool.empty());
+  RPE_CHECK(options_.min_corpus > 0);
+  RPE_CHECK(options_.max_corpus >= options_.min_corpus);
+  last_retrain_time_ = Clock::now();
+}
+
+TrainerLoop::~TrainerLoop() { Stop(); }
+
+void TrainerLoop::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (started_) return;
+  started_ = true;
+  stop_.store(false);
+  thread_ = std::thread([this] { ThreadMain(); });
+}
+
+void TrainerLoop::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    stop_.store(true);
+    // Close before joining: it both shuts the intake (so live producers
+    // cannot refill the queue and stall the final drain below) and wakes
+    // a consumer thread sleeping in WaitAndDrain immediately instead of
+    // after a full poll_interval.
+    queue_->Close();
+    if (thread_.joinable()) thread_.join();
+    started_ = false;
+  }
+  // Drain what was accepted so pushed == drained and a pending threshold
+  // can still fire.
+  size_t drained;
+  do {
+    drained = RunOnce();
+  } while (drained > 0);
+}
+
+void TrainerLoop::SeedCorpus(std::vector<PipelineRecord> records) {
+  std::lock_guard<std::mutex> lock(run_mu_);
+  for (auto& r : records) corpus_.push_back(std::move(r));
+  while (corpus_.size() > options_.max_corpus) corpus_.pop_front();
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  corpus_size_ = corpus_.size();
+}
+
+void TrainerLoop::ThreadMain() {
+  while (!stop_.load()) {
+    std::vector<PipelineRecord> batch;
+    // Block on the queue outside run_mu_ so RunOnce callers never wait on
+    // the poll interval.
+    queue_->WaitAndDrain(&batch, options_.drain_batch,
+                         options_.poll_interval);
+    std::lock_guard<std::mutex> lock(run_mu_);
+    MergeBatchLocked(&batch);
+    MaybeRetrainLocked();
+  }
+}
+
+size_t TrainerLoop::RunOnce() {
+  std::vector<PipelineRecord> batch;
+  const size_t n = queue_->DrainBatch(&batch, options_.drain_batch);
+  std::lock_guard<std::mutex> lock(run_mu_);
+  MergeBatchLocked(&batch);
+  MaybeRetrainLocked();
+  return n;
+}
+
+void TrainerLoop::MergeBatchLocked(std::vector<PipelineRecord>* batch) {
+  if (batch->empty()) return;
+  new_since_retrain_ += batch->size();
+  has_pending_since_ = true;
+  for (auto& r : *batch) corpus_.push_back(std::move(r));
+  while (corpus_.size() > options_.max_corpus) corpus_.pop_front();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  corpus_size_ = corpus_.size();
+}
+
+void TrainerLoop::MaybeRetrainLocked() {
+  // Both triggers require at least one new record, so a zero threshold
+  // means "retrain on any new record", never an idle retrain storm.
+  const bool rows_trip = new_since_retrain_ > 0 &&
+                         new_since_retrain_ >= options_.retrain_min_records;
+  const bool staleness_trip =
+      options_.max_staleness.count() > 0 && has_pending_since_ &&
+      Clock::now() - last_retrain_time_ >= options_.max_staleness;
+  if (!(rows_trip || staleness_trip)) return;
+  if (corpus_.size() < options_.min_corpus) return;
+
+  const auto start = Clock::now();
+  const std::vector<PipelineRecord> snapshot(corpus_.begin(), corpus_.end());
+  auto stack = std::make_shared<const SelectorStack>(
+      SelectorStack::Train(snapshot, options_.pool, options_.params));
+
+  uint64_t snapshot_failures = 0;
+  if (!options_.snapshot_path.empty()) {
+    const Status saved = SaveSelectorStack(*stack, options_.snapshot_path);
+    if (!saved.ok()) {
+      std::cerr << "trainer_loop: snapshot write failed: " << saved.ToString()
+                << "\n";
+      snapshot_failures = 1;
+    }
+  }
+
+  const uint64_t generation = service_->SwapModels(std::move(stack));
+  new_since_retrain_ = 0;
+  has_pending_since_ = false;
+  last_retrain_time_ = Clock::now();
+  const double retrain_ms =
+      std::chrono::duration<double, std::milli>(last_retrain_time_ - start)
+          .count();
+
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++retrains_;
+  last_swap_generation_ = generation;
+  snapshot_write_failures_ += snapshot_failures;
+  corpus_size_ = corpus_.size();
+  last_retrain_ms_ = retrain_ms;
+}
+
+uint64_t TrainerLoop::retrains() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return retrains_;
+}
+
+uint64_t TrainerLoop::last_swap_generation() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return last_swap_generation_;
+}
+
+IngestStats TrainerLoop::GetStats() const {
+  IngestStats stats = queue_->GetStats();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats.retrains = retrains_;
+  stats.last_swap_generation = last_swap_generation_;
+  stats.snapshot_write_failures = snapshot_write_failures_;
+  stats.last_retrain_ms = last_retrain_ms_;
+  // Live corpus size when the loop is idle; the post-retrain size while a
+  // retrain is in flight (run_mu_ is not taken here so stats never stall
+  // behind training).
+  stats.corpus_size = corpus_size_;
+  return stats;
+}
+
+}  // namespace rpe

@@ -1,0 +1,137 @@
+// TrainerLoop: the retrain→publish half of the online-learning loop. A
+// background thread drains record batches from a RecordIngestQueue, folds
+// them into a bounded sliding training corpus (oldest records age out),
+// and when the retrain thresholds trip it retrains the full SelectorStack
+// on the ThreadPool, optionally writes an .rpsn snapshot, and publishes
+// the new stack through MonitorService::SwapModels. In-flight sessions
+// keep the snapshot they pinned at open; only new sessions see the fresh
+// models — the loop never stops traffic.
+//
+// Retrain triggers (checked after every drained batch):
+//   * row count — at least `retrain_min_records` new records since the
+//     last retrain (and a corpus of at least `min_corpus`), or
+//   * staleness — `max_staleness` elapsed since the last retrain while at
+//     least one new record is pending (0 disables the timer).
+//
+// Threading contract: Start spawns the single consumer thread; Stop joins
+// it and then performs one final synchronous drain + threshold check so
+// every record accepted by the queue before Close/Stop is accounted for
+// (pushed == drained). RunOnce is the same single step the thread
+// executes, exposed publicly so tests and shutdown paths can drive the
+// loop deterministically; it is serialized against the thread. GetStats /
+// generation / retrains are thread-safe at any time.
+//
+// Determinism: training is thread-count-invariant (see MartParams), so
+// for a fixed sequence of drained batches the published stacks are
+// byte-identical no matter how the loop is scheduled.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serving/ingest.h"
+#include "serving/monitor_service.h"
+
+namespace rpe {
+
+class TrainerLoop {
+ public:
+  struct Options {
+    /// New records since the last retrain that trip the row-count trigger.
+    size_t retrain_min_records = 64;
+    /// Never train on fewer than this many corpus records.
+    size_t min_corpus = 16;
+    /// Sliding-window corpus bound; oldest records age out beyond it.
+    size_t max_corpus = 4096;
+    /// Max records pulled from the queue per drain.
+    size_t drain_batch = 256;
+    /// Consumer wake-up period when the queue is idle.
+    std::chrono::milliseconds poll_interval{20};
+    /// Staleness trigger: retrain after this long with pending records
+    /// even if the row-count threshold has not tripped (0 = disabled).
+    std::chrono::milliseconds max_staleness{0};
+    /// Candidate estimator pool for the retrained selectors.
+    std::vector<size_t> pool;
+    /// MART training parameters (params.pool selects the worker pool).
+    MartParams params;
+    /// When non-empty, every retrained stack is also written here as a
+    /// binary .rpsn snapshot (best effort: a failed write is counted but
+    /// does not block the publish).
+    std::string snapshot_path;
+  };
+
+  /// `queue` and `service` must outlive the loop. Nothing is trained or
+  /// published until records arrive and thresholds trip.
+  TrainerLoop(RecordIngestQueue* queue, MonitorService* service,
+              Options options);
+  ~TrainerLoop();  ///< calls Stop()
+
+  TrainerLoop(const TrainerLoop&) = delete;
+  TrainerLoop& operator=(const TrainerLoop&) = delete;
+
+  /// Spawn the background consumer thread (idempotent).
+  void Start();
+
+  /// Stop the background thread (if running), Close() the queue so live
+  /// producers cannot refill it, then drain whatever was accepted and
+  /// run one last threshold check. Idempotent; records offered after
+  /// Stop are drop-counted by the queue.
+  void Stop();
+
+  /// Seed the sliding corpus (e.g. with the records the initial stack was
+  /// trained on) without counting toward the retrain threshold. Must be
+  /// called before Start.
+  void SeedCorpus(std::vector<PipelineRecord> records);
+
+  /// One synchronous consumer step: drain up to drain_batch records,
+  /// merge, retrain + publish if a trigger trips. Returns the number of
+  /// records drained. Exposed for deterministic tests; safe to call
+  /// while the thread runs (steps are serialized).
+  size_t RunOnce();
+
+  uint64_t retrains() const;
+  /// MonitorService generation of the most recent publish (0 = none yet).
+  uint64_t last_swap_generation() const;
+
+  /// Queue counters merged with the loop's retraining counters — the
+  /// Stats::ingest payload (wire via MonitorService::SetIngestStatsProvider).
+  IngestStats GetStats() const;
+
+ private:
+  void ThreadMain();
+  /// Fold a drained batch into the sliding corpus (caller holds run_mu_).
+  void MergeBatchLocked(std::vector<PipelineRecord>* batch);
+  /// Retrain + publish if a trigger trips (caller holds run_mu_).
+  void MaybeRetrainLocked();
+
+  RecordIngestQueue* const queue_;
+  MonitorService* const service_;
+  const Options options_;
+
+  /// Serializes consumer steps (background thread vs. RunOnce callers).
+  mutable std::mutex run_mu_;
+  std::deque<PipelineRecord> corpus_;      // guarded by run_mu_
+  size_t new_since_retrain_ = 0;           // guarded by run_mu_
+  std::chrono::steady_clock::time_point last_retrain_time_;  // run_mu_
+  bool has_pending_since_ = false;         // guarded by run_mu_
+
+  mutable std::mutex stats_mu_;
+  uint64_t retrains_ = 0;
+  uint64_t last_swap_generation_ = 0;
+  uint64_t snapshot_write_failures_ = 0;
+  size_t corpus_size_ = 0;
+  double last_retrain_ms_ = 0.0;
+
+  std::atomic<bool> stop_{false};
+  bool started_ = false;  // guarded by lifecycle_mu_
+  std::mutex lifecycle_mu_;
+  std::thread thread_;
+};
+
+}  // namespace rpe

@@ -29,9 +29,21 @@
 //       MonitorService and print the serving stats (p50/p95 replay
 //       latency, decisions/sec).
 //
-// All commands accept --threads N to size the training/selection worker
-// pool (default: RPE_NUM_THREADS env var, else hardware concurrency).
-// Trained models are identical at any thread count.
+//   rpe_cli serve-online --kind tpch --queries 40 [--sessions 64]
+//                        [--retrain-every 48] [--queue-cap 1024]
+//                        [--tick-budget 16] [--snapshot-out stack.rpsn]
+//                        [--verify]
+//       The full online-learning loop: replay sessions tick concurrently
+//       while completed records stream into the ingest queue; a
+//       background TrainerLoop retrains the selector stack and hot-swaps
+//       it mid-replay. Prints serving + ingest stats; fails if no retrain
+//       was published.
+//
+// See docs/CLI.md for the full flag reference. All commands accept
+// --threads N to size the training/selection worker pool (default:
+// RPE_NUM_THREADS env var, else hardware concurrency). Trained models are
+// identical at any thread count.
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -44,6 +56,7 @@
 #include "harness/runner.h"
 #include "serving/monitor_service.h"
 #include "serving/snapshot.h"
+#include "serving/trainer_loop.h"
 
 namespace rpe {
 namespace {
@@ -298,6 +311,59 @@ int CmdSnapshotLoad(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// Build + execute a serving workload, keeping every successful run alive
+/// (sessions replay against them) and its featurized records. Shared by
+/// serve-replay and serve-online.
+Status ExecuteServingWorkload(const WorkloadConfig& config,
+                              std::vector<OwnedRun>* runs,
+                              std::vector<PipelineRecord>* records) {
+  std::cerr << "building + running workload " << config.name << " ...\n";
+  RPE_ASSIGN_OR_RETURN(Workload workload, BuildWorkload(config));
+  RunOptions options;
+  for (const QuerySpec& spec : workload.queries) {
+    auto run = RunQuery(workload, spec, options);
+    if (!run.ok()) continue;
+    for (const Pipeline& pipeline : run->result.pipelines) {
+      PipelineView view{&run->result, &pipeline};
+      PipelineRecord record;
+      if (MakeRecord(view, config.name, spec.name, "", &record,
+                     options.min_observations)) {
+        records->push_back(std::move(record));
+      }
+    }
+    runs->push_back(std::move(run).ValueOrDie());
+  }
+  if (runs->empty()) {
+    return Status::Internal("no query of the workload executed successfully");
+  }
+  if (records->empty()) {
+    return Status::Internal(
+        "workload produced no trainable pipeline records (every pipeline "
+        "below min_observations); increase --queries or --scale");
+  }
+  return Status::OK();
+}
+
+/// Initial serving stack: loaded from --model when given, else trained on
+/// `records` with --trees trees.
+Result<std::shared_ptr<const SelectorStack>> InitialStack(
+    const std::map<std::string, std::string>& flags,
+    const std::vector<PipelineRecord>& records,
+    const std::string& default_trees) {
+  if (flags.count("model") > 0) {
+    RPE_ASSIGN_OR_RETURN(SelectorStack loaded,
+                         LoadSelectorStack(flags.at("model")));
+    std::cerr << "loaded selector stack from " << flags.at("model") << "\n";
+    return std::make_shared<const SelectorStack>(std::move(loaded));
+  }
+  MartParams params = EstimatorSelector::DefaultParams();
+  params.num_trees = std::stoi(FlagOr(flags, "trees", default_trees));
+  std::cerr << "training selector stack on " << records.size()
+            << " records ...\n";
+  return std::make_shared<const SelectorStack>(SelectorStack::Train(
+      records, ParsePool(FlagOr(flags, "pool", "six")), params));
+}
+
 int CmdServeReplay(const std::map<std::string, std::string>& flags) {
   auto parsed = ParseWorkloadFlags(flags, /*default_scale=*/"5",
                                    /*default_queries=*/"60");
@@ -307,51 +373,20 @@ int CmdServeReplay(const std::map<std::string, std::string>& flags) {
   }
   const WorkloadConfig& config = *parsed;
 
-  std::cerr << "building + running workload " << config.name << " ...\n";
-  auto workload = BuildWorkload(config);
-  if (!workload.ok()) {
-    std::cerr << workload.status().ToString() << "\n";
-    return 1;
-  }
-  RunOptions options;
   std::vector<OwnedRun> runs;
   std::vector<PipelineRecord> records;
-  for (const QuerySpec& spec : workload->queries) {
-    auto run = RunQuery(*workload, spec, options);
-    if (!run.ok()) continue;
-    for (const Pipeline& pipeline : run->result.pipelines) {
-      PipelineView view{&run->result, &pipeline};
-      PipelineRecord record;
-      if (MakeRecord(view, config.name, spec.name, "", &record,
-                     options.min_observations)) {
-        records.push_back(std::move(record));
-      }
-    }
-    runs.push_back(std::move(run).ValueOrDie());
-  }
-  if (runs.empty()) {
-    std::cerr << "no query of the workload executed successfully\n";
+  const Status executed = ExecuteServingWorkload(config, &runs, &records);
+  if (!executed.ok()) {
+    std::cerr << executed.ToString() << "\n";
     return 1;
   }
 
-  std::shared_ptr<const SelectorStack> stack;
-  if (flags.count("model") > 0) {
-    auto loaded = LoadSelectorStack(flags.at("model"));
-    if (!loaded.ok()) {
-      std::cerr << loaded.status().ToString() << "\n";
-      return 1;
-    }
-    stack = std::make_shared<const SelectorStack>(
-        std::move(loaded).ValueOrDie());
-    std::cerr << "loaded selector stack from " << flags.at("model") << "\n";
-  } else {
-    MartParams params = EstimatorSelector::DefaultParams();
-    params.num_trees = std::stoi(FlagOr(flags, "trees", "50"));
-    std::cerr << "training selector stack on " << records.size()
-              << " records ...\n";
-    stack = std::make_shared<const SelectorStack>(SelectorStack::Train(
-        records, ParsePool(FlagOr(flags, "pool", "six")), params));
+  auto stack_result = InitialStack(flags, records, /*default_trees=*/"50");
+  if (!stack_result.ok()) {
+    std::cerr << stack_result.status().ToString() << "\n";
+    return 1;
   }
+  std::shared_ptr<const SelectorStack> stack = *stack_result;
 
   // One session per requested slot, cycling the executed runs.
   const size_t num_sessions = static_cast<size_t>(
@@ -400,14 +435,180 @@ int CmdServeReplay(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int CmdServeOnline(const std::map<std::string, std::string>& flags) {
+  auto parsed = ParseWorkloadFlags(flags, /*default_scale=*/"5",
+                                   /*default_queries=*/"40");
+  if (!parsed.ok()) {
+    std::cerr << parsed.status().ToString() << "\n";
+    return 1;
+  }
+  const WorkloadConfig& config = *parsed;
+
+  std::vector<OwnedRun> runs;
+  std::vector<PipelineRecord> records;
+  const Status executed = ExecuteServingWorkload(config, &runs, &records);
+  if (!executed.ok()) {
+    std::cerr << executed.ToString() << "\n";
+    return 1;
+  }
+
+  // The first half of the records seeds the initial stack + corpus; the
+  // whole set then cycles through the ingest queue during replay,
+  // standing in for the record stream a live system would emit.
+  std::vector<PipelineRecord> seed(records.begin(),
+                                   records.begin() + records.size() / 2);
+  if (seed.empty()) seed = records;
+  auto stack_result = InitialStack(flags, seed, /*default_trees=*/"20");
+  if (!stack_result.ok()) {
+    std::cerr << stack_result.status().ToString() << "\n";
+    return 1;
+  }
+  std::shared_ptr<const SelectorStack> initial = *stack_result;
+
+  MonitorService service(initial);
+  RecordIngestQueue queue(
+      std::stoul(FlagOr(flags, "queue-cap", "1024")));
+  TrainerLoop::Options trainer_options;
+  trainer_options.retrain_min_records = static_cast<size_t>(
+      std::stoul(FlagOr(flags, "retrain-every", "48")));
+  trainer_options.max_corpus = static_cast<size_t>(
+      std::stoul(FlagOr(flags, "corpus-cap", "4096")));
+  trainer_options.min_corpus = std::min<size_t>(
+      trainer_options.min_corpus, std::max<size_t>(seed.size(), 1));
+  trainer_options.pool = ParsePool(FlagOr(flags, "pool", "six"));
+  trainer_options.params = EstimatorSelector::DefaultParams();
+  trainer_options.params.num_trees =
+      std::stoi(FlagOr(flags, "trees", "20"));
+  trainer_options.snapshot_path = FlagOr(flags, "snapshot-out", "");
+  TrainerLoop trainer(&queue, &service, trainer_options);
+  trainer.SeedCorpus(seed);
+  service.SetIngestStatsProvider([&trainer] { return trainer.GetStats(); });
+  trainer.Start();
+
+  // Sessions opened now pin generation 0, so their replay must stay
+  // bit-identical to a sequential replay of the initial stack no matter
+  // how many swaps land mid-replay.
+  const size_t num_sessions = static_cast<size_t>(
+      std::stoul(FlagOr(flags, "sessions", "64")));
+  std::vector<MonitorService::SessionId> sessions;
+  std::vector<const QueryRunResult*> session_runs;
+  for (size_t s = 0; s < num_sessions; ++s) {
+    const QueryRunResult* run = &runs[s % runs.size()].result;
+    auto id = service.OpenSession(run);
+    if (!id.ok()) {
+      std::cerr << id.status().ToString() << "\n";
+      return 1;
+    }
+    sessions.push_back(*id);
+    session_runs.push_back(run);
+  }
+
+  // Replay + ingest run concurrently with the trainer: each budgeted tick
+  // advances sessions fairly while fresh records stream into the queue.
+  const size_t tick_budget = static_cast<size_t>(
+      std::stoul(FlagOr(flags, "tick-budget", "0")));
+  const size_t ingest_per_tick = static_cast<size_t>(
+      std::stoul(FlagOr(flags, "ingest-per-tick", "4")));
+  size_t stream_next = 0;
+  size_t ticks = 0;
+  size_t remaining = sessions.size();
+  while (remaining > 0) {
+    remaining = service.Tick(tick_budget);
+    ++ticks;
+    for (size_t i = 0; i < ingest_per_tick; ++i) {
+      queue.Push(records[stream_next++ % records.size()]);
+    }
+  }
+  queue.Close();
+  trainer.Stop();  // drains the tail of the queue; may publish once more
+
+  int rc = 0;
+  if (flags.count("verify") > 0) {
+    ProgressMonitor sequential(&initial->static_selector,
+                               &initial->dynamic_selector);
+    // Sessions cycle a small run set: replay each distinct run once.
+    std::map<const QueryRunResult*, double> expected_final;
+    for (const QueryRunResult* run : session_runs) {
+      if (expected_final.count(run) == 0) {
+        expected_final[run] = sequential.ReplayQueryProgress(*run).back();
+      }
+    }
+    for (size_t s = 0; s < sessions.size(); ++s) {
+      const double expected = expected_final.at(session_runs[s]);
+      const auto progress = service.Progress(sessions[s]);
+      if (!progress.ok() || *progress != expected) {
+        std::cerr << "VERIFY FAILED: session " << s
+                  << " final progress diverges from the pinned-snapshot "
+                     "sequential replay\n";
+        rc = 1;
+      }
+    }
+    if (rc == 0) {
+      std::cout << "verify: " << sessions.size()
+                << " sessions bit-identical to their pinned generation-0 "
+                   "snapshot across "
+                << service.model_generation() << " hot swaps\n";
+    }
+  }
+  for (MonitorService::SessionId id : sessions) {
+    const Status closed = service.CloseSession(id);
+    if (!closed.ok()) std::cerr << closed.ToString() << "\n";
+  }
+
+  const MonitorService::Stats stats = service.GetStats();
+  TablePrinter table({"Metric", "Value"});
+  table.AddRow({"sessions replayed",
+                std::to_string(stats.sessions_completed)});
+  table.AddRow({"ticks", std::to_string(ticks)});
+  table.AddRow({"observations scored",
+                std::to_string(stats.observations_scored)});
+  table.AddRow({"decisions", std::to_string(stats.decisions)});
+  table.AddRow({"model generation", std::to_string(stats.model_generation)});
+  table.AddRow({"retrains published", std::to_string(stats.ingest.retrains)});
+  table.AddRow({"records pushed", std::to_string(stats.ingest.pushed)});
+  table.AddRow({"records dropped", std::to_string(stats.ingest.dropped)});
+  table.AddRow({"records drained", std::to_string(stats.ingest.drained)});
+  table.AddRow({"training corpus", std::to_string(stats.ingest.corpus_size)});
+  table.AddRow({"last retrain (ms)",
+                TablePrinter::Fmt(stats.ingest.last_retrain_ms, 1)});
+  table.AddRow({"p50 replay latency (ms)",
+                TablePrinter::Fmt(stats.p50_replay_ms, 3)});
+  table.AddRow({"p95 replay latency (ms)",
+                TablePrinter::Fmt(stats.p95_replay_ms, 3)});
+  table.Print();
+
+  if (stats.ingest.retrains == 0) {
+    std::cerr << "no retrain was published (lower --retrain-every or raise "
+                 "--ingest-per-tick)\n";
+    return 1;
+  }
+  return rc;
+}
+
+void PrintUsage(std::ostream& out) {
+  out << "usage: rpe_cli <command> [--flags]   (see docs/CLI.md)\n"
+         "commands:\n"
+         "  run            execute a workload and write pipeline records\n"
+         "  train          train the selector stack, write a .rpsn model\n"
+         "  evaluate       train on one record set, score another\n"
+         "  inspect        summarize a record set\n"
+         "  snapshot-save  convert CSV records to a binary snapshot\n"
+         "  snapshot-load  verify + describe a snapshot\n"
+         "  serve-replay   concurrent MonitorService replay of a workload\n"
+         "  serve-online   replay + async ingest + background retraining\n"
+         "common flags: --threads N\n";
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: rpe_cli <run|train|evaluate|inspect|snapshot-save|"
-                 "snapshot-load|serve-replay> [--flags]\n"
-                 "       common flags: --threads N\n";
+    PrintUsage(std::cerr);
     return 2;
   }
   const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    PrintUsage(std::cout);
+    return 0;
+  }
   const auto flags = ParseFlags(argc, argv, 2);
   if (flags.count("threads") > 0) {
     ThreadPool::SetGlobalThreads(std::stoi(flags.at("threads")));
@@ -419,6 +620,7 @@ int Main(int argc, char** argv) {
   if (cmd == "snapshot-save") return CmdSnapshotSave(flags);
   if (cmd == "snapshot-load") return CmdSnapshotLoad(flags);
   if (cmd == "serve-replay") return CmdServeReplay(flags);
+  if (cmd == "serve-online") return CmdServeOnline(flags);
   std::cerr << "unknown command: " << cmd << "\n";
   return 2;
 }
