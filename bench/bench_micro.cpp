@@ -1,11 +1,15 @@
 // Micro-benchmarks (google-benchmark): executor throughput per operator,
-// feature extraction, MART training and prediction, Zipf sampling,
-// histogram construction, and the serving layer (binary snapshots vs. the
-// CSV/text persistence path, concurrent MonitorService replay, ingest
-// push throughput and TrainerLoop retrain+publish latency) — the
-// building blocks whose cost determines the (low) overhead the paper
-// requires of progress estimation.
+// feature extraction, MART training internals (leaf-histogram build
+// one-pass vs. rescan, sibling subtraction, tree fit) and prediction,
+// Zipf sampling, histogram construction, and the serving layer (binary
+// snapshots vs. the CSV/text persistence path, concurrent MonitorService
+// replay, ingest push throughput and TrainerLoop retrain+publish
+// latency) — the building blocks whose cost determines the (low)
+// overhead the paper requires of progress estimation.
 #include <benchmark/benchmark.h>
+
+#include <memory>
+#include <numeric>
 
 #include "exec/executor.h"
 #include "mart/flat_ensemble.h"
@@ -76,6 +80,123 @@ void BM_FeatureExtraction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FeatureExtraction);
+
+// Leaf-histogram construction, the inner loop of RegressionTree::Fit:
+// the one-pass column-major builder vs. the pre-refactor per-feature
+// rescan over a row-major bin matrix. Items = leaf rows, so the reported
+// rate is rows/s across all features (ns/row = inverse). Arg(0) builds a
+// dense (root-like) leaf, Arg(1) a sparse one (every third example).
+struct HistFixture {
+  HistFixture() : data(100) {
+    Rng rng(13);
+    std::vector<double> x(100);
+    for (size_t i = 0; i < 20000; ++i) {
+      for (auto& v : x) v = rng.NextDouble();
+      RPE_CHECK_OK(data.AddExample(x, x[0]));
+    }
+    binned = std::make_unique<BinnedDataset>(data);
+    rows = binned->RowMajorBins();
+    residuals.resize(data.num_examples());
+    for (auto& r : residuals) r = rng.NextGaussian();
+    dense.resize(data.num_examples());
+    std::iota(dense.begin(), dense.end(), 0u);
+    for (uint32_t i = 0; i < data.num_examples(); i += 3) {
+      sparse.push_back(i);
+    }
+  }
+  Dataset data;
+  std::unique_ptr<BinnedDataset> binned;
+  std::vector<uint8_t> rows;  // row-major bins, the rescan baseline layout
+  std::vector<double> residuals;
+  std::vector<uint32_t> dense, sparse;
+};
+
+HistFixture& Hist() {
+  static HistFixture fixture;
+  return fixture;
+}
+
+void BM_LeafHistBuildRescan(benchmark::State& state) {
+  auto& fx = Hist();
+  const auto& indices = state.range(0) == 0 ? fx.dense : fx.sparse;
+  const size_t nf = fx.data.num_features();
+  std::vector<double> sum(fx.binned->total_bins());
+  std::vector<uint32_t> cnt(fx.binned->total_bins());
+  for (auto _ : state) {
+    // The pre-refactor access pattern: one rescan of the leaf's indices
+    // per feature, striding across the row-major bin matrix.
+    for (size_t f = 0; f < nf; ++f) {
+      const size_t off = fx.binned->hist_offset(f);
+      std::fill(sum.begin() + static_cast<ptrdiff_t>(off),
+                sum.begin() + static_cast<ptrdiff_t>(off +
+                                                     fx.binned->num_bins(f)),
+                0.0);
+      std::fill(cnt.begin() + static_cast<ptrdiff_t>(off),
+                cnt.begin() + static_cast<ptrdiff_t>(off +
+                                                     fx.binned->num_bins(f)),
+                0u);
+      for (const uint32_t idx : indices) {
+        const uint8_t b = fx.rows[idx * nf + f];
+        sum[off + b] += fx.residuals[idx];
+        cnt[off + b] += 1;
+      }
+    }
+    benchmark::DoNotOptimize(sum.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(indices.size()));
+}
+BENCHMARK(BM_LeafHistBuildRescan)->Arg(0)->Arg(1);
+
+void BM_LeafHistBuildOnePass(benchmark::State& state) {
+  auto& fx = Hist();
+  const auto& indices = state.range(0) == 0 ? fx.dense : fx.sparse;
+  HistogramSet hist(*fx.binned);
+  for (auto _ : state) {
+    BuildLeafHistograms(*fx.binned, fx.residuals, indices, &hist, nullptr);
+    benchmark::DoNotOptimize(hist.sums().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(indices.size()));
+}
+BENCHMARK(BM_LeafHistBuildOnePass)->Arg(0)->Arg(1);
+
+// The sibling-derivation alternative to building the larger child at all:
+// one elementwise pass over the slabs, independent of the leaf size. The
+// timed loop includes a slab copy (Fit reuses the parent's slabs in place
+// instead), so this is an upper bound on the derivation cost.
+void BM_LeafHistSubtract(benchmark::State& state) {
+  auto& fx = Hist();
+  HistogramSet parent(*fx.binned), child(*fx.binned);
+  BuildLeafHistograms(*fx.binned, fx.residuals, fx.dense, &parent, nullptr);
+  BuildLeafHistograms(*fx.binned, fx.residuals, fx.sparse, &child, nullptr);
+  HistogramSet scratch(*fx.binned);
+  for (auto _ : state) {
+    scratch = parent;
+    scratch.SubtractChild(child);
+    benchmark::DoNotOptimize(scratch.sums().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.binned->total_bins()));
+}
+BENCHMARK(BM_LeafHistSubtract);
+
+// One full tree fit over the histogram pipeline (30 leaves, the paper's
+// shape) — the unit the TrainerLoop pays per boosting iteration.
+void BM_TreeFit(benchmark::State& state) {
+  auto& fx = Hist();
+  TreeParams params;
+  params.max_leaves = 30;
+  params.force_direct_histograms = state.range(0) == 1;
+  for (auto _ : state) {
+    RegressionTree tree = RegressionTree::Fit(*fx.binned, fx.residuals, {},
+                                              params, nullptr, nullptr);
+    benchmark::DoNotOptimize(tree.num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.data.num_examples()));
+}
+BENCHMARK(BM_TreeFit)->Arg(0)->Arg(1);
 
 void BM_MartTrain1k(benchmark::State& state) {
   Dataset data(50);

@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
             << "(hardware concurrency: "
             << std::thread::hardware_concurrency() << ")\n";
   TablePrinter threads_table(
-      {"Examples x M", "T=1", "T=2", "T=4", "speedup T=4"});
+      {"Examples x M", "T=1", "T=2", "T=4", "T=8", "speedup T=8"});
   const std::vector<std::pair<size_t, int>> parallel_cases = {
       {6000, 100}, {20000, 100}};
   for (const auto& [n, m] : parallel_cases) {
@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
     params.num_trees = m;
     params.tree.max_leaves = 30;
     std::vector<double> secs_by_threads;
-    for (const int threads : {1, 2, 4}) {
+    for (const int threads : {1, 2, 4, 8}) {
       ThreadPool pool(threads);
       params.pool = &pool;
       const auto start = std::chrono::steady_clock::now();
@@ -103,7 +103,8 @@ int main(int argc, char** argv) {
          TablePrinter::Fmt(secs_by_threads[0], 2),
          TablePrinter::Fmt(secs_by_threads[1], 2),
          TablePrinter::Fmt(secs_by_threads[2], 2),
-         TablePrinter::Fmt(secs_by_threads[0] / secs_by_threads[2], 2) +
+         TablePrinter::Fmt(secs_by_threads[3], 2),
+         TablePrinter::Fmt(secs_by_threads[0] / secs_by_threads[3], 2) +
              "x"});
   }
   threads_table.Print();

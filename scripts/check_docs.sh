@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Docs gate (run by the CI docs job, usable locally):
 #   1. every relative markdown link in docs/*.md and README.md resolves
-#      to an existing file, and
+#      to an existing file,
 #   2. every `rpe_cli <subcommand>` documented in docs/CLI.md exists in
-#      the built binary's --help output.
+#      the built binary's --help output, and
+#   3. every code symbol docs/TRAINING.md references in backticks still
+#      exists somewhere under src/ (or bench/, tests/ for bench rows and
+#      test files) — the training guide must not drift from the code.
 #
 # usage: scripts/check_docs.sh [path/to/rpe_cli]
 set -u
@@ -52,8 +55,40 @@ done <<EOF
 $commands
 EOF
 
+# --- 3. TRAINING.md symbols still exist ------------------------------------
+# Backticked tokens that look like code symbols — qualified names
+# (`Class::Member`), CamelCase identifiers, or k-prefixed constants — must
+# appear somewhere in the sources. Lowercase/prose tokens are skipped.
+if [ -f docs/TRAINING.md ]; then
+  symbols=$(grep -oE '`[A-Za-z_][A-Za-z0-9_:()]*`' docs/TRAINING.md |
+    tr -d '\`' | sed 's/()$//' | sort -u)
+  checked=0
+  while IFS= read -r sym; do
+    [ -z "$sym" ] && continue
+    case "$sym" in
+      *::*) ;;                # qualified name: check its last component
+      k[A-Z]*) ;;             # constant
+      [A-Z]*[a-z]*) ;;        # CamelCase type/function/bench row
+      *) continue ;;          # prose-ish token
+    esac
+    checked=$((checked + 1))
+    base="${sym##*::}"
+    if ! grep -rqF "$base" src/ bench/ tests/; then
+      echo "STALE SYMBOL: docs/TRAINING.md references '$sym' but '$base' is not in src/, bench/ or tests/"
+      failures=$((failures + 1))
+    fi
+  done <<EOF
+$symbols
+EOF
+  if [ "$checked" -eq 0 ]; then
+    # Guard against the gate passing vacuously after a formatting change.
+    echo "NO SYMBOLS EXTRACTED from docs/TRAINING.md (expected backticked identifiers)"
+    failures=$((failures + 1))
+  fi
+fi
+
 if [ "$failures" -ne 0 ]; then
   echo "check_docs: $failures failure(s)"
   exit 1
 fi
-echo "check_docs: all links resolve and all documented subcommands exist"
+echo "check_docs: links resolve, documented subcommands exist, TRAINING.md symbols are live"

@@ -27,7 +27,9 @@ std::vector<double> Dataset::ExampleFeatures(size_t example) const {
 BinnedDataset::BinnedDataset(const Dataset& data, int max_bins)
     : data_(&data) {
   RPE_CHECK_GT(max_bins, 1);
-  RPE_CHECK_LE(max_bins, 256);
+  // Bin ids must fit uint8; 255 (not 256) so histogram code may index with
+  // any uint8 value + 1 without overflow anywhere.
+  RPE_CHECK_LE(max_bins, 255);
   const size_t n = data.num_examples();
   const size_t nf = data.num_features();
   boundaries_.resize(nf);
@@ -57,11 +59,41 @@ BinnedDataset::BinnedDataset(const Dataset& data, int max_bins)
         if (bounds.empty() || v > bounds.back()) bounds.push_back(v);
       }
     }
+    // Column-major: feature f's bin ids are one contiguous slab.
+    uint8_t* col = bins_.data() + f * n;
     for (size_t i = 0; i < n; ++i) {
       const auto it =
           std::lower_bound(bounds.begin(), bounds.end(), values[i]);
-      bins_[i * nf + f] = static_cast<uint8_t>(it - bounds.begin());
+      col[i] = static_cast<uint8_t>(it - bounds.begin());
     }
+  }
+
+  hist_offset_.resize(nf + 1);
+  hist_offset_[0] = 0;
+  for (size_t f = 0; f < nf; ++f) {
+    hist_offset_[f + 1] = hist_offset_[f] + num_bins(f);
+    max_num_bins_ = std::max(max_num_bins_, num_bins(f));
+  }
+}
+
+std::vector<uint8_t> BinnedDataset::RowMajorBins() const {
+  const size_t n = num_examples();
+  const size_t nf = num_features();
+  std::vector<uint8_t> rows(n * nf);
+  for (size_t f = 0; f < nf; ++f) {
+    const uint8_t* col = bins_.data() + f * n;
+    for (size_t i = 0; i < n; ++i) rows[i * nf + f] = col[i];
+  }
+  return rows;
+}
+
+void HistogramSet::SubtractChild(const HistogramSet& child, size_t begin,
+                                 size_t end) {
+  RPE_CHECK_EQ(child.size(), size());
+  RPE_CHECK_LE(end, size());
+  for (size_t i = begin; i < end; ++i) {
+    sum_[i] -= child.sum_[i];
+    cnt_[i] -= child.cnt_[i];
   }
 }
 

@@ -1,6 +1,10 @@
 // Training data containers for the MART learner: a dense feature matrix
 // plus per-feature quantile binning (LightGBM-style uint8 bins) that makes
-// split search a histogram scan instead of a sort.
+// split search a histogram scan instead of a sort. Bins are stored
+// column-major (one contiguous uint8 array per feature), so leaf-histogram
+// accumulation streams each feature's bin column sequentially instead of
+// striding across rows; HistogramSet holds the per-leaf accumulation slabs
+// that split search sweeps. See docs/TRAINING.md for the full pipeline.
 #pragma once
 
 #include <cstdint>
@@ -45,27 +49,100 @@ class Dataset {
 /// \brief Quantile-binned view of a Dataset: every feature value mapped to
 /// a uint8 bin id; bin upper boundaries retained as raw thresholds so the
 /// trained trees predict directly from raw feature vectors.
+///
+/// Layout: bins are stored **column-major** — feature f's bin ids for all
+/// examples occupy one contiguous slab (`feature_bins(f)`), which is what
+/// makes one-pass leaf-histogram accumulation stream sequentially. The
+/// per-feature histogram slab geometry (`hist_offset`/`total_bins`) is
+/// derived here so HistogramSet can size itself exactly: no bin count is
+/// ever assumed, and `max_bins <= 255` is checked at construction (bin ids
+/// must fit uint8 with bin `b` meaning "value <= bin_upper(f, b)" for
+/// b < num_bins(f) - 1 and the last bin catching the rest).
 class BinnedDataset {
  public:
-  BinnedDataset(const Dataset& data, int max_bins = 255);
+  /// Requires 2 <= max_bins <= 255 (checked): bin ids live in uint8 and
+  /// every feature uses at most max_bins of them.
+  explicit BinnedDataset(const Dataset& data, int max_bins = 255);
 
   const Dataset& data() const { return *data_; }
   size_t num_examples() const { return data_->num_examples(); }
   size_t num_features() const { return data_->num_features(); }
 
+  /// Bin id of one example for feature f. Bounds contract: requires
+  /// `example < num_examples()` and `f < num_features()` — unchecked on
+  /// this hot path. The result is always `< num_bins(f) <= 255`.
   uint8_t bin(size_t example, size_t f) const {
-    return bins_[example * data_->num_features() + f];
+    return bins_[f * data_->num_examples() + example];
   }
-  /// Number of bins actually used for feature f.
+  /// Feature f's bin ids for every example, contiguous (the column-major
+  /// slab the histogram builder streams).
+  std::span<const uint8_t> feature_bins(size_t f) const {
+    return {bins_.data() + f * data_->num_examples(),
+            data_->num_examples()};
+  }
+  /// Number of bins actually used for feature f (<= max_bins <= 255).
   size_t num_bins(size_t f) const { return boundaries_[f].size() + 1; }
   /// Raw threshold of bin b for feature f: values <= threshold fall in bins
   /// 0..b. Requires b < num_bins(f) - 1.
   double bin_upper(size_t f, size_t b) const { return boundaries_[f][b]; }
 
+  /// Histogram slab geometry: feature f's histogram occupies entries
+  /// [hist_offset(f), hist_offset(f) + num_bins(f)) of a HistogramSet.
+  size_t hist_offset(size_t f) const { return hist_offset_[f]; }
+  /// Total histogram entries across all features (= hist_offset(nf)).
+  size_t total_bins() const { return hist_offset_.back(); }
+  /// Largest per-feature bin count (<= 255) — sizes compact per-feature
+  /// sweep scratch without any fixed-capacity assumption.
+  size_t max_num_bins() const { return max_num_bins_; }
+
+  /// Row-major copy of the bin matrix (`out[example * nf + f]`) — kept
+  /// only for layout-equivalence tests and the rescan baseline benchmark;
+  /// the training path never materializes it.
+  std::vector<uint8_t> RowMajorBins() const;
+
  private:
   const Dataset* data_;
   std::vector<std::vector<double>> boundaries_;  // per feature, sorted
-  std::vector<uint8_t> bins_;                    // row-major
+  std::vector<uint8_t> bins_;     // column-major: feature-contiguous
+  std::vector<size_t> hist_offset_;  // per feature + 1, prefix sums
+  size_t max_num_bins_ = 0;
+};
+
+/// \brief Per-leaf histogram slabs (structure-of-arrays): for feature f and
+/// bin b, `sums()[hist_offset(f) + b]` is the residual sum and
+/// `counts()[...]` the example count of the leaf's examples whose feature-f
+/// value falls in bin b. Sized exactly from the BinnedDataset's slab
+/// geometry — there is no fixed 256-bin assumption anywhere.
+///
+/// The subtraction trick (`SubtractChild`) derives a sibling's histograms
+/// from parent − child without touching example data: counts are integers
+/// (exact); sums are one FP subtraction per bin, deterministic but not
+/// necessarily bit-equal to direct accumulation — which is why split
+/// search canonicalizes the winning feature (see tree.cc / TRAINING.md).
+class HistogramSet {
+ public:
+  HistogramSet() = default;
+  explicit HistogramSet(const BinnedDataset& data)
+      : sum_(data.total_bins(), 0.0), cnt_(data.total_bins(), 0) {}
+
+  size_t size() const { return sum_.size(); }
+  std::span<double> sums() { return sum_; }
+  std::span<const double> sums() const { return sum_; }
+  std::span<uint32_t> counts() { return cnt_; }
+  std::span<const uint32_t> counts() const { return cnt_; }
+
+  /// In-place sibling derivation over one slab range [begin, end):
+  /// *this := *this − child. Ranges let the caller fuse the subtraction
+  /// into its per-feature-block parallel loop.
+  void SubtractChild(const HistogramSet& child, size_t begin, size_t end);
+  /// Whole-slab convenience form of the range overload.
+  void SubtractChild(const HistogramSet& child) {
+    SubtractChild(child, 0, size());
+  }
+
+ private:
+  std::vector<double> sum_;
+  std::vector<uint32_t> cnt_;
 };
 
 }  // namespace rpe

@@ -308,6 +308,105 @@ double QuickScorerModel::Score(const double* __restrict x,
   return f;
 }
 
+MergedQuickScorer MergedQuickScorer::Build(
+    const std::vector<QuickScorerModel>& models) {
+  MergedQuickScorer merged;
+  for (const QuickScorerModel& qs : models) {
+    if (!qs.usable) return merged;  // usable stays false
+    merged.num_features = std::max(merged.num_features, qs.num_features);
+  }
+
+  merged.model_tree_begin.push_back(0);
+  for (const QuickScorerModel& qs : models) {
+    const int32_t leaf_off = static_cast<int32_t>(merged.leaf_value.size());
+    merged.bias.push_back(qs.bias);
+    merged.init_mask.insert(merged.init_mask.end(), qs.init_mask.begin(),
+                            qs.init_mask.end());
+    for (int32_t lb : qs.leaf_base) merged.leaf_base.push_back(leaf_off + lb);
+    merged.leaf_value.insert(merged.leaf_value.end(), qs.leaf_value.begin(),
+                             qs.leaf_value.end());
+    merged.model_tree_begin.push_back(merged.model_tree_begin.back() +
+                                      qs.num_trees);
+  }
+
+  // Re-sort every model's (already feature-grouped) entries into one
+  // global (feature, ascending threshold) order with global tree ids.
+  // Threshold ties need no particular order: x > threshold fires all or
+  // none, and mask ANDs commute.
+  std::vector<QsRawEntry> entries;
+  for (size_t m = 0; m < models.size(); ++m) {
+    const QuickScorerModel& qs = models[m];
+    const int32_t tree_off = merged.model_tree_begin[m];
+    for (int32_t f = 0; f < qs.num_features; ++f) {
+      for (size_t k = qs.feat_begin[static_cast<size_t>(f)];
+           k < qs.feat_begin[static_cast<size_t>(f) + 1]; ++k) {
+        entries.push_back(
+            {f, qs.threshold[k], tree_off + qs.entry_tree[k],
+             qs.entry_mask[k]});
+      }
+    }
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const QsRawEntry& a, const QsRawEntry& b) {
+                     return a.feature != b.feature
+                                ? a.feature < b.feature
+                                : a.threshold < b.threshold;
+                   });
+  merged.feat_begin.assign(static_cast<size_t>(merged.num_features) + 1, 0);
+  merged.threshold.reserve(entries.size());
+  merged.entry_tree.reserve(entries.size());
+  merged.entry_mask.reserve(entries.size());
+  for (const QsRawEntry& entry : entries) {
+    merged.feat_begin[static_cast<size_t>(entry.feature) + 1]++;
+    merged.threshold.push_back(entry.threshold);
+    merged.entry_tree.push_back(entry.tree);
+    merged.entry_mask.push_back(entry.mask);
+  }
+  for (size_t f = 1; f < merged.feat_begin.size(); ++f) {
+    merged.feat_begin[f] += merged.feat_begin[f - 1];
+  }
+  merged.usable = true;
+  return merged;
+}
+
+void MergedQuickScorer::ScoreAll(const double* __restrict x,
+                                 std::vector<uint64_t>* bits_scratch,
+                                 std::span<double> out) const {
+  std::vector<uint64_t>& bits = *bits_scratch;
+  bits.assign(init_mask.begin(), init_mask.end());
+  const double* __restrict thr = threshold.data();
+  const int32_t* __restrict tr = entry_tree.data();
+  const uint64_t* __restrict mk = entry_mask.data();
+  // The shared feature loop: x[f] is loaded and NaN-tested once for every
+  // model of the set; the merged ascending-threshold list preserves each
+  // model's early exit (a model's entries past its own cut simply never
+  // satisfy xf > thr).
+  for (int32_t f = 0; f < num_features; ++f) {
+    const size_t end = feat_begin[static_cast<size_t>(f) + 1];
+    size_t k = feat_begin[static_cast<size_t>(f)];
+    const double xf = x[f];
+    if (std::isnan(xf)) {
+      // The tree walk sends NaN right at every node (x <= t is false),
+      // so every node of this feature is a false node — in every model.
+      for (; k < end; ++k) bits[static_cast<size_t>(tr[k])] &= mk[k];
+      continue;
+    }
+    for (; k < end && xf > thr[k]; ++k) {
+      bits[static_cast<size_t>(tr[k])] &= mk[k];
+    }
+  }
+  const int32_t* __restrict lb = leaf_base.data();
+  const double* __restrict lv = leaf_value.data();
+  for (size_t m = 0; m + 1 < model_tree_begin.size(); ++m) {
+    double f = bias[m];
+    for (int32_t t = model_tree_begin[m]; t < model_tree_begin[m + 1]; ++t) {
+      f += lv[lb[t] +
+              std::countr_zero(bits[static_cast<size_t>(t)])];
+    }
+    out[m] = f;
+  }
+}
+
 }  // namespace flat_internal
 
 FlatEnsemble FlatEnsemble::Compile(const MartModel& model) {
@@ -357,6 +456,7 @@ FlatEnsembleSet FlatEnsembleSet::Compile(const std::vector<MartModel>& models) {
     set.tree_begin_.push_back(set.store_.roots.size());
     set.qs_.push_back(flat_internal::QuickScorerModel::Build(model));
   }
+  set.merged_ = flat_internal::MergedQuickScorer::Build(set.qs_);
   return set;
 }
 
@@ -373,6 +473,11 @@ double FlatEnsembleSet::ScoreModel(size_t m, const double* x) const {
 void FlatEnsembleSet::PredictAll(std::span<const double> features,
                                  std::span<double> out) const {
   RPE_CHECK_EQ(out.size(), num_models());
+  if (merged_.usable) {
+    static thread_local std::vector<uint64_t> bits;
+    merged_.ScoreAll(features.data(), &bits, out);
+    return;
+  }
   for (size_t m = 0; m < out.size(); ++m) {
     out[m] = ScoreModel(m, features.data());
   }
@@ -380,6 +485,16 @@ void FlatEnsembleSet::PredictAll(std::span<const double> features,
 
 size_t FlatEnsembleSet::ArgMin(std::span<const double> features) const {
   RPE_CHECK_GT(num_models(), 0u);
+  if (merged_.usable) {
+    static thread_local std::vector<double> scores;
+    scores.resize(num_models());
+    PredictAll(features, scores);
+    size_t best = 0;
+    for (size_t m = 1; m < scores.size(); ++m) {
+      if (scores[m] < scores[best]) best = m;
+    }
+    return best;
+  }
   size_t best = 0;
   double best_value = ScoreModel(0, features.data());
   for (size_t m = 1; m < num_models(); ++m) {

@@ -66,6 +66,41 @@ struct QuickScorerModel {
   std::vector<double> leaf_value;   ///< lr * leaf, left-to-right per tree
 };
 
+/// Per-feature evaluation tables merged across ALL models of a set: the
+/// feature-f split nodes of every model concatenated and sorted by
+/// threshold, so scoring the whole pool scans one merged list per feature
+/// behind a single shared feature loop — x[f] is loaded (and its NaN test
+/// done) once per feature for the entire set instead of once per model.
+/// Bit-exact with scoring each model's own QuickScorerModel: per model the
+/// same entry set fires (mask ANDs commute), and leaf values accumulate in
+/// the same per-model tree order from the bias. Only built when every
+/// model of the set is QuickScorer-usable.
+struct MergedQuickScorer {
+  static MergedQuickScorer Build(const std::vector<QuickScorerModel>& models);
+
+  /// out[m] = model m's prediction for x; out.size() must equal the model
+  /// count. `bits_scratch` is reused across calls (resized to the global
+  /// tree count), keeping the hot path allocation-free.
+  void ScoreAll(const double* x, std::vector<uint64_t>* bits_scratch,
+                std::span<double> out) const;
+
+  bool usable = false;
+  int32_t num_features = 0;  ///< max over models
+
+  /// Per feature f: entries [feat_begin[f], feat_begin[f+1]) sorted by
+  /// ascending threshold (parallel arrays); trees are global ids.
+  std::vector<size_t> feat_begin;
+  std::vector<double> threshold;
+  std::vector<int32_t> entry_tree;
+  std::vector<uint64_t> entry_mask;
+
+  std::vector<uint64_t> init_mask;  ///< per global tree: one bit per leaf
+  std::vector<int32_t> leaf_base;   ///< per global tree, into leaf_value
+  std::vector<double> leaf_value;   ///< concatenated per-model leaf tables
+  std::vector<int32_t> model_tree_begin;  ///< per model + 1, global tree ids
+  std::vector<double> bias;               ///< per model
+};
+
 /// The shared structure-of-arrays node store; one instance holds every
 /// tree of one ensemble (or of a whole model set) back to back.
 struct NodeStore {
@@ -155,12 +190,15 @@ class FlatEnsembleSet {
   size_t num_nodes() const { return store_.topo.size(); }
 
   /// out[m] = prediction of model m; out.size() must equal num_models().
-  /// Bit-exact with calling MartModel::Predict per model.
+  /// Bit-exact with calling MartModel::Predict per model. When every model
+  /// is QuickScorer-usable, all models are scored behind one shared
+  /// feature loop (MergedQuickScorer), touching x once per feature.
   void PredictAll(std::span<const double> features,
                   std::span<double> out) const;
 
   /// Index of the model with the smallest prediction (first on ties);
-  /// requires num_models() > 0. No allocation.
+  /// requires num_models() > 0. Allocation-free after the first call on
+  /// each thread.
   size_t ArgMin(std::span<const double> features) const;
 
  private:
@@ -172,6 +210,9 @@ class FlatEnsembleSet {
   /// QuickScorer tables per model; the scoring path of choice whenever
   /// usable (store_ remains the fallback for >64-leaf trees).
   std::vector<flat_internal::QuickScorerModel> qs_;
+  /// Cross-model merged tables: the PredictAll/ArgMin path of choice when
+  /// every model is usable (per-model qs_/store_ remain the fallback).
+  flat_internal::MergedQuickScorer merged_;
 };
 
 }  // namespace rpe

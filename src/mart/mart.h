@@ -1,9 +1,11 @@
 // MART — Multiple Additive Regression Trees (stochastic gradient boosting,
 // Friedman [10]): the statistical model behind estimator selection
 // (paper §4.2). Squared loss, steepest-descent residual fitting, regression
-// trees as the functional approximators. Training parallelizes the split
-// search and the per-tree prediction update on a ThreadPool; the fitted
-// (and serialized) model is identical at any thread count.
+// trees as the functional approximators. Training parallelizes histogram
+// accumulation, the split sweep (both over feature blocks) and the
+// per-tree prediction update on a ThreadPool; the fitted (and serialized)
+// model is identical at any thread count. Training internals are
+// documented in docs/TRAINING.md.
 #pragma once
 
 #include <span>
@@ -25,6 +27,8 @@ struct MartParams {
   TreeParams tree;
   /// Fraction of examples sampled per boosting iteration (1.0 = none).
   double subsample = 1.0;
+  /// Quantile-binning resolution; must be in [2, 255] (checked at binning
+  /// time — bin ids live in uint8, see BinnedDataset).
   int max_bins = 255;
   uint64_t seed = 7;
   /// Worker pool for training; nullptr = the global pool. The trained

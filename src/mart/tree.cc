@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <sstream>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -27,36 +29,82 @@ struct GrowableLeaf {
   double sum = 0.0;
   int node_id = 0;
   SplitCandidate best;
+  /// This leaf's full HistogramSet, present while the leaf is a split
+  /// candidate; released (recycled) as soon as the leaf is known terminal
+  /// or has been split.
+  std::unique_ptr<HistogramSet> hist;
 };
 
-/// Histogram scan of one feature: the best split of `leaf` on feature `f`
-/// alone. Pure function of (data, residuals, leaf, f), so feature scans
-/// can run concurrently and reduce in feature order afterwards.
-SplitCandidate ScanFeature(const BinnedDataset& data,
-                           const std::vector<double>& residuals,
-                           const GrowableLeaf& leaf, size_t f,
-                           const TreeParams& params) {
+/// Don't fan histogram work out unless the accumulation amortizes the pool
+/// hand-off (leaf examples × features touched, or slab entries swept).
+constexpr size_t kMinParallelWork = 1 << 14;
+/// Derive a sibling by subtraction only when the direct build it replaces
+/// (examples × features accumulations) clearly outweighs the elementwise
+/// slab pass the subtraction costs — for small leaves (or narrow datasets
+/// with many bins) the O(total_bins) subtraction plus the canonicalization
+/// it forces is slower than just re-accumulating. Either path fits
+/// byte-identical trees, so this is purely a throughput heuristic.
+constexpr size_t kSubtractionPayoff = 2;
+/// Features per parallel task: one ParallelFor index covers a block of
+/// adjacent features, so the per-index atomic hand-off amortizes over
+/// several full-column scans instead of costing one claim per feature.
+constexpr size_t kHistFeatureBlock = 8;
+
+size_t NumFeatureBlocks(size_t nf) {
+  return (nf + kHistFeatureBlock - 1) / kHistFeatureBlock;
+}
+
+bool ShouldParallelize(ThreadPool* pool, size_t work, size_t nblocks) {
+  return pool != nullptr && pool->num_threads() > 1 && nblocks > 1 &&
+         work >= kMinParallelWork;
+}
+
+/// One feature's histogram over a dense leaf (`indices` covers every
+/// example): both the bin column and the residuals stream sequentially.
+inline void AccumulateColumnDense(const uint8_t* __restrict col,
+                                  const double* __restrict res, size_t n,
+                                  double* __restrict sum,
+                                  uint32_t* __restrict cnt) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t b = col[i];
+    sum[b] += res[i];
+    cnt[b] += 1;
+  }
+}
+
+/// One feature's histogram over a sparse leaf: `ordered[k]` is the
+/// (pre-gathered) residual of example `idx[k]`, so only the bin column is
+/// gathered per feature.
+inline void AccumulateColumnSparse(const uint8_t* __restrict col,
+                                   const uint32_t* __restrict idx,
+                                   const double* __restrict ordered,
+                                   size_t n, double* __restrict sum,
+                                   uint32_t* __restrict cnt) {
+  for (size_t k = 0; k < n; ++k) {
+    const uint8_t b = col[idx[k]];
+    sum[b] += ordered[k];
+    cnt[b] += 1;
+  }
+}
+
+/// Best split of one feature, read off its histogram slab: the cumulative
+/// left-to-right sweep over bin boundaries. Pure function of the slab and
+/// the leaf totals, so feature sweeps can run concurrently and reduce in
+/// feature order afterwards.
+SplitCandidate SweepFeature(const BinnedDataset& data, size_t f,
+                            const double* sum, const uint32_t* cnt,
+                            double total_sum, size_t n,
+                            const TreeParams& params) {
   SplitCandidate best;
   const size_t nbins = data.num_bins(f);
   if (nbins < 2) return best;
-  const size_t n = leaf.indices.size();
-  const double total_sum = leaf.sum;
   const double parent_score = total_sum * total_sum / static_cast<double>(n);
 
-  double hist_sum[256];
-  uint32_t hist_cnt[256];
-  std::fill(hist_sum, hist_sum + nbins, 0.0);
-  std::fill(hist_cnt, hist_cnt + nbins, 0u);
-  for (uint32_t idx : leaf.indices) {
-    const uint8_t b = data.bin(idx, f);
-    hist_sum[b] += residuals[idx];
-    hist_cnt[b] += 1;
-  }
   double left_sum = 0.0;
   size_t left_cnt = 0;
   for (size_t b = 0; b + 1 < nbins; ++b) {
-    left_sum += hist_sum[b];
-    left_cnt += hist_cnt[b];
+    left_sum += sum[b];
+    left_cnt += cnt[b];
     const size_t right_cnt = n - left_cnt;
     if (left_cnt < static_cast<size_t>(params.min_examples_per_leaf) ||
         right_cnt < static_cast<size_t>(params.min_examples_per_leaf)) {
@@ -82,42 +130,198 @@ SplitCandidate ScanFeature(const BinnedDataset& data,
   return best;
 }
 
-/// Don't fan a scan out unless the histogram accumulation amortizes the
-/// pool hand-off (indices × features touched).
-constexpr size_t kMinParallelWork = 1 << 14;
+/// Re-accumulate feature f's histogram directly from the leaf's examples
+/// and sweep it: the canonical (subtraction-free) statistics for this
+/// feature. The winning split of a subtracted HistogramSet is rebased onto
+/// this, so every threshold, gain and child sum entering the tree is
+/// exactly what direct accumulation would produce — subtraction ulps never
+/// reach the model and never compound across split levels.
+SplitCandidate CanonicalFeatureSweep(const BinnedDataset& data,
+                                     const std::vector<double>& residuals,
+                                     const GrowableLeaf& leaf, size_t f,
+                                     const TreeParams& params) {
+  const size_t nbins = data.num_bins(f);
+  std::vector<double> sum(nbins, 0.0);
+  std::vector<uint32_t> cnt(nbins, 0);
+  const uint8_t* col = data.feature_bins(f).data();
+  for (uint32_t idx : leaf.indices) {
+    const uint8_t b = col[idx];
+    sum[b] += residuals[idx];
+    cnt[b] += 1;
+  }
+  return SweepFeature(data, f, sum.data(), cnt.data(), leaf.sum,
+                      leaf.indices.size(), params);
+}
 
+/// How a leaf's histogram contents come to exist before the sweep.
+enum class HistSource {
+  kBuild,      ///< zero + accumulate directly from the leaf's examples
+  kSubtract,   ///< derive in place as parent − child (leaf.hist holds the
+               ///< parent's slabs, `child` the already-built sibling)
+  kSweepOnly,  ///< slabs already filled; just sweep
+};
+
+/// Fill (or derive) the leaf's histograms and sweep every feature for its
+/// best split — fused per feature, so each histogram region is still hot
+/// in cache when its sweep runs. Two storage modes: with `leaf.hist` set,
+/// accumulation lands in the leaf's retained HistogramSet slabs (so a
+/// child may later derive its sibling by subtraction); with `leaf.hist`
+/// null, each feature reuses a compact per-block scratch sized
+/// max_num_bins() — the cheap path for leaves too small for any
+/// descendant to ever clear the subtraction-payoff bar. Feature blocks
+/// process in parallel and the reduction runs in ascending feature order
+/// with strict comparisons: the same winner as a sequential scan
+/// (earliest feature and bin on gain ties), so the fitted tree is
+/// thread-count invariant. When the leaf's histograms came from
+/// subtraction, the winner is canonicalized via CanonicalFeatureSweep; in
+/// the (ulp-tie) event that the canonical sweep no longer clears the
+/// guards, the whole set is rebuilt directly once.
 SplitCandidate FindBestSplit(const BinnedDataset& data,
                              const std::vector<double>& residuals,
-                             const GrowableLeaf& leaf,
+                             GrowableLeaf& leaf, const HistogramSet* child,
                              const TreeParams& params, ThreadPool* pool) {
-  SplitCandidate best;
   const size_t n = leaf.indices.size();
-  if (n < 2 * static_cast<size_t>(params.min_examples_per_leaf)) return best;
+  if (n < 2 * static_cast<size_t>(params.min_examples_per_leaf)) return {};
+  RPE_CHECK(child == nullptr || leaf.hist != nullptr);
   const size_t nf = data.num_features();
+  const bool dense = n == data.num_examples();
+  // The one gather pass over the leaf's examples (direct sparse builds
+  // only): every feature afterwards streams `ordered` sequentially.
+  std::vector<double> ordered;
+  if (child == nullptr && !dense) {
+    ordered.resize(n);
+    for (size_t k = 0; k < n; ++k) ordered[k] = residuals[leaf.indices[k]];
+  }
 
   std::vector<SplitCandidate> per_feature(nf);
-  if (pool != nullptr && pool->num_threads() > 1 && nf > 1 &&
-      n * nf >= kMinParallelWork) {
-    pool->ParallelFor(nf, [&](size_t f) {
-      per_feature[f] = ScanFeature(data, residuals, leaf, f, params);
-    });
-  } else {
+  const auto run = [&](HistSource source) {
+    double* const sums =
+        leaf.hist != nullptr ? leaf.hist->sums().data() : nullptr;
+    uint32_t* const cnts =
+        leaf.hist != nullptr ? leaf.hist->counts().data() : nullptr;
+    const size_t work =
+        source == HistSource::kBuild ? n * nf : data.total_bins();
+    const size_t nblocks = NumFeatureBlocks(nf);
+    const bool fan_out = ShouldParallelize(pool, work, nblocks);
+    // Scratch for slab-less accumulation, reused per feature so it stays
+    // L1-hot. One pair serves the whole sequential sweep; concurrent
+    // blocks get their own pair inside process_block.
+    std::vector<double> seq_sum;
+    std::vector<uint32_t> seq_cnt;
+    if (sums == nullptr && !fan_out) {
+      seq_sum.resize(data.max_num_bins());
+      seq_cnt.resize(data.max_num_bins());
+    }
+    const auto process_block = [&](size_t blk) {
+      std::vector<double> blk_sum;
+      std::vector<uint32_t> blk_cnt;
+      double* scratch_sum = seq_sum.data();
+      uint32_t* scratch_cnt = seq_cnt.data();
+      if (sums == nullptr && fan_out) {
+        blk_sum.resize(data.max_num_bins());
+        blk_cnt.resize(data.max_num_bins());
+        scratch_sum = blk_sum.data();
+        scratch_cnt = blk_cnt.data();
+      }
+      const size_t f0 = blk * kHistFeatureBlock;
+      const size_t f1 = std::min(nf, f0 + kHistFeatureBlock);
+      for (size_t f = f0; f < f1; ++f) {
+        const size_t off = data.hist_offset(f);
+        const size_t nbins = data.num_bins(f);
+        double* sum = sums != nullptr ? sums + off : scratch_sum;
+        uint32_t* cnt = cnts != nullptr ? cnts + off : scratch_cnt;
+        if (source == HistSource::kBuild) {
+          std::fill(sum, sum + nbins, 0.0);
+          std::fill(cnt, cnt + nbins, 0u);
+          const uint8_t* col = data.feature_bins(f).data();
+          if (dense) {
+            AccumulateColumnDense(col, residuals.data(), n, sum, cnt);
+          } else {
+            AccumulateColumnSparse(col, leaf.indices.data(), ordered.data(),
+                                   n, sum, cnt);
+          }
+        } else if (source == HistSource::kSubtract) {
+          leaf.hist->SubtractChild(*child, off, off + nbins);
+        }
+        per_feature[f] = SweepFeature(data, f, sum, cnt, leaf.sum, n, params);
+      }
+    };
+    if (fan_out) {
+      pool->ParallelFor(nblocks, process_block);
+    } else {
+      for (size_t blk = 0; blk < nblocks; ++blk) process_block(blk);
+    }
+    SplitCandidate out;
     for (size_t f = 0; f < nf; ++f) {
-      per_feature[f] = ScanFeature(data, residuals, leaf, f, params);
+      if (per_feature[f].valid && per_feature[f].gain > out.gain) {
+        out = per_feature[f];
+      }
     }
-  }
-  // Ordered reduction: ascending feature id with a strict comparison keeps
-  // the same winner as the sequential single-loop scan (earliest feature
-  // and bin on gain ties), so the fitted tree is thread-count invariant.
-  for (size_t f = 0; f < nf; ++f) {
-    if (per_feature[f].valid && per_feature[f].gain > best.gain) {
-      best = per_feature[f];
-    }
-  }
-  return best;
+    return out;
+  };
+
+  SplitCandidate best =
+      run(child != nullptr ? HistSource::kSubtract : HistSource::kBuild);
+  if (child == nullptr || !best.valid) return best;
+  const SplitCandidate canonical =
+      CanonicalFeatureSweep(data, residuals, leaf, best.feature, params);
+  if (canonical.valid) return canonical;
+  // Rare: subtraction noise elected a feature whose canonical statistics
+  // fail the gain or leaf-size guards. Rebuild this leaf directly once and
+  // re-sweep — fully canonical, still deterministic.
+  BuildLeafHistograms(data, residuals, leaf.indices, leaf.hist.get(), pool);
+  return run(HistSource::kSweepOnly);
 }
 
 }  // namespace
+
+void BuildLeafHistograms(const BinnedDataset& data,
+                         const std::vector<double>& residuals,
+                         std::span<const uint32_t> indices,
+                         HistogramSet* hist, ThreadPool* pool) {
+  RPE_CHECK_EQ(hist->size(), data.total_bins());
+  const size_t nf = data.num_features();
+  const size_t n = indices.size();
+  // Strictly increasing indices covering n == num_examples() can only be
+  // the identity, so the gather and the index indirection are skipped.
+  const bool dense = n == data.num_examples();
+  // The one pass over the leaf's examples: gather its residuals into a
+  // compact buffer once, so every feature column afterwards streams
+  // `ordered` sequentially instead of re-gathering residuals[idx] per
+  // feature.
+  std::vector<double> ordered;
+  if (!dense) {
+    ordered.resize(n);
+    for (size_t k = 0; k < n; ++k) ordered[k] = residuals[indices[k]];
+  }
+  double* const sums = hist->sums().data();
+  uint32_t* const cnts = hist->counts().data();
+  const auto build_block = [&](size_t blk) {
+    const size_t f0 = blk * kHistFeatureBlock;
+    const size_t f1 = std::min(nf, f0 + kHistFeatureBlock);
+    for (size_t f = f0; f < f1; ++f) {
+      const size_t off = data.hist_offset(f);
+      const size_t nbins = data.num_bins(f);
+      double* sum = sums + off;
+      uint32_t* cnt = cnts + off;
+      std::fill(sum, sum + nbins, 0.0);
+      std::fill(cnt, cnt + nbins, 0u);
+      const uint8_t* col = data.feature_bins(f).data();
+      if (dense) {
+        AccumulateColumnDense(col, residuals.data(), n, sum, cnt);
+      } else {
+        AccumulateColumnSparse(col, indices.data(), ordered.data(), n, sum,
+                               cnt);
+      }
+    }
+  };
+  const size_t nblocks = NumFeatureBlocks(nf);
+  if (ShouldParallelize(pool, n * nf, nblocks)) {
+    pool->ParallelFor(nblocks, build_block);
+  } else {
+    for (size_t blk = 0; blk < nblocks; ++blk) build_block(blk);
+  }
+}
 
 RegressionTree RegressionTree::Fit(const BinnedDataset& data,
                                    const std::vector<double>& residuals,
@@ -128,6 +332,21 @@ RegressionTree RegressionTree::Fit(const BinnedDataset& data,
   RPE_CHECK_EQ(residuals.size(), data.num_examples());
   if (pool == nullptr) pool = &ThreadPool::Global();
   RegressionTree tree;
+  const size_t min_split =
+      2 * static_cast<size_t>(params.min_examples_per_leaf);
+
+  // HistogramSet free list: sets are recycled across leaves, so a tree fit
+  // allocates only as many slabs as are ever live at once.
+  std::vector<std::unique_ptr<HistogramSet>> spare;
+  const auto acquire = [&] {
+    if (spare.empty()) return std::make_unique<HistogramSet>(data);
+    auto h = std::move(spare.back());
+    spare.pop_back();
+    return h;
+  };
+  const auto release = [&](std::unique_ptr<HistogramSet>* h) {
+    if (*h != nullptr) spare.push_back(std::move(*h));
+  };
 
   GrowableLeaf root;
   if (example_indices.empty()) {
@@ -146,7 +365,21 @@ RegressionTree RegressionTree::Fit(const BinnedDataset& data,
                         : root.sum / static_cast<double>(root.indices.size());
   tree.nodes_.push_back(root_node);
   root.node_id = 0;
-  root.best = FindBestSplit(data, residuals, root, params, pool);
+  // A leaf's slabs are only ever consumed by a child deriving its sibling
+  // via subtraction, and a child can clear the payoff bar only if the leaf
+  // itself does — so leaves below it sweep through compact scratch and
+  // never materialize a HistogramSet at all.
+  const auto wants_hist = [&](size_t n_leaf) {
+    return !params.force_direct_histograms &&
+           n_leaf * data.num_features() >=
+               kSubtractionPayoff * data.total_bins();
+  };
+
+  if (params.max_leaves > 1 && root.indices.size() >= min_split) {
+    if (wants_hist(root.indices.size())) root.hist = acquire();
+    root.best = FindBestSplit(data, residuals, root, nullptr, params, pool);
+  }
+  if (!root.best.valid) release(&root.hist);
 
   std::vector<GrowableLeaf> leaves;
   leaves.push_back(std::move(root));
@@ -167,7 +400,7 @@ RegressionTree RegressionTree::Fit(const BinnedDataset& data,
 
     GrowableLeaf leaf = std::move(leaves[static_cast<size_t>(best_leaf)]);
     leaves.erase(leaves.begin() + best_leaf);
-    const SplitCandidate& split = leaf.best;
+    const SplitCandidate split = leaf.best;
     if (feature_gains != nullptr) {
       (*feature_gains)[split.feature] += split.gain;
     }
@@ -175,8 +408,9 @@ RegressionTree RegressionTree::Fit(const BinnedDataset& data,
     GrowableLeaf left, right;
     left.indices.reserve(split.left_count);
     right.indices.reserve(split.right_count);
+    const uint8_t* col = data.feature_bins(split.feature).data();
     for (uint32_t idx : leaf.indices) {
-      if (data.bin(idx, split.feature) <= split.bin) {
+      if (col[idx] <= split.bin) {
         left.indices.push_back(idx);
       } else {
         right.indices.push_back(idx);
@@ -199,12 +433,53 @@ RegressionTree RegressionTree::Fit(const BinnedDataset& data,
     parent.threshold = split.threshold;
     parent.left = left.node_id;
     parent.right = right.node_id;
+    ++num_leaves;
 
-    left.best = FindBestSplit(data, residuals, left, params, pool);
-    right.best = FindBestSplit(data, residuals, right, params, pool);
+    // A child needs histograms only if the tree may still grow and the
+    // child is large enough to split. The smaller child accumulates
+    // directly; when it pays (kSubtractionPayoff), the larger child
+    // derives its slabs as parent − smaller (O(slab) instead of
+    // O(examples × features)) — per split level at most half the
+    // examples are then ever re-accumulated.
+    const bool may_grow = num_leaves < params.max_leaves;
+    GrowableLeaf& small =
+        left.indices.size() <= right.indices.size() ? left : right;
+    GrowableLeaf& big = (&small == &left) ? right : left;
+    const bool small_can = may_grow && small.indices.size() >= min_split;
+    const bool big_can = may_grow && big.indices.size() >= min_split;
+    // If the big child clears the payoff bar the parent necessarily did
+    // too, so its slabs are guaranteed to be retained in leaf.hist.
+    const bool subtract = big_can && wants_hist(big.indices.size());
+    if (subtract) {
+      small.hist = acquire();
+      if (small_can) {
+        small.best =
+            FindBestSplit(data, residuals, small, nullptr, params, pool);
+      } else {
+        // Built only to serve as the subtrahend for the sibling.
+        BuildLeafHistograms(data, residuals, small.indices, small.hist.get(),
+                            pool);
+      }
+    } else if (small_can) {
+      small.best =
+          FindBestSplit(data, residuals, small, nullptr, params, pool);
+    }
+    if (big_can) {
+      if (subtract) {
+        big.hist = std::move(leaf.hist);
+        big.best = FindBestSplit(data, residuals, big, small.hist.get(),
+                                 params, pool);
+      } else {
+        big.best =
+            FindBestSplit(data, residuals, big, nullptr, params, pool);
+      }
+    }
+    release(&leaf.hist);  // no-op when moved into the sibling above
+    if (!small.best.valid) release(&small.hist);
+    if (!big.best.valid) release(&big.hist);
+
     leaves.push_back(std::move(left));
     leaves.push_back(std::move(right));
-    ++num_leaves;
   }
   return tree;
 }

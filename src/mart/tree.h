@@ -1,8 +1,13 @@
 // Binary regression tree with best-first (leaf-wise) growth over binned
 // features, fit to residuals with the MSE criterion — the weak learner
-// inside MART (paper §4.2). Split search runs the per-feature histogram
-// scans on a ThreadPool with an ordered reduction, so the fitted tree is
-// identical to the sequential result at any thread count.
+// inside MART (paper §4.2). Split search is histogram-based: one pass over
+// a leaf's examples fills a HistogramSet (all features at once, streaming
+// the column-major bin slabs), a per-feature sweep picks the best split,
+// and each split derives the larger child's histograms by subtraction
+// (parent − smaller child). Histogram accumulation and the sweep
+// parallelize over feature blocks on a ThreadPool with an ordered
+// reduction, so the fitted tree is identical to the sequential result at
+// any thread count. The full pipeline is documented in docs/TRAINING.md.
 #pragma once
 
 #include <span>
@@ -20,7 +25,34 @@ struct TreeParams {
   int max_leaves = 30;        ///< paper: 30 leaf nodes
   int min_examples_per_leaf = 8;
   double min_gain = 1e-12;    ///< minimum variance reduction to split
+  /// Test/benchmark escape hatch: build every leaf's histograms directly
+  /// instead of deriving siblings by subtraction. The subtraction path
+  /// canonicalizes the winning feature's statistics from a direct
+  /// re-accumulation, so everything entering the tree is free of
+  /// subtraction rounding and the two modes fit identical trees unless
+  /// two *different features'* split gains tie within that rounding
+  /// (e.g. exactly duplicated columns), where the cross-feature election
+  /// itself may differ (asserted identical on continuous fixtures by
+  /// tests/mart_test.cpp); direct mode exists to prove that and to give
+  /// benchmarks a no-subtraction baseline.
+  bool force_direct_histograms = false;
 };
+
+/// Build every feature's histogram over the examples in `indices` into
+/// `hist` (which must be sized for `data`, i.e. HistogramSet(data)): for
+/// each feature f and bin b, the sum of `residuals[i]` and the count of
+/// examples i in `indices` with bin(i, f) == b. One gather pass materializes
+/// the leaf's residuals, then each feature streams its contiguous bin
+/// column; when `indices` covers every example the gather and the index
+/// indirection are skipped entirely (dense fast path). `indices` must be
+/// strictly increasing. Accumulation parallelizes over feature blocks on
+/// `pool` (nullptr = sequential); per-feature adds always run in index
+/// order, so the result is bitwise identical at any thread count.
+/// Exposed for tests and benchmarks; RegressionTree::Fit is the real user.
+void BuildLeafHistograms(const BinnedDataset& data,
+                         const std::vector<double>& residuals,
+                         std::span<const uint32_t> indices,
+                         HistogramSet* hist, ThreadPool* pool = nullptr);
 
 /// \brief A fitted regression tree; predicts from raw feature vectors.
 class RegressionTree {
@@ -38,8 +70,9 @@ class RegressionTree {
   /// Fit to `residuals` (one per example of `data`). Optionally restrict to
   /// `example_indices` (stochastic boosting subsample); empty = all.
   /// Accumulates per-feature split gains into `feature_gains` if non-null.
-  /// Split search parallelizes across features on `pool` (nullptr = the
-  /// global pool); results are independent of the thread count.
+  /// Histogram accumulation and split search parallelize across feature
+  /// blocks on `pool` (nullptr = the global pool); results are independent
+  /// of the thread count.
   static RegressionTree Fit(const BinnedDataset& data,
                             const std::vector<double>& residuals,
                             const std::vector<uint32_t>& example_indices,

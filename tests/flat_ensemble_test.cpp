@@ -181,24 +181,64 @@ TEST(FlatEnsembleSetTest, NonFiniteFeaturesMatchTreeWalkExactly) {
   }
 }
 
+TEST(FlatEnsembleSetTest, MixedWideAndNarrowModelsStayBitExact) {
+  // A set mixing QuickScorer-usable models with a >64-leaf one cannot use
+  // the merged shared-feature loop; it must fall back to per-model scoring
+  // (narrow models via their own tables, the wide one via the walk) and
+  // still match MartModel::Predict bit for bit.
+  Dataset data = RandomDataset(4000, 6, 61);
+  std::vector<MartModel> models;
+  for (int m = 0; m < 3; ++m) {
+    MartParams params;
+    params.num_trees = 12;
+    if (m == 1) {
+      params.tree.max_leaves = 100;
+      params.tree.min_examples_per_leaf = 2;
+    }
+    params.seed = static_cast<uint64_t>(m + 1);
+    models.push_back(MartModel::Train(data, params));
+  }
+  size_t widest = 0;
+  for (const auto& tree : models[1].trees()) {
+    widest = std::max(widest, tree.num_leaves());
+  }
+  ASSERT_GT(widest, 64u) << "fixture no longer mixes usabilities";
+
+  FlatEnsembleSet set = FlatEnsembleSet::Compile(models);
+  std::vector<double> out(models.size());
+  for (size_t i = 0; i < 200; ++i) {
+    const auto x = data.ExampleSpan(i);
+    set.PredictAll(x, out);
+    size_t expected_best = 0;
+    for (size_t m = 0; m < models.size(); ++m) {
+      ASSERT_EQ(out[m], models[m].Predict(x));
+      if (out[m] < out[expected_best]) expected_best = m;
+    }
+    EXPECT_EQ(set.ArgMin(x), expected_best);
+  }
+}
+
 // Training determinism: the fitted model (and therefore its serialized
-// text) must be byte-identical at any thread count — the parallel split
-// search reduces in feature order and the prediction update writes
-// per-index slots only.
+// text) must be byte-identical at any thread count — histogram
+// accumulation and the split sweep parallelize over feature blocks whose
+// per-feature adds always run in example order, the reduction happens in
+// feature order on the caller, and the prediction update writes per-index
+// slots only.
 TEST(ParallelTrainingTest, SerializedModelsAreThreadCountInvariant) {
   Dataset data = RandomDataset(3000, 10, 31);
-  ThreadPool sequential(1);
-  ThreadPool parallel(4);
-
   MartParams params;
   params.num_trees = 30;
   params.subsample = 0.8;
 
+  ThreadPool sequential(1);
   params.pool = &sequential;
   const std::string blob_seq = MartModel::Train(data, params).Serialize();
-  params.pool = &parallel;
-  const std::string blob_par = MartModel::Train(data, params).Serialize();
-  EXPECT_EQ(blob_seq, blob_par);
+  for (const int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    params.pool = &pool;
+    EXPECT_EQ(blob_seq, MartModel::Train(data, params).Serialize())
+        << "threads=" << threads;
+  }
 }
 
 }  // namespace

@@ -1,11 +1,15 @@
-// MART learner tests: binning, tree fitting, boosting convergence,
-// serialization, feature importance and the linear baseline.
+// MART learner tests: binning (column-major layout), one-pass leaf
+// histograms and the subtraction trick, tree fitting, boosting
+// convergence, serialization, feature importance and the linear baseline.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <numeric>
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "mart/linear.h"
 #include "mart/mart.h"
 
@@ -76,6 +80,134 @@ TEST(BinnedDatasetTest, BinOrderRespectsValues) {
       EXPECT_LE(binned.bin(i, 0), binned.bin(i + 1, 0));
     }
   }
+}
+
+TEST(BinnedDatasetTest, ColumnMajorMatchesRowMajorReference) {
+  Dataset data = MakeDataset(800, 41, NonlinearTarget);
+  BinnedDataset binned(data, 32);
+  const size_t nf = data.num_features();
+  const std::vector<uint8_t> rows = binned.RowMajorBins();
+  ASSERT_EQ(rows.size(), data.num_examples() * nf);
+  for (size_t f = 0; f < nf; ++f) {
+    const auto col = binned.feature_bins(f);
+    ASSERT_EQ(col.size(), data.num_examples());
+    for (size_t i = 0; i < data.num_examples(); ++i) {
+      ASSERT_EQ(binned.bin(i, f), rows[i * nf + f]);
+      ASSERT_EQ(col[i], rows[i * nf + f]);
+    }
+  }
+  // Histogram slab geometry is the exact prefix sum of per-feature bins.
+  size_t expected_off = 0;
+  for (size_t f = 0; f < nf; ++f) {
+    EXPECT_EQ(binned.hist_offset(f), expected_off);
+    expected_off += binned.num_bins(f);
+  }
+  EXPECT_EQ(binned.total_bins(), expected_off);
+}
+
+TEST(BinnedDatasetTest, RejectsMoreThan255Bins) {
+  Dataset data(1);
+  ASSERT_TRUE(data.AddExample({1.0}, 0.0).ok());
+  ASSERT_TRUE(data.AddExample({2.0}, 0.0).ok());
+  EXPECT_DEATH(BinnedDataset(data, 256), "max_bins");
+}
+
+// --- Leaf histograms -------------------------------------------------------
+
+TEST(HistogramSetTest, OnePassMatchesPerFeatureReference) {
+  Dataset data = MakeDataset(1200, 43, NonlinearTarget);
+  BinnedDataset binned(data, 64);
+  std::vector<double> residuals(data.num_examples());
+  Rng rng(44);
+  for (auto& r : residuals) r = rng.NextGaussian();
+  // A sparse leaf: every third example (strictly increasing).
+  std::vector<uint32_t> indices;
+  for (uint32_t i = 0; i < data.num_examples(); i += 3) indices.push_back(i);
+
+  HistogramSet hist(binned);
+  BuildLeafHistograms(binned, residuals, indices, &hist, nullptr);
+
+  for (size_t f = 0; f < binned.num_features(); ++f) {
+    std::vector<double> ref_sum(binned.num_bins(f), 0.0);
+    std::vector<uint32_t> ref_cnt(binned.num_bins(f), 0);
+    for (uint32_t idx : indices) {
+      const uint8_t b = binned.bin(idx, f);
+      ref_sum[b] += residuals[idx];
+      ref_cnt[b] += 1;
+    }
+    const size_t off = binned.hist_offset(f);
+    for (size_t b = 0; b < binned.num_bins(f); ++b) {
+      ASSERT_EQ(hist.sums()[off + b], ref_sum[b]) << "f=" << f << " b=" << b;
+      ASSERT_EQ(hist.counts()[off + b], ref_cnt[b]);
+    }
+  }
+}
+
+TEST(HistogramSetTest, BuildIsThreadCountInvariant) {
+  Dataset data = MakeDataset(3000, 45, StepTarget);
+  BinnedDataset binned(data);
+  std::vector<double> residuals(data.num_examples());
+  Rng rng(46);
+  for (auto& r : residuals) r = rng.NextGaussian();
+  std::vector<uint32_t> all(data.num_examples());
+  std::iota(all.begin(), all.end(), 0u);
+
+  HistogramSet sequential(binned), parallel(binned);
+  BuildLeafHistograms(binned, residuals, all, &sequential, nullptr);
+  ThreadPool pool(8);
+  BuildLeafHistograms(binned, residuals, all, &parallel, &pool);
+  for (size_t i = 0; i < sequential.size(); ++i) {
+    ASSERT_EQ(sequential.sums()[i], parallel.sums()[i]);
+    ASSERT_EQ(sequential.counts()[i], parallel.counts()[i]);
+  }
+}
+
+TEST(HistogramSetTest, SubtractionCountsAreExact) {
+  Dataset data = MakeDataset(2000, 47, NonlinearTarget);
+  BinnedDataset binned(data, 128);
+  std::vector<double> residuals(data.num_examples());
+  Rng rng(48);
+  for (auto& r : residuals) r = rng.NextGaussian();
+  std::vector<uint32_t> parent(data.num_examples());
+  std::iota(parent.begin(), parent.end(), 0u);
+  std::vector<uint32_t> child, sibling;
+  for (uint32_t i : parent) (i % 5 == 0 ? child : sibling).push_back(i);
+
+  HistogramSet parent_hist(binned), child_hist(binned), direct(binned);
+  BuildLeafHistograms(binned, residuals, parent, &parent_hist, nullptr);
+  BuildLeafHistograms(binned, residuals, child, &child_hist, nullptr);
+  BuildLeafHistograms(binned, residuals, sibling, &direct, nullptr);
+
+  parent_hist.SubtractChild(child_hist);  // parent_hist is now the sibling
+  double max_rel_err = 0.0;
+  for (size_t i = 0; i < direct.size(); ++i) {
+    // Counts are integer arithmetic: exactly equal to direct accumulation.
+    ASSERT_EQ(parent_hist.counts()[i], direct.counts()[i]);
+    // Sums differ from direct accumulation only by FP rounding.
+    const double scale = std::max(1.0, std::abs(direct.sums()[i]));
+    max_rel_err = std::max(
+        max_rel_err,
+        std::abs(parent_hist.sums()[i] - direct.sums()[i]) / scale);
+  }
+  EXPECT_LT(max_rel_err, 1e-9);
+}
+
+// The guarantee that matters for model bytes: the subtraction trick and
+// plain direct accumulation fit byte-identical trees, because split search
+// canonicalizes the winning feature from a direct re-accumulation before
+// anything enters the tree.
+TEST(TreeTest, SubtractionAndDirectHistogramsFitIdenticalModels) {
+  Dataset data = MakeDataset(2500, 49, NonlinearTarget);
+  MartParams params;
+  params.num_trees = 25;
+  params.subsample = 0.8;
+  params.seed = 5;
+  params.tree.force_direct_histograms = false;
+  const std::string with_subtraction =
+      MartModel::Train(data, params).Serialize();
+  params.tree.force_direct_histograms = true;
+  const std::string direct = MartModel::Train(data, params).Serialize();
+  EXPECT_EQ(with_subtraction, direct);
 }
 
 // --- Regression tree -----------------------------------------------------
