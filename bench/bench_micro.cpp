@@ -2,12 +2,17 @@
 // feature extraction, MART training internals (leaf-histogram build
 // one-pass vs. rescan, sibling subtraction, tree fit) and prediction,
 // Zipf sampling, histogram construction, and the serving layer (binary
-// snapshots vs. the CSV/text persistence path, concurrent MonitorService
-// replay, ingest push throughput and TrainerLoop retrain+publish
+// snapshots vs. the CSV/text persistence path, zero-copy mmap model load
+// vs. the read+decode path, concurrent MonitorService replay, sharded
+// tick routing, ingest push throughput and TrainerLoop retrain+publish
 // latency) — the building blocks whose cost determines the (low)
 // overhead the paper requires of progress estimation.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <numeric>
 
@@ -16,7 +21,9 @@
 #include "mart/mart.h"
 #include "optimizer/histogram.h"
 #include "selection/features.h"
+#include "serving/mmap_arena.h"
 #include "serving/monitor_service.h"
+#include "serving/shard_router.h"
 #include "serving/snapshot.h"
 #include "serving/trainer_loop.h"
 #include "tests/test_util.h"
@@ -333,6 +340,12 @@ struct ServingFixture {
     stack = std::make_shared<const SelectorStack>(
         SelectorStack::Train(records, PoolOriginalThree(), params));
     stack_snapshot = EncodeSelectorStack(*stack);
+    // Per-process name: concurrent or cross-user runs must not collide
+    // on a shared temp file (writer-vs-mmap races, stale ownership).
+    stack_path = std::filesystem::temp_directory_path().string() +
+                 "/rpe_bench_micro_stack." + std::to_string(::getpid()) +
+                 ".rpsn";
+    RPE_CHECK_OK(SaveSelectorStack(*stack, stack_path));
     for (const EstimatorSelector* sel :
          {&stack->static_selector, &stack->dynamic_selector}) {
       for (const MartModel& m : sel->models()) {
@@ -357,11 +370,14 @@ struct ServingFixture {
     }
   }
 
+  ~ServingFixture() { std::remove(stack_path.c_str()); }
+
   std::vector<PipelineRecord> records;
   std::string records_csv;
   std::string records_snapshot;
   std::shared_ptr<const SelectorStack> stack;
   std::string stack_snapshot;
+  std::string stack_path;
   std::vector<std::string> model_texts;
   std::vector<std::unique_ptr<PhysicalPlan>> plans;
   std::vector<QueryRunResult> runs;
@@ -441,6 +457,68 @@ void BM_SelectorStackSnapshotDecode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SelectorStackSnapshotDecode);
+
+// Model load for warm restarts, full-file paths: the ordinary read
+// (file read + model decode + flat recompilation) vs. the zero-copy mmap
+// arena (map + CRC + alias the compiled slabs — no tree decode, no slab
+// memcpy). Same file, bit-identical scores; the delta is the per-publish
+// load cost the serving tier pays.
+void BM_SnapshotReadLoad(benchmark::State& state) {
+  auto& fx = Serving();
+  for (auto _ : state) {
+    auto stack = LoadSelectorStack(fx.stack_path);
+    RPE_CHECK(stack.ok());
+    benchmark::DoNotOptimize(stack->static_selector.models().size());
+  }
+}
+BENCHMARK(BM_SnapshotReadLoad);
+
+void BM_SnapshotMmapLoad(benchmark::State& state) {
+  auto& fx = Serving();
+  for (auto _ : state) {
+    auto loaded = LoadSelectorStackMmap(fx.stack_path);
+    RPE_CHECK(loaded.ok());
+    RPE_CHECK(loaded->zero_copy);  // the row measures the aliasing path
+    benchmark::DoNotOptimize(loaded->stack->static_selector.pool().size());
+  }
+}
+BENCHMARK(BM_SnapshotMmapLoad);
+
+// Sharded session routing: 256 open sessions driven to completion with
+// budgeted ticks across 1/4/16 shards. Session setup (open/decide) is
+// excluded; items = observations scored per full drain, so the rate is
+// the tick-path serving throughput at each shard count.
+void BM_ShardedTick(benchmark::State& state) {
+  auto& fx = Serving();
+  const size_t num_shards = static_cast<size_t>(state.range(0));
+  constexpr size_t kSessions = 256;
+  int64_t observations = 0;
+  for (size_t s = 0; s < kSessions; ++s) {
+    observations += static_cast<int64_t>(
+        fx.session_runs[s % fx.session_runs.size()]->observations.size());
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    ShardedMonitorService::Options options;
+    options.num_shards = num_shards;
+    auto service =
+        std::make_unique<ShardedMonitorService>(fx.stack, options);
+    for (size_t s = 0; s < kSessions; ++s) {
+      RPE_CHECK(
+          service->OpenSession(fx.session_runs[s % fx.session_runs.size()])
+              .ok());
+    }
+    state.ResumeTiming();
+    while (service->Tick(/*max_steps=*/64) > 0) {
+    }
+    benchmark::DoNotOptimize(service->num_open_sessions());
+    state.PauseTiming();
+    service.reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * observations);
+}
+BENCHMARK(BM_ShardedTick)->Arg(1)->Arg(4)->Arg(16);
 
 // Concurrent monitor serving: 64 sessions replayed through the service
 // (sharded on the global pool); items = observations scored.

@@ -4,9 +4,10 @@
 #      to an existing file,
 #   2. every `rpe_cli <subcommand>` documented in docs/CLI.md exists in
 #      the built binary's --help output, and
-#   3. every code symbol docs/TRAINING.md references in backticks still
-#      exists somewhere under src/ (or bench/, tests/ for bench rows and
-#      test files) — the training guide must not drift from the code.
+#   3. every code symbol docs/TRAINING.md and docs/SERVING.md reference in
+#      backticks still exists somewhere under src/ (or bench/, tests/,
+#      tools/ for bench rows, test files and CLI flags) — the guides must
+#      not drift from the code.
 #
 # usage: scripts/check_docs.sh [path/to/rpe_cli]
 set -u
@@ -55,12 +56,13 @@ done <<EOF
 $commands
 EOF
 
-# --- 3. TRAINING.md symbols still exist ------------------------------------
+# --- 3. guide symbols still exist ------------------------------------------
 # Backticked tokens that look like code symbols — qualified names
 # (`Class::Member`), CamelCase identifiers, or k-prefixed constants — must
 # appear somewhere in the sources. Lowercase/prose tokens are skipped.
-if [ -f docs/TRAINING.md ]; then
-  symbols=$(grep -oE '`[A-Za-z_][A-Za-z0-9_:()]*`' docs/TRAINING.md |
+for guide in docs/TRAINING.md docs/SERVING.md; do
+  [ -f "$guide" ] || continue
+  symbols=$(grep -oE '`[A-Za-z_][A-Za-z0-9_:()]*`' "$guide" |
     tr -d '\`' | sed 's/()$//' | sort -u)
   checked=0
   while IFS= read -r sym; do
@@ -73,8 +75,8 @@ if [ -f docs/TRAINING.md ]; then
     esac
     checked=$((checked + 1))
     base="${sym##*::}"
-    if ! grep -rqF "$base" src/ bench/ tests/; then
-      echo "STALE SYMBOL: docs/TRAINING.md references '$sym' but '$base' is not in src/, bench/ or tests/"
+    if ! grep -rqF "$base" src/ bench/ tests/ tools/; then
+      echo "STALE SYMBOL: $guide references '$sym' but '$base' is not in src/, bench/, tests/ or tools/"
       failures=$((failures + 1))
     fi
   done <<EOF
@@ -82,13 +84,13 @@ $symbols
 EOF
   if [ "$checked" -eq 0 ]; then
     # Guard against the gate passing vacuously after a formatting change.
-    echo "NO SYMBOLS EXTRACTED from docs/TRAINING.md (expected backticked identifiers)"
+    echo "NO SYMBOLS EXTRACTED from $guide (expected backticked identifiers)"
     failures=$((failures + 1))
   fi
-fi
+done
 
 if [ "$failures" -ne 0 ]; then
   echo "check_docs: $failures failure(s)"
   exit 1
 fi
-echo "check_docs: links resolve, documented subcommands exist, TRAINING.md symbols are live"
+echo "check_docs: links resolve, documented subcommands exist, guide symbols are live"

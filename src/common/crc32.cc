@@ -1,31 +1,62 @@
 #include "common/crc32.h"
 
 #include <array>
+#include <bit>
+#include <cstring>
 
 namespace rpe {
 namespace {
 
-// Table-driven byte-at-a-time CRC with the reflected polynomial 0xEDB88320.
-std::array<uint32_t, 256> BuildTable() {
-  std::array<uint32_t, 256> table;
+static_assert(std::endian::native == std::endian::little,
+              "the sliced CRC kernel folds 8-byte chunks little-endian");
+
+// Slicing-by-8 tables for the reflected polynomial 0xEDB88320: table 0 is
+// the classic byte-at-a-time table; table s advances a byte by s further
+// zero bytes, so eight table lookups retire eight input bytes per
+// iteration instead of one. Bit-identical to the byte-at-a-time CRC —
+// only the update schedule changes. This sits under every snapshot
+// encode/load (the whole payload is checksummed), including the zero-copy
+// mmap path where it is the dominant cost.
+std::array<std::array<uint32_t, 256>, 8> BuildTables() {
+  std::array<std::array<uint32_t, 256>, 8> tables;
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (size_t s = 1; s < 8; ++s) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      tables[s][i] =
+          tables[0][tables[s - 1][i] & 0xFFu] ^ (tables[s - 1][i] >> 8);
+    }
+  }
+  return tables;
 }
 
 }  // namespace
 
 uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
-  static const std::array<uint32_t, 256> kTable = BuildTable();
+  static const std::array<std::array<uint32_t, 256>, 8> kTables =
+      BuildTables();
   const auto* bytes = static_cast<const unsigned char*>(data);
   uint32_t c = seed ^ 0xFFFFFFFFu;
+  while (size >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, bytes, sizeof chunk);
+    chunk ^= c;  // the CRC folds into the low (first) four bytes
+    c = kTables[7][chunk & 0xFFu] ^ kTables[6][(chunk >> 8) & 0xFFu] ^
+        kTables[5][(chunk >> 16) & 0xFFu] ^
+        kTables[4][(chunk >> 24) & 0xFFu] ^
+        kTables[3][(chunk >> 32) & 0xFFu] ^
+        kTables[2][(chunk >> 40) & 0xFFu] ^
+        kTables[1][(chunk >> 48) & 0xFFu] ^ kTables[0][chunk >> 56];
+    bytes += 8;
+    size -= 8;
+  }
   for (size_t i = 0; i < size; ++i) {
-    c = kTable[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+    c = kTables[0][(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
 }

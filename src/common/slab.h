@@ -1,0 +1,70 @@
+// Slab<T>: a contiguous run of trivially-copyable values that is either
+// owned (a std::vector built in memory) or borrowed (a read-only view into
+// bytes somebody else keeps alive — in practice an mmap'd snapshot, see
+// serving/mmap_arena.h). The compiled inference structures in
+// mart/flat_ensemble.h store their tables as Slabs so the exact same
+// scoring code runs over freshly compiled buffers and over zero-copy
+// views into a model file.
+//
+// Ownership contract: a borrowed Slab does NOT extend the lifetime of the
+// underlying bytes; whoever creates it (the snapshot arena) must pin the
+// mapping for as long as any structure holding the Slab is alive. Owned
+// Slabs behave like the vector they wrap: copies deep-copy, moves steal
+// the heap buffer (readers holding data() across a move of the Slab
+// itself stay valid, exactly as with std::vector).
+//
+// Mutation goes through vec(), which is only legal on owned slabs — the
+// build paths (FlatEnsembleSet::Compile etc.) construct owned slabs and
+// never touch borrowed ones.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace rpe {
+
+template <typename T>
+class Slab {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "Slab elements must be trivially copyable (they may alias "
+                "raw snapshot bytes)");
+
+ public:
+  Slab() = default;
+  /*implicit*/ Slab(std::vector<T> own) : own_(std::move(own)) {}  // NOLINT
+
+  /// View over bytes owned elsewhere (the caller pins their lifetime).
+  static Slab Borrow(const T* data, size_t size) {
+    Slab s;
+    s.ptr_ = data;
+    s.size_ = size;
+    return s;
+  }
+
+  bool borrowed() const { return ptr_ != nullptr; }
+
+  const T* data() const { return ptr_ != nullptr ? ptr_ : own_.data(); }
+  size_t size() const { return ptr_ != nullptr ? size_ : own_.size(); }
+  bool empty() const { return size() == 0; }
+  const T& operator[](size_t i) const { return data()[i]; }
+  const T& back() const { return data()[size() - 1]; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+
+  /// Mutable backing vector for the in-memory build paths. Never legal on
+  /// a borrowed slab (the underlying bytes are read-only).
+  std::vector<T>& vec() {
+    RPE_CHECK(ptr_ == nullptr);
+    return own_;
+  }
+
+ private:
+  std::vector<T> own_;
+  const T* ptr_ = nullptr;  ///< non-null = borrowed view
+  size_t size_ = 0;         ///< only meaningful when borrowed
+};
+
+}  // namespace rpe

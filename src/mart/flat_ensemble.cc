@@ -20,21 +20,22 @@ NodeStore::Emitted NodeStore::EmitSubtree(
     // x <= NaN is false for every x (including -inf and NaN), so the walk
     // always takes `right`, which points back at the leaf itself: the
     // cursor parks here for the rest of a fixed-depth walk.
-    topo.push_back(PackTopo(0, 0));
-    split.push_back(std::numeric_limits<double>::quiet_NaN());
-    leaf.push_back(learning_rate * n.value);
+    topo.vec().push_back(PackTopo(0, 0));
+    split.vec().push_back(std::numeric_limits<double>::quiet_NaN());
+    leaf.vec().push_back(learning_rate * n.value);
     return {my, 0};
   }
   RPE_CHECK_LT(n.feature, 1 << kFeatureBits);
-  topo.push_back(0);  // patched below once the right child's slot is known
-  split.push_back(n.threshold);
-  leaf.push_back(0.0);
+  topo.vec().push_back(0);  // patched below once the right child is known
+  split.vec().push_back(n.threshold);
+  leaf.vec().push_back(0.0);
   const Emitted left = EmitSubtree(nodes, n.left, learning_rate);
   const Emitted right_child = EmitSubtree(nodes, n.right, learning_rate);
   // The delta must fit the topo word's upper bits (trees beyond ~2M
   // nodes would silently corrupt the walk otherwise).
   RPE_CHECK_LT(right_child.slot - my, 1 << (31 - kFeatureBits));
-  topo[static_cast<size_t>(my)] = PackTopo(n.feature, right_child.slot - my);
+  topo.vec()[static_cast<size_t>(my)] =
+      PackTopo(n.feature, right_child.slot - my);
   return {my, 1 + std::max(left.depth, right_child.depth)};
 }
 
@@ -45,30 +46,31 @@ int32_t NodeStore::EmitTree(const RegressionTree& tree,
     // MartModel sums lr * 0.0 for an empty tree; emit that as a leaf.
     emitted.slot = static_cast<int32_t>(topo.size());
     emitted.depth = 0;
-    topo.push_back(PackTopo(0, 0));
-    split.push_back(std::numeric_limits<double>::quiet_NaN());
-    leaf.push_back(learning_rate * 0.0);
+    topo.vec().push_back(PackTopo(0, 0));
+    split.vec().push_back(std::numeric_limits<double>::quiet_NaN());
+    leaf.vec().push_back(learning_rate * 0.0);
   } else {
     emitted = EmitSubtree(tree.nodes(), 0, learning_rate);
   }
-  roots.push_back(emitted.slot);
-  depth.push_back(emitted.depth);
+  roots.vec().push_back(emitted.slot);
+  depth.vec().push_back(emitted.depth);
   return emitted.slot;
 }
 
 void NodeStore::ScheduleRange(size_t t0, size_t t1) {
   RPE_CHECK_EQ(sched.size(), t0);  // ranges are scheduled back to back
-  sched.resize(t1);
+  std::vector<int32_t>& order = sched.vec();
+  order.resize(t1);
   for (size_t b = t0; b < t1; b += kBlock) {
     const size_t e = std::min(t1, b + kBlock);
-    std::iota(sched.begin() + static_cast<ptrdiff_t>(b),
-              sched.begin() + static_cast<ptrdiff_t>(e),
+    std::iota(order.begin() + static_cast<ptrdiff_t>(b),
+              order.begin() + static_cast<ptrdiff_t>(e),
               static_cast<int32_t>(b));
     // Stable depth sort inside the block: the 8-chain walk groups get
     // trees of similar depth, so no chain idles in a parked leaf while a
     // lone deep tree finishes.
-    std::stable_sort(sched.begin() + static_cast<ptrdiff_t>(b),
-                     sched.begin() + static_cast<ptrdiff_t>(e),
+    std::stable_sort(order.begin() + static_cast<ptrdiff_t>(b),
+                     order.begin() + static_cast<ptrdiff_t>(e),
                      [this](int32_t a, int32_t b2) {
                        return depth[static_cast<size_t>(a)] <
                               depth[static_cast<size_t>(b2)];
@@ -113,7 +115,7 @@ double NodeStore::Score(const double* __restrict x, size_t t0, size_t t1,
     // and the walk would otherwise start with eight serial misses.
     const size_t prefetch_end = std::min(t1, b + 2 * kBlock);
     for (size_t k = e; k < prefetch_end; ++k) {
-      const int32_t r = roots[sc[k]];
+      const int32_t r = roots[static_cast<size_t>(sc[k])];
       __builtin_prefetch(&tp[r], 0, 1);
       __builtin_prefetch(&sp[r], 0, 1);
     }
@@ -219,6 +221,34 @@ struct QsTreeBuilder {
   }
 };
 
+/// Sort raw entries into (feature, ascending threshold) order and fill
+/// the parallel feat_begin/threshold/entry_tree/entry_mask tables — the
+/// shared tail of the per-model and merged QuickScorer builds.
+template <typename Table>
+void FillEntryTables(std::vector<QsRawEntry>* entries, Table* out) {
+  // Threshold ties need no particular order: x > threshold fires all or
+  // none, and mask ANDs commute.
+  std::stable_sort(entries->begin(), entries->end(),
+                   [](const QsRawEntry& a, const QsRawEntry& b) {
+                     return a.feature != b.feature
+                                ? a.feature < b.feature
+                                : a.threshold < b.threshold;
+                   });
+  out->feat_begin.vec().assign(static_cast<size_t>(out->num_features) + 1, 0);
+  out->threshold.vec().reserve(entries->size());
+  out->entry_tree.vec().reserve(entries->size());
+  out->entry_mask.vec().reserve(entries->size());
+  for (const QsRawEntry& entry : *entries) {
+    out->feat_begin.vec()[static_cast<size_t>(entry.feature) + 1]++;
+    out->threshold.vec().push_back(entry.threshold);
+    out->entry_tree.vec().push_back(entry.tree);
+    out->entry_mask.vec().push_back(entry.mask);
+  }
+  for (size_t f = 1; f < out->feat_begin.size(); ++f) {
+    out->feat_begin.vec()[f] += out->feat_begin[f - 1];
+  }
+}
+
 }  // namespace
 
 QuickScorerModel QuickScorerModel::Build(const MartModel& model) {
@@ -235,41 +265,21 @@ QuickScorerModel QuickScorerModel::Build(const MartModel& model) {
   std::vector<QsRawEntry> entries;
   for (int32_t t = 0; t < qs.num_trees; ++t) {
     const RegressionTree& tree = model.trees()[static_cast<size_t>(t)];
-    qs.leaf_base.push_back(static_cast<int32_t>(qs.leaf_value.size()));
-    QsTreeBuilder builder{&tree.nodes(), &entries, &qs.leaf_value, t};
+    qs.leaf_base.vec().push_back(static_cast<int32_t>(qs.leaf_value.size()));
+    QsTreeBuilder builder{&tree.nodes(), &entries, &qs.leaf_value.vec(), t};
     if (tree.nodes().empty()) {
       // MartModel sums lr * 0.0 for an empty tree: one constant leaf.
-      qs.leaf_value.push_back(model.learning_rate() * 0.0);
+      qs.leaf_value.vec().push_back(model.learning_rate() * 0.0);
       builder.next_leaf = 1;
     } else {
       builder.Walk(0, model.learning_rate());
     }
-    qs.init_mask.push_back(
+    qs.init_mask.vec().push_back(
         builder.next_leaf >= 64 ? ~uint64_t{0}
                                 : (uint64_t{1} << builder.next_leaf) - 1);
   }
 
-  // Group by feature, ascending threshold within each group. Threshold
-  // ties need no particular order: x > threshold fires all or none.
-  std::stable_sort(entries.begin(), entries.end(),
-                   [](const QsRawEntry& a, const QsRawEntry& b) {
-                     return a.feature != b.feature
-                                ? a.feature < b.feature
-                                : a.threshold < b.threshold;
-                   });
-  qs.feat_begin.assign(static_cast<size_t>(qs.num_features) + 1, 0);
-  qs.threshold.reserve(entries.size());
-  qs.entry_tree.reserve(entries.size());
-  qs.entry_mask.reserve(entries.size());
-  for (const QsRawEntry& entry : entries) {
-    qs.feat_begin[static_cast<size_t>(entry.feature) + 1]++;
-    qs.threshold.push_back(entry.threshold);
-    qs.entry_tree.push_back(entry.tree);
-    qs.entry_mask.push_back(entry.mask);
-  }
-  for (size_t f = 1; f < qs.feat_begin.size(); ++f) {
-    qs.feat_begin[f] += qs.feat_begin[f - 1];
-  }
+  FillEntryTables(&entries, &qs);
   qs.usable = true;
   return qs;
 }
@@ -316,23 +326,24 @@ MergedQuickScorer MergedQuickScorer::Build(
     merged.num_features = std::max(merged.num_features, qs.num_features);
   }
 
-  merged.model_tree_begin.push_back(0);
+  merged.model_tree_begin.vec().push_back(0);
   for (const QuickScorerModel& qs : models) {
     const int32_t leaf_off = static_cast<int32_t>(merged.leaf_value.size());
-    merged.bias.push_back(qs.bias);
-    merged.init_mask.insert(merged.init_mask.end(), qs.init_mask.begin(),
-                            qs.init_mask.end());
-    for (int32_t lb : qs.leaf_base) merged.leaf_base.push_back(leaf_off + lb);
-    merged.leaf_value.insert(merged.leaf_value.end(), qs.leaf_value.begin(),
-                             qs.leaf_value.end());
-    merged.model_tree_begin.push_back(merged.model_tree_begin.back() +
-                                      qs.num_trees);
+    merged.bias.vec().push_back(qs.bias);
+    merged.init_mask.vec().insert(merged.init_mask.vec().end(),
+                                  qs.init_mask.begin(), qs.init_mask.end());
+    for (int32_t lb : qs.leaf_base) {
+      merged.leaf_base.vec().push_back(leaf_off + lb);
+    }
+    merged.leaf_value.vec().insert(merged.leaf_value.vec().end(),
+                                   qs.leaf_value.begin(),
+                                   qs.leaf_value.end());
+    merged.model_tree_begin.vec().push_back(merged.model_tree_begin.back() +
+                                            qs.num_trees);
   }
 
   // Re-sort every model's (already feature-grouped) entries into one
   // global (feature, ascending threshold) order with global tree ids.
-  // Threshold ties need no particular order: x > threshold fires all or
-  // none, and mask ANDs commute.
   std::vector<QsRawEntry> entries;
   for (size_t m = 0; m < models.size(); ++m) {
     const QuickScorerModel& qs = models[m];
@@ -346,25 +357,7 @@ MergedQuickScorer MergedQuickScorer::Build(
       }
     }
   }
-  std::stable_sort(entries.begin(), entries.end(),
-                   [](const QsRawEntry& a, const QsRawEntry& b) {
-                     return a.feature != b.feature
-                                ? a.feature < b.feature
-                                : a.threshold < b.threshold;
-                   });
-  merged.feat_begin.assign(static_cast<size_t>(merged.num_features) + 1, 0);
-  merged.threshold.reserve(entries.size());
-  merged.entry_tree.reserve(entries.size());
-  merged.entry_mask.reserve(entries.size());
-  for (const QsRawEntry& entry : entries) {
-    merged.feat_begin[static_cast<size_t>(entry.feature) + 1]++;
-    merged.threshold.push_back(entry.threshold);
-    merged.entry_tree.push_back(entry.tree);
-    merged.entry_mask.push_back(entry.mask);
-  }
-  for (size_t f = 1; f < merged.feat_begin.size(); ++f) {
-    merged.feat_begin[f] += merged.feat_begin[f - 1];
-  }
+  FillEntryTables(&entries, &merged);
   merged.usable = true;
   return merged;
 }
@@ -412,8 +405,8 @@ void MergedQuickScorer::ScoreAll(const double* __restrict x,
 FlatEnsemble FlatEnsemble::Compile(const MartModel& model) {
   FlatEnsemble flat;
   flat.bias_ = model.bias();
-  flat.store_.roots.reserve(model.num_trees());
-  flat.store_.depth.reserve(model.num_trees());
+  flat.store_.roots.vec().reserve(model.num_trees());
+  flat.store_.depth.vec().reserve(model.num_trees());
   for (const RegressionTree& tree : model.trees()) {
     flat.store_.EmitTree(tree, model.learning_rate());
   }
@@ -443,20 +436,195 @@ void FlatEnsemble::PredictBatch(const Dataset& data,
 
 FlatEnsembleSet FlatEnsembleSet::Compile(const std::vector<MartModel>& models) {
   FlatEnsembleSet set;
-  set.bias_.reserve(models.size());
-  set.tree_begin_.reserve(models.size() + 1);
-  set.tree_begin_.push_back(0);
+  set.bias_.vec().reserve(models.size());
+  set.tree_begin_.vec().reserve(models.size() + 1);
+  set.tree_begin_.vec().push_back(0);
   for (const MartModel& model : models) {
-    set.bias_.push_back(model.bias());
+    set.bias_.vec().push_back(model.bias());
     for (const RegressionTree& tree : model.trees()) {
       set.store_.EmitTree(tree, model.learning_rate());
     }
-    set.store_.ScheduleRange(set.tree_begin_.back(),
+    set.store_.ScheduleRange(static_cast<size_t>(set.tree_begin_.back()),
                              set.store_.roots.size());
-    set.tree_begin_.push_back(set.store_.roots.size());
+    set.tree_begin_.vec().push_back(set.store_.roots.size());
     set.qs_.push_back(flat_internal::QuickScorerModel::Build(model));
   }
   set.merged_ = flat_internal::MergedQuickScorer::Build(set.qs_);
+  return set;
+}
+
+namespace {
+
+Status FlatInvalid(const std::string& what) {
+  return Status::InvalidArgument("flat snapshot section: " + what);
+}
+
+/// Shared checks for a QuickScorer table (per-model or merged): entry
+/// lists consistent with feat_begin, tree ids in [0, num_trees), and
+/// every reachable leaf index inside leaf_value. `leaf_value` must carry
+/// the writer's 64-slot guard tail: a hostile mask set can clear a tree's
+/// whole bitvector, and countr_zero(0) == 64 then indexes leaf_base + 64
+/// — inside the guard, never past the slab.
+template <typename Table>
+Status CheckQuickScorerTables(const Table& t, int32_t num_trees,
+                              size_t num_inputs, const char* what) {
+  const std::string where(what);
+  if (t.num_features < 0 ||
+      static_cast<size_t>(t.num_features) > num_inputs) {
+    return FlatInvalid(where + " feature count out of range");
+  }
+  if (num_trees < 0 ||
+      t.init_mask.size() != static_cast<size_t>(num_trees) ||
+      t.leaf_base.size() != static_cast<size_t>(num_trees)) {
+    return FlatInvalid(where + " per-tree table sizes disagree");
+  }
+  if (t.feat_begin.size() != static_cast<size_t>(t.num_features) + 1 ||
+      (t.feat_begin.size() > 0 && t.feat_begin[0] != 0)) {
+    return FlatInvalid(where + " feat_begin shape");
+  }
+  for (size_t f = 1; f < t.feat_begin.size(); ++f) {
+    if (t.feat_begin[f] < t.feat_begin[f - 1]) {
+      return FlatInvalid(where + " feat_begin not nondecreasing");
+    }
+  }
+  const size_t entries = t.threshold.size();
+  if (t.entry_tree.size() != entries || t.entry_mask.size() != entries ||
+      (t.feat_begin.size() > 0 && t.feat_begin.back() != entries)) {
+    return FlatInvalid(where + " entry table sizes disagree");
+  }
+  for (size_t k = 0; k < entries; ++k) {
+    if (t.entry_tree[k] < 0 || t.entry_tree[k] >= num_trees) {
+      return FlatInvalid(where + " entry tree id out of range");
+    }
+  }
+  for (int32_t tr = 0; tr < num_trees; ++tr) {
+    const int32_t lb = t.leaf_base[static_cast<size_t>(tr)];
+    if (t.init_mask[static_cast<size_t>(tr)] == 0 || lb < 0 ||
+        static_cast<size_t>(lb) + 65 > t.leaf_value.size()) {
+      return FlatInvalid(where + " leaf table out of range");
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckNodeStore(const flat_internal::NodeStore& store,
+                      size_t num_inputs) {
+  const size_t num_trees = store.roots.size();
+  const size_t num_nodes = store.topo.size();
+  if (store.depth.size() != num_trees || store.sched.size() != num_trees ||
+      store.split.size() != num_nodes || store.leaf.size() != num_nodes) {
+    return FlatInvalid("node store slab sizes disagree");
+  }
+  if (num_nodes > 0 && num_inputs == 0) {
+    return FlatInvalid("node store with zero-width inputs");
+  }
+  for (size_t t = 0; t < num_trees; ++t) {
+    if (store.roots[t] < 0 ||
+        static_cast<size_t>(store.roots[t]) >= num_nodes ||
+        store.depth[t] < 0 ||
+        static_cast<size_t>(store.depth[t]) > num_nodes) {
+      return FlatInvalid("tree root or depth out of range");
+    }
+  }
+  constexpr int32_t kFeatureMask =
+      (1 << flat_internal::NodeStore::kFeatureBits) - 1;
+  for (size_t i = 0; i < num_nodes; ++i) {
+    const int32_t packed = store.topo[i];
+    const int32_t delta = packed >> flat_internal::NodeStore::kFeatureBits;
+    const int32_t feature = packed & kFeatureMask;
+    if (packed < 0 || static_cast<size_t>(feature) >= num_inputs) {
+      return FlatInvalid("node feature out of range");
+    }
+    if (delta == 0) {
+      // A leaf must park: a finite split would let the walk step to
+      // slot i + 1, which may not exist.
+      if (!std::isnan(store.split[i])) {
+        return FlatInvalid("leaf node with a finite split");
+      }
+    } else if (i + static_cast<size_t>(delta) >= num_nodes) {
+      return FlatInvalid("right-child delta past the node store");
+    }
+  }
+  return Status::OK();
+}
+
+/// The walk schedule must be a permutation of each kBlock-aligned block
+/// of each model's tree range — Score scatters leaf values with
+/// vals[sched[t] - block_base], so anything else indexes off the block
+/// buffer.
+Status CheckSchedule(const flat_internal::NodeStore& store,
+                     const Slab<uint64_t>& tree_begin) {
+  constexpr size_t kBlock = flat_internal::NodeStore::kBlock;
+  bool seen[kBlock];
+  for (size_t m = 0; m + 1 < tree_begin.size(); ++m) {
+    const size_t t0 = tree_begin[m];
+    const size_t t1 = tree_begin[m + 1];
+    for (size_t b = t0; b < t1; b += kBlock) {
+      const size_t e = std::min(t1, b + kBlock);
+      std::fill(seen, seen + (e - b), false);
+      for (size_t t = b; t < e; ++t) {
+        const int32_t tree = store.sched[t];
+        if (tree < 0 || static_cast<size_t>(tree) < b ||
+            static_cast<size_t>(tree) >= e ||
+            seen[static_cast<size_t>(tree) - b]) {
+          return FlatInvalid("walk schedule is not a per-block permutation");
+        }
+        seen[static_cast<size_t>(tree) - b] = true;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FlatEnsembleSet> FlatEnsembleSet::FromParts(Parts parts,
+                                                   size_t num_inputs) {
+  const size_t num_models = parts.bias.size();
+  if (parts.tree_begin.size() != num_models + 1 || parts.tree_begin[0] != 0) {
+    return FlatInvalid("tree_begin shape");
+  }
+  for (size_t m = 0; m < num_models; ++m) {
+    if (parts.tree_begin[m + 1] < parts.tree_begin[m]) {
+      return FlatInvalid("tree_begin not nondecreasing");
+    }
+  }
+  if (parts.tree_begin.back() != parts.store.roots.size()) {
+    return FlatInvalid("tree_begin does not cover the node store");
+  }
+  RPE_RETURN_NOT_OK(CheckNodeStore(parts.store, num_inputs));
+  RPE_RETURN_NOT_OK(CheckSchedule(parts.store, parts.tree_begin));
+  if (parts.qs.size() != num_models) {
+    return FlatInvalid("per-model QuickScorer count disagrees");
+  }
+  for (const flat_internal::QuickScorerModel& qs : parts.qs) {
+    if (!qs.usable) continue;
+    RPE_RETURN_NOT_OK(CheckQuickScorerTables(qs, qs.num_trees, num_inputs,
+                                             "per-model QuickScorer"));
+  }
+  if (parts.merged.usable) {
+    const auto& merged = parts.merged;
+    if (merged.model_tree_begin.size() != num_models + 1 ||
+        merged.bias.size() != num_models ||
+        (num_models > 0 && merged.model_tree_begin[0] != 0)) {
+      return FlatInvalid("merged model table shape");
+    }
+    for (size_t m = 0; m < num_models; ++m) {
+      if (merged.model_tree_begin[m + 1] < merged.model_tree_begin[m]) {
+        return FlatInvalid("merged model_tree_begin not nondecreasing");
+      }
+    }
+    const int32_t total_trees =
+        num_models > 0 ? merged.model_tree_begin.back() : 0;
+    RPE_RETURN_NOT_OK(CheckQuickScorerTables(merged, total_trees, num_inputs,
+                                             "merged QuickScorer"));
+  }
+  FlatEnsembleSet set;
+  set.bias_ = std::move(parts.bias);
+  set.tree_begin_ = std::move(parts.tree_begin);
+  set.store_ = std::move(parts.store);
+  set.qs_ = std::move(parts.qs);
+  set.merged_ = std::move(parts.merged);
   return set;
 }
 
@@ -467,7 +635,8 @@ double FlatEnsembleSet::ScoreModel(size_t m, const double* x) const {
     static thread_local std::vector<uint64_t> bits;
     return qs_[m].Score(x, &bits);
   }
-  return store_.Score(x, tree_begin_[m], tree_begin_[m + 1], bias_[m]);
+  return store_.Score(x, static_cast<size_t>(tree_begin_[m]),
+                      static_cast<size_t>(tree_begin_[m + 1]), bias_[m]);
 }
 
 void FlatEnsembleSet::PredictAll(std::span<const double> features,

@@ -19,12 +19,22 @@
 // FlatEnsembleSet packs several models (the per-candidate error
 // regressors of EstimatorSelector) into a single buffer for multi-model
 // scoring of one feature vector without per-model call overhead.
+//
+// Storage: every table is a Slab — owned when compiled in memory
+// (Compile), borrowed when rebuilt over a zero-copy snapshot mapping
+// (FromParts, fed by serving/mmap_arena.h). Scoring reads only through
+// the slab views, so both forms score bit-identically. FromParts is the
+// untrusted-input gate for borrowed tables: every index a scoring walk
+// can follow is bounds-checked there, so a hostile snapshot yields a
+// Status, never UB.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "common/slab.h"
+#include "common/status.h"
 #include "mart/mart.h"
 
 namespace rpe {
@@ -56,14 +66,14 @@ struct QuickScorerModel {
 
   /// Per feature f: entries [feat_begin[f], feat_begin[f+1]) sorted by
   /// ascending threshold (parallel arrays).
-  std::vector<size_t> feat_begin;
-  std::vector<double> threshold;
-  std::vector<int32_t> entry_tree;
-  std::vector<uint64_t> entry_mask;
+  Slab<uint64_t> feat_begin;
+  Slab<double> threshold;
+  Slab<int32_t> entry_tree;
+  Slab<uint64_t> entry_mask;
 
-  std::vector<uint64_t> init_mask;  ///< per tree: one bit per leaf
-  std::vector<int32_t> leaf_base;   ///< per tree, into leaf_value
-  std::vector<double> leaf_value;   ///< lr * leaf, left-to-right per tree
+  Slab<uint64_t> init_mask;  ///< per tree: one bit per leaf
+  Slab<int32_t> leaf_base;   ///< per tree, into leaf_value
+  Slab<double> leaf_value;   ///< lr * leaf, left-to-right per tree
 };
 
 /// Per-feature evaluation tables merged across ALL models of a set: the
@@ -89,16 +99,16 @@ struct MergedQuickScorer {
 
   /// Per feature f: entries [feat_begin[f], feat_begin[f+1]) sorted by
   /// ascending threshold (parallel arrays); trees are global ids.
-  std::vector<size_t> feat_begin;
-  std::vector<double> threshold;
-  std::vector<int32_t> entry_tree;
-  std::vector<uint64_t> entry_mask;
+  Slab<uint64_t> feat_begin;
+  Slab<double> threshold;
+  Slab<int32_t> entry_tree;
+  Slab<uint64_t> entry_mask;
 
-  std::vector<uint64_t> init_mask;  ///< per global tree: one bit per leaf
-  std::vector<int32_t> leaf_base;   ///< per global tree, into leaf_value
-  std::vector<double> leaf_value;   ///< concatenated per-model leaf tables
-  std::vector<int32_t> model_tree_begin;  ///< per model + 1, global tree ids
-  std::vector<double> bias;               ///< per model
+  Slab<uint64_t> init_mask;  ///< per global tree: one bit per leaf
+  Slab<int32_t> leaf_base;   ///< per global tree, into leaf_value
+  Slab<double> leaf_value;   ///< concatenated per-model leaf tables
+  Slab<int32_t> model_tree_begin;  ///< per model + 1, global tree ids
+  Slab<double> bias;               ///< per model
 };
 
 /// The shared structure-of-arrays node store; one instance holds every
@@ -130,19 +140,19 @@ struct NodeStore {
   /// trees (two 8-chain groups); PredictBatch tiles must align to it.
   static constexpr size_t kBlock = 16;
 
-  std::vector<int32_t> roots;  ///< per tree: root node slot
-  std::vector<int32_t> depth;  ///< per tree: exact walk length
+  Slab<int32_t> roots;  ///< per tree: root node slot
+  Slab<int32_t> depth;  ///< per tree: exact walk length
   /// Walk order: per kBlock-aligned block of each scheduled range, tree
   /// ids sorted by depth so concurrently walked trees have similar
   /// depths. A permutation within each block.
-  std::vector<int32_t> sched;
-  std::vector<int32_t> topo;  ///< packed (feature id, right-child delta)
+  Slab<int32_t> sched;
+  Slab<int32_t> topo;  ///< packed (feature id, right-child delta)
   /// Split threshold; quiet NaN at leaves so any comparison sends the
   /// walk right, i.e. back to the leaf itself.
-  std::vector<double> split;
+  Slab<double> split;
   /// learning_rate * leaf value (folding the multiply is bit-exact: FP
   /// multiplication is deterministic, only computed once); 0 elsewhere.
-  std::vector<double> leaf;
+  Slab<double> leaf;
 
  private:
   struct Emitted {
@@ -186,6 +196,37 @@ class FlatEnsembleSet {
 
   static FlatEnsembleSet Compile(const std::vector<MartModel>& models);
 
+  /// The full compiled state, exposed so a snapshot writer can persist it
+  /// and the zero-copy loader can rebuild a set over borrowed slabs.
+  struct Parts {
+    Slab<double> bias;          ///< per model
+    Slab<uint64_t> tree_begin;  ///< per model + 1, into store.roots
+    flat_internal::NodeStore store;
+    std::vector<flat_internal::QuickScorerModel> qs;  ///< per model
+    flat_internal::MergedQuickScorer merged;
+  };
+
+  /// Rebuild a set from persisted parts (zero-copy snapshot load path).
+  /// This is the untrusted-input gate: the slabs may alias raw file bytes,
+  /// so every index scoring can reach — tree ranges, walk topology,
+  /// schedule permutations, QuickScorer entry/leaf tables — is
+  /// bounds-checked against `num_inputs` (the feature-vector width scoring
+  /// will be called with) before anything is walked. Returns
+  /// InvalidArgument instead of invoking UB on a hostile or truncated
+  /// snapshot. Validation is structural only, so a set that passes scores
+  /// without further checks; it scores bit-identically to the Compile'd
+  /// set its parts were persisted from.
+  static Result<FlatEnsembleSet> FromParts(Parts parts, size_t num_inputs);
+
+  /// Read access for the snapshot writer (mirrors Parts).
+  const Slab<double>& bias_slab() const { return bias_; }
+  const Slab<uint64_t>& tree_begin_slab() const { return tree_begin_; }
+  const flat_internal::NodeStore& store() const { return store_; }
+  const std::vector<flat_internal::QuickScorerModel>& quickscorers() const {
+    return qs_;
+  }
+  const flat_internal::MergedQuickScorer& merged() const { return merged_; }
+
   size_t num_models() const { return bias_.size(); }
   size_t num_nodes() const { return store_.topo.size(); }
 
@@ -204,8 +245,8 @@ class FlatEnsembleSet {
  private:
   double ScoreModel(size_t m, const double* x) const;
 
-  std::vector<double> bias_;        ///< per model
-  std::vector<size_t> tree_begin_;  ///< per model, index into roots; +1 slot
+  Slab<double> bias_;          ///< per model
+  Slab<uint64_t> tree_begin_;  ///< per model, index into roots; +1 slot
   flat_internal::NodeStore store_;
   /// QuickScorer tables per model; the scoring path of choice whenever
   /// usable (store_ remains the fallback for >64-leaf trees).

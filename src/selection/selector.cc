@@ -102,6 +102,33 @@ Result<EstimatorSelector> EstimatorSelector::FromModels(
   return selector;
 }
 
+Result<EstimatorSelector> EstimatorSelector::FromFlat(
+    std::vector<size_t> pool, bool use_dynamic_features, FlatEnsembleSet flat,
+    std::vector<std::vector<double>> feature_gains) {
+  if (pool.empty()) return Status::InvalidArgument("empty selector pool");
+  if (flat.num_models() != pool.size()) {
+    return Status::InvalidArgument(
+        "selector pool/compiled-model count mismatch");
+  }
+  if (!feature_gains.empty() && feature_gains.size() != pool.size()) {
+    return Status::InvalidArgument("selector pool/feature-gain mismatch");
+  }
+  for (size_t est : pool) {
+    if (est >= static_cast<size_t>(kNumEstimatorKinds)) {
+      return Status::InvalidArgument("selector pool entry out of range");
+    }
+  }
+  const FeatureSchema& schema = FeatureSchema::Get();
+  EstimatorSelector selector;
+  selector.pool_ = std::move(pool);
+  selector.use_dynamic_ = use_dynamic_features;
+  selector.num_inputs_ = use_dynamic_features ? schema.num_features()
+                                              : schema.num_static_features();
+  selector.flat_ = std::move(flat);
+  selector.flat_gains_ = std::move(feature_gains);
+  return selector;
+}
+
 std::vector<double> EstimatorSelector::PredictErrors(
     std::span<const double> features) const {
   std::vector<double> predicted(flat_.num_models());
@@ -120,6 +147,15 @@ size_t EstimatorSelector::SelectForRecord(
 
 std::vector<double> EstimatorSelector::FeatureImportance() const {
   std::vector<double> gains(num_inputs_, 0.0);
+  if (models_.empty()) {
+    // FromFlat selectors carry the persisted gains instead of models.
+    for (const auto& g : flat_gains_) {
+      for (size_t i = 0; i < g.size() && i < gains.size(); ++i) {
+        gains[i] += g[i];
+      }
+    }
+    return gains;
+  }
   for (const auto& model : models_) {
     const auto& g = model.feature_gains();
     for (size_t i = 0; i < g.size() && i < gains.size(); ++i) {

@@ -62,6 +62,22 @@ class EstimatorSelector {
                                               bool use_dynamic_features,
                                               std::vector<MartModel> models);
 
+  /// Reassemble a selector directly from persisted compiled scoring
+  /// buffers (zero-copy snapshot load path, serving/mmap_arena.h): no
+  /// MartModels are materialized, so `models()` is empty and the selector
+  /// cannot be re-encoded — it can only score. `flat` must already have
+  /// passed FlatEnsembleSet::FromParts validation against this feature
+  /// mode's input width; `feature_gains` (one vector per pool entry, may
+  /// be empty) keeps FeatureImportance working without the models.
+  static Result<EstimatorSelector> FromFlat(
+      std::vector<size_t> pool, bool use_dynamic_features,
+      FlatEnsembleSet flat, std::vector<std::vector<double>> feature_gains);
+
+  /// False for selectors rebuilt via FromFlat: scoring works, but paths
+  /// that need the tree structure (EncodeSelectorStack, text Serialize)
+  /// do not.
+  bool has_models() const { return !models_.empty() || pool_.empty(); }
+
   /// Predicted L1 error per pool candidate (pool order).
   std::vector<double> PredictErrors(std::span<const double> features) const;
   std::vector<double> PredictErrors(
@@ -98,8 +114,11 @@ class EstimatorSelector {
   std::vector<size_t> pool_;
   bool use_dynamic_ = false;
   size_t num_inputs_ = 0;
-  std::vector<MartModel> models_;  // one per pool entry
+  std::vector<MartModel> models_;  // one per pool entry; empty via FromFlat
   FlatEnsembleSet flat_;           // compiled from models_, scoring path
+  /// Per-model training gains for FromFlat selectors (models_ is empty
+  /// there); FeatureImportance falls back to these.
+  std::vector<std::vector<double>> flat_gains_;
 };
 
 /// Convenience pools.

@@ -311,7 +311,8 @@ std::vector<std::vector<double>> MonitorService::ReplayAll(
   return out;
 }
 
-MonitorService::Stats MonitorService::GetStats() const {
+MonitorService::Stats MonitorService::GetStats(
+    std::vector<double>* latency_samples) const {
   // The ingest provider is fetched and called outside the service locks:
   // it reaches into the TrainerLoop, which itself calls back into the
   // service (SwapModels), so holding stats_mu_ across it could deadlock.
@@ -330,6 +331,8 @@ MonitorService::Stats MonitorService::GetStats() const {
   stats.observations_scored = observations_scored_;
   stats.p50_replay_ms = Percentile(replay_latency_ms_, 50.0);
   stats.p95_replay_ms = Percentile(replay_latency_ms_, 95.0);
+  stats.scoring_time_sec = scoring_time_sec_;
+  if (latency_samples != nullptr) *latency_samples = replay_latency_ms_;
   if (scoring_time_sec_ > 0.0) {
     // Throughput over cumulative scoring time (accrued live at every
     // decision and observation tick, so open or early-closed sessions

@@ -39,9 +39,24 @@ namespace rpe {
 
 class ThreadPool;
 
+/// \brief Publish target of the online-learning loop: anything that can
+/// atomically swap in a new immutable model snapshot. MonitorService and
+/// ShardedMonitorService (serving/shard_router.h) implement it; the
+/// TrainerLoop publishes through it so retraining is agnostic to whether
+/// the serving tier is sharded.
+class ModelPublisher {
+ public:
+  virtual ~ModelPublisher() = default;
+
+  /// Atomically publish a new snapshot; returns the new model generation
+  /// (strictly increasing, construction-time snapshot = generation 0).
+  virtual uint64_t SwapModels(
+      std::shared_ptr<const SelectorStack> models) = 0;
+};
+
 /// \brief Concurrent progress-monitoring service over immutable model
 /// snapshots. All public methods are thread-safe.
-class MonitorService {
+class MonitorService : public ModelPublisher {
  public:
   struct Options {
     /// Driver-consumption marker at which choices are revised (§4.4).
@@ -60,7 +75,7 @@ class MonitorService {
   /// swap keep scoring against the snapshot they pinned at open; only new
   /// sessions see the replacement. Returns the new model generation
   /// (strictly increasing; the construction-time snapshot is generation 0).
-  uint64_t SwapModels(std::shared_ptr<const SelectorStack> models);
+  uint64_t SwapModels(std::shared_ptr<const SelectorStack> models) override;
   std::shared_ptr<const SelectorStack> models() const;
   /// Generation of the currently published snapshot (number of swaps).
   uint64_t model_generation() const;
@@ -117,13 +132,23 @@ class MonitorService {
     double p95_replay_ms = 0.0;
     double decisions_per_sec = 0.0;  ///< over cumulative scoring time
     double observations_per_sec = 0.0;
+    /// Cumulative scoring time in seconds — the denominator of the rates,
+    /// exposed so an aggregator (ShardedMonitorService) can recompute
+    /// exact pooled rates from summed counters and times.
+    double scoring_time_sec = 0.0;
     /// Generation of the published model snapshot (see SwapModels).
     uint64_t model_generation = 0;
     /// Online-learning counters (zeros unless a provider is registered
     /// via SetIngestStatsProvider).
     IngestStats ingest;
   };
-  Stats GetStats() const;
+  /// When `latency_samples` is non-null it receives a copy of the bounded
+  /// replay-latency reservoir behind p50/p95 (most recent kLatencyWindow
+  /// completions, unordered), taken under the same lock hold as the
+  /// counters — one consistent snapshot. A shard aggregator merges these
+  /// across shards so pooled percentiles are computed over the union of
+  /// samples instead of averaging per-shard percentiles.
+  Stats GetStats(std::vector<double>* latency_samples = nullptr) const;
 
   /// Register the source of Stats::ingest (typically
   /// TrainerLoop::GetStats). The provider is called outside the service's

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/crc32.h"
@@ -102,64 +103,42 @@ class Reader {
 // ---------------------------------------------------------------------------
 // Container framing.
 
-std::string Frame(SnapshotKind kind, std::string payload) {
+/// Container CRC: v1 covered the payload only; v2 additionally folds the
+/// aux-offset header field in first — it steers both loaders, so a bit
+/// flip there must read as corruption, not as a confusing structural
+/// error deep in the aux parser.
+uint32_t FrameCrc(uint32_t version, uint32_t aux_offset,
+                  std::string_view payload) {
+  uint32_t crc = 0;
+  if (version != kSnapshotVersionLegacy) {
+    crc = Crc32(&aux_offset, sizeof aux_offset);
+  }
+  return Crc32(payload.data(), payload.size(), crc);
+}
+
+std::string Frame(SnapshotKind kind, std::string payload,
+                  uint32_t aux_offset = 0,
+                  uint32_t version = kSnapshotVersion) {
   std::string out;
   out.reserve(kHeaderSize + payload.size());
   Writer w(&out);
   w.U32(kSnapshotMagic);
-  w.U32(kSnapshotVersion);
+  w.U32(version);
   w.U32(static_cast<uint32_t>(kind));
   w.U32(0);
   w.U64(payload.size());
-  w.U32(Crc32(payload.data(), payload.size()));
-  w.U32(0);
+  w.U32(FrameCrc(version, aux_offset, payload));
+  w.U32(aux_offset);
   out += payload;
   return out;
 }
 
-Result<std::pair<SnapshotKind, std::string_view>> Unframe(
-    std::string_view bytes) {
-  if (bytes.size() < kHeaderSize) {
-    return Status::InvalidArgument("snapshot shorter than its header");
-  }
-  Reader r(bytes.substr(0, kHeaderSize));
-  uint32_t magic = 0, version = 0, kind = 0, reserved = 0, crc = 0;
-  uint64_t payload_size = 0;
-  RPE_RETURN_NOT_OK(r.U32(&magic));
-  RPE_RETURN_NOT_OK(r.U32(&version));
-  RPE_RETURN_NOT_OK(r.U32(&kind));
-  RPE_RETURN_NOT_OK(r.U32(&reserved));
-  RPE_RETURN_NOT_OK(r.U64(&payload_size));
-  RPE_RETURN_NOT_OK(r.U32(&crc));
-  if (magic != kSnapshotMagic) {
-    return Status::InvalidArgument("bad snapshot magic");
-  }
-  if (version != kSnapshotVersion) {
-    return Status::InvalidArgument("unsupported snapshot version " +
-                                   std::to_string(version));
-  }
-  if (payload_size != bytes.size() - kHeaderSize) {
-    return Status::InvalidArgument(
-        "snapshot payload size mismatch (truncated or padded file)");
-  }
-  const std::string_view payload = bytes.substr(kHeaderSize);
-  if (Crc32(payload.data(), payload.size()) != crc) {
-    return Status::InvalidArgument("snapshot payload CRC mismatch");
-  }
-  if (kind != static_cast<uint32_t>(SnapshotKind::kSelectorStack) &&
-      kind != static_cast<uint32_t>(SnapshotKind::kRecordBatch)) {
-    return Status::InvalidArgument("unknown snapshot kind " +
-                                   std::to_string(kind));
-  }
-  return std::make_pair(static_cast<SnapshotKind>(kind), payload);
-}
-
 Result<std::string_view> UnframeAs(SnapshotKind want, std::string_view bytes) {
-  RPE_ASSIGN_OR_RETURN(auto framed, Unframe(bytes));
-  if (framed.first != want) {
+  RPE_ASSIGN_OR_RETURN(SnapshotFrame frame, UnframeSnapshot(bytes));
+  if (frame.kind != want) {
     return Status::InvalidArgument("snapshot holds a different payload kind");
   }
-  return framed.second;
+  return frame.payload;
 }
 
 // ---------------------------------------------------------------------------
@@ -295,6 +274,132 @@ Status DecodeAndCheckSchema(Reader* r) {
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------------
+// Compiled-flat aux section (v2): the FlatEnsembleSet tables of both
+// selectors, every slab 8-aligned relative to the payload start so the
+// zero-copy loader (serving/mmap_arena.cc, which mirrors this layout) can
+// point Slab views straight into the mapping. Scalars are written
+// unaligned (readers memcpy them); only slab data is padded.
+
+class AuxWriter {
+ public:
+  explicit AuxWriter(std::string* out) : out_(out) {}
+
+  void Pad8() { out_->append((8 - out_->size() % 8) % 8, '\0'); }
+  void U32(uint32_t v) { Raw(&v, sizeof v); }
+  void U64(uint64_t v) { Raw(&v, sizeof v); }
+  void I32(int32_t v) { Raw(&v, sizeof v); }
+  void F64(double v) { Raw(&v, sizeof v); }
+
+  /// 8-aligned slab: u64 count (guard slots included), padding, raw data,
+  /// then `guard` zeroed elements.
+  template <typename T>
+  void AlignedSlab(const Slab<T>& s, size_t guard = 0) {
+    static_assert(alignof(T) <= 8);
+    U64(s.size() + guard);
+    Pad8();
+    Raw(s.data(), s.size() * sizeof(T));
+    out_->append(guard * sizeof(T), '\0');
+  }
+
+ private:
+  void Raw(const void* data, size_t size) {
+    out_->append(static_cast<const char*>(data), size);
+  }
+  std::string* out_;
+};
+
+void EncodeFlatQsTables(const flat_internal::QuickScorerModel& qs,
+                        AuxWriter* w) {
+  w->F64(qs.bias);
+  w->I32(qs.num_trees);
+  w->I32(qs.num_features);
+  w->AlignedSlab(qs.feat_begin);
+  w->AlignedSlab(qs.threshold);
+  w->AlignedSlab(qs.entry_tree);
+  w->AlignedSlab(qs.entry_mask);
+  w->AlignedSlab(qs.init_mask);
+  w->AlignedSlab(qs.leaf_base);
+  w->AlignedSlab(qs.leaf_value, kQsLeafGuard);
+}
+
+void EncodeFlatSet(const EstimatorSelector& selector, std::string* payload) {
+  const FlatEnsembleSet& flat = selector.flat();
+  AuxWriter w(payload);
+  w.Pad8();
+  w.U32(kFlatSectionMagic);
+  w.U32(selector.uses_dynamic_features() ? 1 : 0);
+  w.U64(flat.num_models());
+  w.U64(selector.uses_dynamic_features()
+            ? FeatureSchema::Get().num_features()
+            : FeatureSchema::Get().num_static_features());
+  {
+    std::vector<uint64_t> pool(selector.pool().begin(),
+                               selector.pool().end());
+    w.AlignedSlab(Slab<uint64_t>(std::move(pool)));
+  }
+  w.AlignedSlab(flat.bias_slab());
+  w.AlignedSlab(flat.tree_begin_slab());
+  // Per-model training gains (small, copied at load) so FeatureImportance
+  // survives the model-free rebuild: per-model lengths, then the
+  // concatenation.
+  {
+    std::vector<uint64_t> lens;
+    std::vector<double> concat;
+    for (const MartModel& model : selector.models()) {
+      lens.push_back(model.feature_gains().size());
+      concat.insert(concat.end(), model.feature_gains().begin(),
+                    model.feature_gains().end());
+    }
+    w.AlignedSlab(Slab<uint64_t>(std::move(lens)));
+    w.AlignedSlab(Slab<double>(std::move(concat)));
+  }
+  const flat_internal::NodeStore& store = flat.store();
+  w.AlignedSlab(store.roots);
+  w.AlignedSlab(store.depth);
+  w.AlignedSlab(store.sched);
+  w.AlignedSlab(store.topo);
+  w.AlignedSlab(store.split);
+  w.AlignedSlab(store.leaf);
+  for (const flat_internal::QuickScorerModel& qs : flat.quickscorers()) {
+    w.U32(qs.usable ? 1 : 0);
+    if (qs.usable) EncodeFlatQsTables(qs, &w);
+  }
+  const flat_internal::MergedQuickScorer& merged = flat.merged();
+  w.U32(merged.usable ? 1 : 0);
+  if (merged.usable) {
+    w.I32(merged.num_features);
+    w.AlignedSlab(merged.feat_begin);
+    w.AlignedSlab(merged.threshold);
+    w.AlignedSlab(merged.entry_tree);
+    w.AlignedSlab(merged.entry_mask);
+    w.AlignedSlab(merged.init_mask);
+    w.AlignedSlab(merged.leaf_base);
+    w.AlignedSlab(merged.leaf_value, kQsLeafGuard);
+    w.AlignedSlab(merged.model_tree_begin);
+    w.AlignedSlab(merged.bias);
+  }
+}
+
+/// The model payload shared by the v1 and v2 writers: schema metadata,
+/// then the static and dynamic selectors. One definition so the legacy
+/// encoder can never drift from the current layout.
+std::string EncodeStackModelPayload(const SelectorStack& stack) {
+  RPE_CHECK(!stack.static_selector.uses_dynamic_features());
+  RPE_CHECK(stack.dynamic_selector.uses_dynamic_features());
+  // An arena-backed stack (EstimatorSelector::FromFlat) has no models to
+  // persist; re-encoding it would silently write an empty model section.
+  RPE_CHECK(stack.static_selector.has_models() &&
+            stack.dynamic_selector.has_models())
+      << "cannot encode a model-free (mmap-loaded) selector stack";
+  std::string payload;
+  Writer w(&payload);
+  EncodeSchema(&w);
+  EncodeSelector(stack.static_selector, &w);
+  EncodeSelector(stack.dynamic_selector, &w);
+  return payload;
+}
+
 Status WriteFile(const std::string& path, const std::string& bytes) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IOError("cannot open for write: " + path);
@@ -312,6 +417,73 @@ Result<std::string> ReadFile(const std::string& path) {
 
 }  // namespace
 
+Result<SnapshotFrame> UnframeSnapshot(std::string_view bytes) {
+  if (bytes.size() < kHeaderSize) {
+    return Status::InvalidArgument("snapshot shorter than its header");
+  }
+  Reader r(bytes.substr(0, kHeaderSize));
+  uint32_t magic = 0, version = 0, kind = 0, reserved = 0, crc = 0;
+  uint32_t aux_offset = 0;
+  uint64_t payload_size = 0;
+  RPE_RETURN_NOT_OK(r.U32(&magic));
+  RPE_RETURN_NOT_OK(r.U32(&version));
+  RPE_RETURN_NOT_OK(r.U32(&kind));
+  RPE_RETURN_NOT_OK(r.U32(&reserved));
+  RPE_RETURN_NOT_OK(r.U64(&payload_size));
+  RPE_RETURN_NOT_OK(r.U32(&crc));
+  RPE_RETURN_NOT_OK(r.U32(&aux_offset));
+  if (magic != kSnapshotMagic) {
+    return Status::InvalidArgument("bad snapshot magic");
+  }
+  if (version != kSnapshotVersion && version != kSnapshotVersionLegacy) {
+    return Status::InvalidArgument("unsupported snapshot version " +
+                                   std::to_string(version));
+  }
+  if (payload_size != bytes.size() - kHeaderSize) {
+    return Status::InvalidArgument(
+        "snapshot payload size mismatch (truncated or padded file)");
+  }
+  const std::string_view payload = bytes.substr(kHeaderSize);
+  if (FrameCrc(version, aux_offset, payload) != crc) {
+    return Status::InvalidArgument("snapshot payload CRC mismatch");
+  }
+  if (kind != static_cast<uint32_t>(SnapshotKind::kSelectorStack) &&
+      kind != static_cast<uint32_t>(SnapshotKind::kRecordBatch)) {
+    return Status::InvalidArgument("unknown snapshot kind " +
+                                   std::to_string(kind));
+  }
+  // The CRC vouches for the aux offset (v2 folds it in); still bound it
+  // so no reader chases a hand-crafted offset past the payload. Alignment
+  // is the aux parser's concern (misalignment degrades to the copy path,
+  // it is not corruption).
+  if (version == kSnapshotVersionLegacy && aux_offset != 0) {
+    return Status::InvalidArgument("v1 snapshot with an aux section");
+  }
+  if (aux_offset != 0 && aux_offset >= payload.size()) {
+    return Status::InvalidArgument("snapshot aux offset past the payload");
+  }
+  SnapshotFrame frame;
+  frame.kind = static_cast<SnapshotKind>(kind);
+  frame.version = version;
+  frame.aux_offset = aux_offset;
+  frame.payload = payload;
+  return frame;
+}
+
+namespace snapshot_internal {
+
+Status CheckSchemaPrefix(std::string_view payload) {
+  Reader r(payload);
+  return DecodeAndCheckSchema(&r);
+}
+
+std::string EncodeSelectorStackLegacyV1(const SelectorStack& stack) {
+  return Frame(SnapshotKind::kSelectorStack, EncodeStackModelPayload(stack),
+               /*aux_offset=*/0, kSnapshotVersionLegacy);
+}
+
+}  // namespace snapshot_internal
+
 SelectorStack SelectorStack::Train(const std::vector<PipelineRecord>& records,
                                    std::vector<size_t> pool,
                                    const MartParams& params) {
@@ -324,19 +496,26 @@ SelectorStack SelectorStack::Train(const std::vector<PipelineRecord>& records,
 }
 
 std::string EncodeSelectorStack(const SelectorStack& stack) {
-  RPE_CHECK(!stack.static_selector.uses_dynamic_features());
-  RPE_CHECK(stack.dynamic_selector.uses_dynamic_features());
-  std::string payload;
-  Writer w(&payload);
-  EncodeSchema(&w);
-  EncodeSelector(stack.static_selector, &w);
-  EncodeSelector(stack.dynamic_selector, &w);
-  return Frame(SnapshotKind::kSelectorStack, std::move(payload));
+  std::string payload = EncodeStackModelPayload(stack);
+  // v2 aux section: the compiled scoring tables, 8-aligned, for the
+  // zero-copy loader. The model payload above stays the source of truth
+  // for the heap decoder.
+  AuxWriter aux(&payload);
+  aux.Pad8();
+  const uint64_t aux_offset = payload.size();
+  RPE_CHECK_LE(aux_offset, std::numeric_limits<uint32_t>::max());
+  EncodeFlatSet(stack.static_selector, &payload);
+  EncodeFlatSet(stack.dynamic_selector, &payload);
+  return Frame(SnapshotKind::kSelectorStack, std::move(payload),
+               static_cast<uint32_t>(aux_offset));
 }
 
 Result<SelectorStack> DecodeSelectorStack(std::string_view bytes) {
-  RPE_ASSIGN_OR_RETURN(std::string_view payload,
-                       UnframeAs(SnapshotKind::kSelectorStack, bytes));
+  RPE_ASSIGN_OR_RETURN(SnapshotFrame frame, UnframeSnapshot(bytes));
+  if (frame.kind != SnapshotKind::kSelectorStack) {
+    return Status::InvalidArgument("snapshot holds a different payload kind");
+  }
+  const std::string_view payload = frame.payload;
   Reader r(payload);
   RPE_RETURN_NOT_OK(DecodeAndCheckSchema(&r));
   SelectorStack stack;
@@ -347,8 +526,26 @@ Result<SelectorStack> DecodeSelectorStack(std::string_view bytes) {
     return Status::InvalidArgument(
         "snapshot selector stack has wrong feature modes");
   }
-  if (r.Remaining() != 0) {
-    return Status::InvalidArgument("snapshot has trailing payload bytes");
+  if (frame.aux_offset == 0) {
+    if (r.Remaining() != 0) {
+      return Status::InvalidArgument("snapshot has trailing payload bytes");
+    }
+  } else {
+    // v2 keeps v1's exact-consumption discipline: the only bytes allowed
+    // between the model payload and the aux section are a short run of
+    // zero alignment padding (ours is < 8; tolerate foreign writers up to
+    // a 64-byte unit). Anything else is smuggled or misframed data.
+    const size_t consumed = payload.size() - r.Remaining();
+    if (consumed > frame.aux_offset || frame.aux_offset - consumed >= 64) {
+      return Status::InvalidArgument(
+          "snapshot aux section does not abut the model payload");
+    }
+    for (size_t i = consumed; i < frame.aux_offset; ++i) {
+      if (payload[i] != '\0') {
+        return Status::InvalidArgument(
+            "snapshot has non-padding bytes before the aux section");
+      }
+    }
   }
   return stack;
 }
@@ -426,8 +623,8 @@ Result<std::vector<PipelineRecord>> DecodeRecordBatch(std::string_view bytes) {
 }
 
 Result<SnapshotKind> PeekSnapshotKind(std::string_view bytes) {
-  RPE_ASSIGN_OR_RETURN(auto framed, Unframe(bytes));
-  return framed.first;
+  RPE_ASSIGN_OR_RETURN(SnapshotFrame frame, UnframeSnapshot(bytes));
+  return frame.kind;
 }
 
 Result<SnapshotKind> PeekSnapshotFileKind(const std::string& path) {

@@ -13,22 +13,40 @@
 //
 //   offset  size  field
 //   0       4     magic  "RPSN" (0x4E535052)
-//   4       4     format version (kSnapshotVersion)
+//   4       4     format version (1 legacy, 2 current; see below)
 //   8       4     payload kind (SnapshotKind)
 //   12      4     reserved (0)
 //   16      8     payload size in bytes
-//   24      4     CRC-32 of the payload bytes
-//   28      4     reserved (0)   — header is 32 bytes, payload 8-aligned
+//   24      4     CRC-32 — v1: over the payload bytes; v2: over the
+//                 4-byte aux-offset field, then the payload (the offset
+//                 steers both loaders, so header corruption must be
+//                 caught as corruption)
+//   28      4     aux-section offset into the payload (0 = none; v1 files
+//                 always 0) — header is 32 bytes, payload 8-aligned
 //   32      ...   payload
 //
 // Selector-stack payload: feature-schema metadata (count, static count,
 // names — validated against the running binary's FeatureSchema at load),
 // then the static and dynamic selectors back to back; each selector is its
 // pool, feature mode, and per-candidate MART models with trees stored as
-// structure-of-arrays node slabs. The flat scoring buffers
-// (FlatEnsembleSet) are recompiled at load — compilation is deterministic
-// from the models, so storing them would duplicate state that must never
-// disagree.
+// structure-of-arrays node slabs. On the ordinary heap load path the flat
+// scoring buffers (FlatEnsembleSet) are recompiled — compilation is
+// deterministic from the models, so the rebuilt stack scores
+// bit-identically to the one saved.
+//
+// Version 2 appends an aux section ("RPFL") at the header's aux offset:
+// the compiled FlatEnsembleSet tables of both selectors with every slab
+// padded to 8-byte alignment relative to the payload start (the payload
+// itself starts at file offset 32, so payload alignment == file
+// alignment). This is what the zero-copy loader consumes: MmapArena (see
+// serving/mmap_arena.h) maps the file and rebuilds the stack with slab
+// views pointing straight into the mapping — no tree decode, no slab
+// memcpy. The heap decoder ignores the section entirely (it recompiles
+// from the models), so the two loaders can never disagree about the same
+// file's scores: both representations come from the same deterministic
+// compiler. QuickScorer leaf-value slabs are written with a 64-slot zero
+// guard tail so a hostile mask table cannot index past the slab (see
+// FlatEnsembleSet::FromParts).
 //
 // Record-batch payload: feature/estimator arity header (validated against
 // the schema at load) followed by the records.
@@ -55,12 +73,34 @@
 namespace rpe {
 
 inline constexpr uint32_t kSnapshotMagic = 0x4E535052;  // "RPSN"
-inline constexpr uint32_t kSnapshotVersion = 1;
+/// Current write version. Version 1 (no aux section) is still readable;
+/// loaders fall back to the model-decode path for it.
+inline constexpr uint32_t kSnapshotVersion = 2;
+inline constexpr uint32_t kSnapshotVersionLegacy = 1;
+/// Magic opening the compiled-flat aux section of a v2 selector stack.
+inline constexpr uint32_t kFlatSectionMagic = 0x4C465052;  // "RPFL"
+/// Zero doubles appended after each QuickScorer leaf-value slab so a
+/// fully-cleared (hostile) leaf bitvector indexes the guard, not past the
+/// slab: countr_zero(0) == 64.
+inline constexpr size_t kQsLeafGuard = 64;
 
 enum class SnapshotKind : uint32_t {
   kSelectorStack = 1,
   kRecordBatch = 2,
 };
+
+/// Decoded container header of a snapshot buffer (CRC already verified).
+struct SnapshotFrame {
+  SnapshotKind kind = SnapshotKind::kSelectorStack;
+  uint32_t version = 0;
+  /// Payload offset of the aux section (0 = absent / legacy).
+  uint32_t aux_offset = 0;
+  std::string_view payload;  ///< views into the caller's buffer
+};
+
+/// Verify magic/version/size/CRC and return the framed payload. Accepts
+/// versions 1 and 2; anything else is InvalidArgument.
+Result<SnapshotFrame> UnframeSnapshot(std::string_view bytes);
 
 /// \brief The trained model pair the serving layer runs on: static-feature
 /// selector for initial choices, dynamic-feature selector for revisions.
@@ -95,5 +135,19 @@ Result<SelectorStack> LoadSelectorStack(const std::string& path);
 Status SaveRecordBatch(const std::vector<PipelineRecord>& records,
                        const std::string& path);
 Result<std::vector<PipelineRecord>> LoadRecordBatch(const std::string& path);
+
+namespace snapshot_internal {
+
+/// Validate the feature-schema block that opens a selector-stack payload
+/// against this binary's FeatureSchema (the zero-copy loader runs this
+/// before trusting the aux section; the heap decoder does it inline).
+Status CheckSchemaPrefix(std::string_view payload);
+
+/// Encode with a version-1 header and no aux section — the layout pre-v2
+/// writers shipped. Kept so the legacy fallback path of the loaders stays
+/// covered (tests) and old readers can be fed by downgrade tooling.
+std::string EncodeSelectorStackLegacyV1(const SelectorStack& stack);
+
+}  // namespace snapshot_internal
 
 }  // namespace rpe

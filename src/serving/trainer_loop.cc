@@ -11,7 +11,7 @@ namespace {
 using Clock = std::chrono::steady_clock;
 }  // namespace
 
-TrainerLoop::TrainerLoop(RecordIngestQueue* queue, MonitorService* service,
+TrainerLoop::TrainerLoop(RecordIngestQueue* queue, ModelPublisher* service,
                          Options options)
     : queue_(queue), service_(service), options_(std::move(options)) {
   RPE_CHECK(queue_ != nullptr);

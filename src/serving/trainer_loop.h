@@ -66,9 +66,12 @@ class TrainerLoop {
     std::string snapshot_path;
   };
 
-  /// `queue` and `service` must outlive the loop. Nothing is trained or
-  /// published until records arrive and thresholds trip.
-  TrainerLoop(RecordIngestQueue* queue, MonitorService* service,
+  /// `queue` and `service` must outlive the loop. `service` is any
+  /// publish target — a single MonitorService or the sharded router
+  /// (serving/shard_router.h), which fans a publish out to every shard in
+  /// one generation step. Nothing is trained or published until records
+  /// arrive and thresholds trip.
+  TrainerLoop(RecordIngestQueue* queue, ModelPublisher* service,
               Options options);
   ~TrainerLoop();  ///< calls Stop()
 
@@ -111,7 +114,7 @@ class TrainerLoop {
   void MaybeRetrainLocked();
 
   RecordIngestQueue* const queue_;
-  MonitorService* const service_;
+  ModelPublisher* const service_;
   const Options options_;
 
   /// Serializes consumer steps (background thread vs. RunOnce callers).

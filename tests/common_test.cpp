@@ -5,6 +5,7 @@
 #include <cmath>
 #include <set>
 
+#include "common/crc32.h"
 #include "common/random.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -219,6 +220,29 @@ TEST(TablePrinterTest, AlignsColumns) {
 TEST(TablePrinterTest, Formatting) {
   EXPECT_EQ(TablePrinter::Fmt(1.23456, 2), "1.23");
   EXPECT_EQ(TablePrinter::Pct(0.639), "63.9%");
+}
+
+// --- crc32 ---------------------------------------------------------------
+
+TEST(Crc32Test, KnownVectorsAndSeedChaining) {
+  // The IEEE 802.3 check value; pins the sliced kernel to the reference
+  // byte-at-a-time definition.
+  const char* check = "123456789";
+  EXPECT_EQ(Crc32(check, 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+
+  // Chaining through the seed must equal one shot, at every split point
+  // (the sliced kernel has 8-byte and tail paths to cover).
+  Rng rng(5);
+  std::vector<unsigned char> data(1027);
+  for (auto& b : data) b = static_cast<unsigned char>(rng.Next() & 0xFF);
+  const uint32_t whole = Crc32(data.data(), data.size());
+  for (size_t split : {size_t{1}, size_t{7}, size_t{8}, size_t{9},
+                       size_t{64}, size_t{1000}}) {
+    const uint32_t head = Crc32(data.data(), split);
+    EXPECT_EQ(Crc32(data.data() + split, data.size() - split, head), whole)
+        << "split " << split;
+  }
 }
 
 }  // namespace

@@ -24,20 +24,23 @@
 //       record snapshot back to CSV.
 //
 //   rpe_cli serve-replay --kind tpch --queries 60 [--sessions 64]
-//                        [--model stack.rpsn] [--trees 50] [--verify]
+//                        [--shards 4] [--model stack.rpsn] [--mmap]
+//                        [--trees 50] [--verify]
 //       Run a workload, then replay every query concurrently through the
-//       MonitorService and print the serving stats (p50/p95 replay
-//       latency, decisions/sec).
+//       (optionally sharded) monitor tier and print the serving stats
+//       (p50/p95 replay latency, decisions/sec). --mmap loads --model
+//       zero-copy through the snapshot arena.
 //
 //   rpe_cli serve-online --kind tpch --queries 40 [--sessions 64]
+//                        [--shards 4] [--model stack.rpsn] [--mmap]
 //                        [--retrain-every 48] [--queue-cap 1024]
 //                        [--tick-budget 16] [--snapshot-out stack.rpsn]
 //                        [--verify]
 //       The full online-learning loop: replay sessions tick concurrently
 //       while completed records stream into the ingest queue; a
 //       background TrainerLoop retrains the selector stack and hot-swaps
-//       it mid-replay. Prints serving + ingest stats; fails if no retrain
-//       was published.
+//       it into every shard mid-replay. Prints serving + ingest stats;
+//       fails if no retrain was published.
 //
 // See docs/CLI.md for the full flag reference. All commands accept
 // --threads N to size the training/selection worker pool (default:
@@ -54,7 +57,9 @@
 #include "common/thread_pool.h"
 #include "harness/experiment.h"
 #include "harness/runner.h"
+#include "serving/mmap_arena.h"
 #include "serving/monitor_service.h"
+#include "serving/shard_router.h"
 #include "serving/snapshot.h"
 #include "serving/trainer_loop.h"
 
@@ -120,6 +125,30 @@ Result<WorkloadConfig> ParseWorkloadFlags(
       std::stoul(FlagOr(flags, "queries", default_queries)));
   config.seed = std::stoull(FlagOr(flags, "seed", "1"));
   return config;
+}
+
+/// Strictly-parsed integer flag in [min, max]: a typo'd or out-of-range
+/// value must fail loudly with a hint, not std::stoul its way into a
+/// nonsense server configuration.
+Result<size_t> ParseSizeFlag(const std::map<std::string, std::string>& flags,
+                             const std::string& key,
+                             const std::string& fallback, size_t min,
+                             size_t max) {
+  const std::string raw = FlagOr(flags, key, fallback);
+  size_t value = 0;
+  size_t consumed = 0;
+  try {
+    value = std::stoul(raw, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != raw.size() || raw.empty() || value < min || value > max) {
+    return Status::InvalidArgument(
+        "invalid --" + key + " value '" + raw + "' (expected an integer in [" +
+        std::to_string(min) + ", " + std::to_string(max) +
+        "]); see docs/CLI.md or rpe_cli --help");
+  }
+  return value;
 }
 
 bool IsSnapshotPath(const std::string& path) {
@@ -344,16 +373,26 @@ Status ExecuteServingWorkload(const WorkloadConfig& config,
   return Status::OK();
 }
 
-/// Initial serving stack: loaded from --model when given, else trained on
-/// `records` with --trees trees.
+/// Initial serving stack: loaded from --model when given (zero-copy via
+/// the mmap arena with --mmap), else trained on `records` with --trees
+/// trees. Callers validate the flag combination up front
+/// (CheckMmapFlags) before running the workload.
 Result<std::shared_ptr<const SelectorStack>> InitialStack(
     const std::map<std::string, std::string>& flags,
     const std::vector<PipelineRecord>& records,
     const std::string& default_trees) {
   if (flags.count("model") > 0) {
-    RPE_ASSIGN_OR_RETURN(SelectorStack loaded,
-                         LoadSelectorStack(flags.at("model")));
-    std::cerr << "loaded selector stack from " << flags.at("model") << "\n";
+    const std::string& path = flags.at("model");
+    if (flags.count("mmap") > 0) {
+      RPE_ASSIGN_OR_RETURN(ArenaStackLoad loaded,
+                           LoadSelectorStackMmap(path));
+      std::cerr << "mmap-loaded selector stack from " << path << " ("
+                << (loaded.zero_copy ? "zero-copy" : "copy fallback") << ", "
+                << loaded.mapped_bytes << " bytes mapped)\n";
+      return loaded.stack;
+    }
+    RPE_ASSIGN_OR_RETURN(SelectorStack loaded, LoadSelectorStack(path));
+    std::cerr << "loaded selector stack from " << path << "\n";
     return std::make_shared<const SelectorStack>(std::move(loaded));
   }
   MartParams params = EstimatorSelector::DefaultParams();
@@ -364,6 +403,23 @@ Result<std::shared_ptr<const SelectorStack>> InitialStack(
       records, ParsePool(FlagOr(flags, "pool", "six")), params));
 }
 
+/// Shared --shards parsing for the serve commands (1..1024; powers of two
+/// route cheapest but are not required).
+Result<size_t> ParseShards(const std::map<std::string, std::string>& flags) {
+  return ParseSizeFlag(flags, "shards", "1", 1, 1024);
+}
+
+/// The single definition of the --mmap flag contract, shared by both
+/// serve commands.
+Status CheckMmapFlags(const std::map<std::string, std::string>& flags) {
+  if (flags.count("mmap") > 0 && flags.count("model") == 0) {
+    return Status::InvalidArgument(
+        "--mmap requires --model <stack.rpsn> (there is nothing to map when "
+        "the stack is trained in-process); see docs/CLI.md");
+  }
+  return Status::OK();
+}
+
 int CmdServeReplay(const std::map<std::string, std::string>& flags) {
   auto parsed = ParseWorkloadFlags(flags, /*default_scale=*/"5",
                                    /*default_queries=*/"60");
@@ -372,6 +428,19 @@ int CmdServeReplay(const std::map<std::string, std::string>& flags) {
     return 1;
   }
   const WorkloadConfig& config = *parsed;
+
+  // Flag validation happens before the (expensive) workload run: a typo'd
+  // serve configuration must fail in milliseconds.
+  auto shards = ParseShards(flags);
+  auto sessions_flag = ParseSizeFlag(flags, "sessions", "64", 1, 1 << 20);
+  const Status mmap_ok = CheckMmapFlags(flags);
+  for (const Status& st :
+       {shards.status(), sessions_flag.status(), mmap_ok}) {
+    if (!st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 2;
+    }
+  }
 
   std::vector<OwnedRun> runs;
   std::vector<PipelineRecord> records;
@@ -389,15 +458,16 @@ int CmdServeReplay(const std::map<std::string, std::string>& flags) {
   std::shared_ptr<const SelectorStack> stack = *stack_result;
 
   // One session per requested slot, cycling the executed runs.
-  const size_t num_sessions = static_cast<size_t>(
-      std::stoul(FlagOr(flags, "sessions", "64")));
+  const size_t num_sessions = *sessions_flag;
   std::vector<const QueryRunResult*> session_runs;
   session_runs.reserve(num_sessions);
   for (size_t s = 0; s < num_sessions; ++s) {
     session_runs.push_back(&runs[s % runs.size()].result);
   }
 
-  MonitorService service(stack);
+  ShardedMonitorService::Options service_options;
+  service_options.num_shards = *shards;
+  ShardedMonitorService service(stack, service_options);
   const auto series = service.ReplayAll(session_runs);
 
   if (flags.count("verify") > 0) {
@@ -416,21 +486,22 @@ int CmdServeReplay(const std::map<std::string, std::string>& flags) {
               << " concurrent sessions bit-identical to sequential replay\n";
   }
 
-  const MonitorService::Stats stats = service.GetStats();
+  const ShardedMonitorService::Stats stats = service.GetStats();
   TablePrinter table({"Metric", "Value"});
+  table.AddRow({"shards", std::to_string(stats.shards)});
   table.AddRow({"sessions replayed",
-                std::to_string(stats.sessions_completed)});
-  table.AddRow({"decisions", std::to_string(stats.decisions)});
+                std::to_string(stats.total.sessions_completed)});
+  table.AddRow({"decisions", std::to_string(stats.total.decisions)});
   table.AddRow({"observations scored",
-                std::to_string(stats.observations_scored)});
+                std::to_string(stats.total.observations_scored)});
   table.AddRow({"p50 replay latency (ms)",
-                TablePrinter::Fmt(stats.p50_replay_ms, 3)});
+                TablePrinter::Fmt(stats.total.p50_replay_ms, 3)});
   table.AddRow({"p95 replay latency (ms)",
-                TablePrinter::Fmt(stats.p95_replay_ms, 3)});
-  table.AddRow({"decisions/sec", TablePrinter::Fmt(stats.decisions_per_sec,
-                                                   0)});
+                TablePrinter::Fmt(stats.total.p95_replay_ms, 3)});
+  table.AddRow({"decisions/sec",
+                TablePrinter::Fmt(stats.total.decisions_per_sec, 0)});
   table.AddRow({"observations/sec",
-                TablePrinter::Fmt(stats.observations_per_sec, 0)});
+                TablePrinter::Fmt(stats.total.observations_per_sec, 0)});
   table.Print();
   return 0;
 }
@@ -443,6 +514,29 @@ int CmdServeOnline(const std::map<std::string, std::string>& flags) {
     return 1;
   }
   const WorkloadConfig& config = *parsed;
+
+  // Flag validation happens before the (expensive) workload run: a typo'd
+  // serve configuration must fail in milliseconds.
+  auto shards = ParseShards(flags);
+  auto sessions_flag = ParseSizeFlag(flags, "sessions", "64", 1, 1 << 20);
+  auto queue_cap = ParseSizeFlag(flags, "queue-cap", "1024", 1, 1 << 24);
+  auto retrain_every =
+      ParseSizeFlag(flags, "retrain-every", "48", 0, 1 << 24);
+  // TrainerLoop requires max_corpus >= min_corpus (at most 16 here).
+  auto corpus_cap = ParseSizeFlag(flags, "corpus-cap", "4096", 16, 1 << 24);
+  auto tick_budget = ParseSizeFlag(flags, "tick-budget", "0", 0, 1 << 24);
+  auto ingest_per_tick =
+      ParseSizeFlag(flags, "ingest-per-tick", "4", 0, 1 << 20);
+  const Status mmap_ok = CheckMmapFlags(flags);
+  for (const Status& st :
+       {shards.status(), sessions_flag.status(), queue_cap.status(),
+        retrain_every.status(), corpus_cap.status(), tick_budget.status(),
+        ingest_per_tick.status(), mmap_ok}) {
+    if (!st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 2;
+    }
+  }
 
   std::vector<OwnedRun> runs;
   std::vector<PipelineRecord> records;
@@ -465,14 +559,13 @@ int CmdServeOnline(const std::map<std::string, std::string>& flags) {
   }
   std::shared_ptr<const SelectorStack> initial = *stack_result;
 
-  MonitorService service(initial);
-  RecordIngestQueue queue(
-      std::stoul(FlagOr(flags, "queue-cap", "1024")));
+  ShardedMonitorService::Options service_options;
+  service_options.num_shards = *shards;
+  ShardedMonitorService service(initial, service_options);
+  RecordIngestQueue queue(*queue_cap);
   TrainerLoop::Options trainer_options;
-  trainer_options.retrain_min_records = static_cast<size_t>(
-      std::stoul(FlagOr(flags, "retrain-every", "48")));
-  trainer_options.max_corpus = static_cast<size_t>(
-      std::stoul(FlagOr(flags, "corpus-cap", "4096")));
+  trainer_options.retrain_min_records = *retrain_every;
+  trainer_options.max_corpus = *corpus_cap;
   trainer_options.min_corpus = std::min<size_t>(
       trainer_options.min_corpus, std::max<size_t>(seed.size(), 1));
   trainer_options.pool = ParsePool(FlagOr(flags, "pool", "six"));
@@ -488,9 +581,8 @@ int CmdServeOnline(const std::map<std::string, std::string>& flags) {
   // Sessions opened now pin generation 0, so their replay must stay
   // bit-identical to a sequential replay of the initial stack no matter
   // how many swaps land mid-replay.
-  const size_t num_sessions = static_cast<size_t>(
-      std::stoul(FlagOr(flags, "sessions", "64")));
-  std::vector<MonitorService::SessionId> sessions;
+  const size_t num_sessions = *sessions_flag;
+  std::vector<ShardedMonitorService::SessionId> sessions;
   std::vector<const QueryRunResult*> session_runs;
   for (size_t s = 0; s < num_sessions; ++s) {
     const QueryRunResult* run = &runs[s % runs.size()].result;
@@ -505,17 +597,13 @@ int CmdServeOnline(const std::map<std::string, std::string>& flags) {
 
   // Replay + ingest run concurrently with the trainer: each budgeted tick
   // advances sessions fairly while fresh records stream into the queue.
-  const size_t tick_budget = static_cast<size_t>(
-      std::stoul(FlagOr(flags, "tick-budget", "0")));
-  const size_t ingest_per_tick = static_cast<size_t>(
-      std::stoul(FlagOr(flags, "ingest-per-tick", "4")));
   size_t stream_next = 0;
   size_t ticks = 0;
   size_t remaining = sessions.size();
   while (remaining > 0) {
-    remaining = service.Tick(tick_budget);
+    remaining = service.Tick(*tick_budget);
     ++ticks;
-    for (size_t i = 0; i < ingest_per_tick; ++i) {
+    for (size_t i = 0; i < *ingest_per_tick; ++i) {
       queue.Push(records[stream_next++ % records.size()]);
     }
   }
@@ -550,34 +638,41 @@ int CmdServeOnline(const std::map<std::string, std::string>& flags) {
                 << service.model_generation() << " hot swaps\n";
     }
   }
-  for (MonitorService::SessionId id : sessions) {
+  for (ShardedMonitorService::SessionId id : sessions) {
     const Status closed = service.CloseSession(id);
     if (!closed.ok()) std::cerr << closed.ToString() << "\n";
   }
 
-  const MonitorService::Stats stats = service.GetStats();
+  const ShardedMonitorService::Stats stats = service.GetStats();
   TablePrinter table({"Metric", "Value"});
+  table.AddRow({"shards", std::to_string(stats.shards)});
   table.AddRow({"sessions replayed",
-                std::to_string(stats.sessions_completed)});
+                std::to_string(stats.total.sessions_completed)});
   table.AddRow({"ticks", std::to_string(ticks)});
   table.AddRow({"observations scored",
-                std::to_string(stats.observations_scored)});
-  table.AddRow({"decisions", std::to_string(stats.decisions)});
-  table.AddRow({"model generation", std::to_string(stats.model_generation)});
-  table.AddRow({"retrains published", std::to_string(stats.ingest.retrains)});
-  table.AddRow({"records pushed", std::to_string(stats.ingest.pushed)});
-  table.AddRow({"records dropped", std::to_string(stats.ingest.dropped)});
-  table.AddRow({"records drained", std::to_string(stats.ingest.drained)});
-  table.AddRow({"training corpus", std::to_string(stats.ingest.corpus_size)});
+                std::to_string(stats.total.observations_scored)});
+  table.AddRow({"decisions", std::to_string(stats.total.decisions)});
+  table.AddRow({"model generation",
+                std::to_string(stats.total.model_generation)});
+  table.AddRow({"retrains published",
+                std::to_string(stats.total.ingest.retrains)});
+  table.AddRow({"records pushed",
+                std::to_string(stats.total.ingest.pushed)});
+  table.AddRow({"records dropped",
+                std::to_string(stats.total.ingest.dropped)});
+  table.AddRow({"records drained",
+                std::to_string(stats.total.ingest.drained)});
+  table.AddRow({"training corpus",
+                std::to_string(stats.total.ingest.corpus_size)});
   table.AddRow({"last retrain (ms)",
-                TablePrinter::Fmt(stats.ingest.last_retrain_ms, 1)});
+                TablePrinter::Fmt(stats.total.ingest.last_retrain_ms, 1)});
   table.AddRow({"p50 replay latency (ms)",
-                TablePrinter::Fmt(stats.p50_replay_ms, 3)});
+                TablePrinter::Fmt(stats.total.p50_replay_ms, 3)});
   table.AddRow({"p95 replay latency (ms)",
-                TablePrinter::Fmt(stats.p95_replay_ms, 3)});
+                TablePrinter::Fmt(stats.total.p95_replay_ms, 3)});
   table.Print();
 
-  if (stats.ingest.retrains == 0) {
+  if (stats.total.ingest.retrains == 0) {
     std::cerr << "no retrain was published (lower --retrain-every or raise "
                  "--ingest-per-tick)\n";
     return 1;
@@ -596,7 +691,9 @@ void PrintUsage(std::ostream& out) {
          "  snapshot-load  verify + describe a snapshot\n"
          "  serve-replay   concurrent MonitorService replay of a workload\n"
          "  serve-online   replay + async ingest + background retraining\n"
-         "common flags: --threads N\n";
+         "common flags: --threads N; serve commands also take --shards N\n"
+         "(sharded session routing) and --model x.rpsn --mmap (zero-copy\n"
+         "snapshot load)\n";
 }
 
 int Main(int argc, char** argv) {
