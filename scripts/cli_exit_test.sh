@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# CLI exit-code contract tests (wired into ctest as `cli_exit_codes`):
+#
+#   1. snapshot-load / serve-replay --mmap / serve-online --mmap on a
+#      corrupt, truncated, or missing .rpsn must exit nonzero with the
+#      Status on stderr — and must fail fast, before any workload runs.
+#   2. serve-online with the snapshot-write failpoint armed at 100% via
+#      RPE_FAILPOINTS must still exit zero, keep serving on the published
+#      generations, and report exact nonzero failure/retry counts.
+#   3. A malformed RPE_FAILPOINTS spec is diagnosed, ignored, and must
+#      not turn into silent fault injection.
+#
+# Usage: cli_exit_test.sh <path-to-rpe_cli>
+set -u
+
+CLI="${1:?usage: cli_exit_test.sh <path-to-rpe_cli>}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/rpe_cli_exit.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+fails=0
+note() { printf '%s\n' "$*"; }
+fail() { printf 'FAIL: %s\n' "$*"; fails=$((fails + 1)); }
+
+# expect_err <expected-status-substr> <cmd...>: nonzero exit + Status text
+# on stderr.
+expect_err() {
+  local needle="$1"; shift
+  local err="$WORK/stderr.txt"
+  if "$@" >"$WORK/stdout.txt" 2>"$err"; then
+    fail "exit 0 from: $*"
+    return
+  fi
+  if ! grep -q "$needle" "$err"; then
+    fail "stderr of '$*' lacks '$needle': $(cat "$err")"
+  fi
+}
+
+# --- corrupt / truncated / missing snapshot inputs ------------------------
+CORRUPT="$WORK/corrupt.rpsn"
+printf 'RPSN garbage garbage garbage garbage garbage' > "$CORRUPT"
+TRUNC="$WORK/trunc.rpsn"
+head -c 20 "$CORRUPT" > "$TRUNC"
+MISSING="$WORK/no_such_file.rpsn"
+
+for f in "$CORRUPT" "$TRUNC"; do
+  expect_err "InvalidArgument" "$CLI" snapshot-load --in "$f"
+done
+expect_err "IOError" "$CLI" snapshot-load --in "$MISSING"
+
+# The serve commands must reject a bad --model up front (fail-fast: these
+# return within the preload, so a tiny workload config keeps them honest).
+for cmd in serve-replay serve-online; do
+  expect_err "InvalidArgument" \
+    "$CLI" "$cmd" --kind tpch --queries 2 --scale 1 --model "$CORRUPT" --mmap
+  expect_err "IOError" \
+    "$CLI" "$cmd" --kind tpch --queries 2 --scale 1 --model "$MISSING" --mmap
+  expect_err "InvalidArgument" \
+    "$CLI" "$cmd" --kind tpch --queries 2 --scale 1 --model "$CORRUPT"
+done
+
+# --mmap without --model is a flag error (exit 2), also pre-workload.
+"$CLI" serve-replay --kind tpch --queries 2 --scale 1 --mmap \
+  >/dev/null 2>&1
+[ $? -eq 2 ] || fail "--mmap without --model did not exit 2"
+
+# --- serve-online under a 100% snapshot-write fault -----------------------
+OUT="$WORK/serve_online.txt"
+ERR="$WORK/serve_online_err.txt"
+if ! RPE_FAILPOINTS="snapshot.write=always" \
+    "$CLI" serve-online --kind tpch --queries 8 --scale 2 --sessions 8 \
+    --retrain-every 8 --ingest-per-tick 8 --trees 5 \
+    --snapshot-out "$WORK/snap.rpsn" >"$OUT" 2>"$ERR"; then
+  fail "serve-online exited nonzero under snapshot.write=always:
+$(cat "$ERR")"
+else
+  grep -q "failpoints armed: snapshot.write" "$ERR" \
+    || fail "armed-failpoint banner missing from stderr"
+  # The summary must carry exact, nonzero failure and retry counts, and
+  # retrains must still have been published (serving degraded, not down).
+  awk -F'|' '/snapshot write failures/ {gsub(/ /,"",$3); print $3}' "$OUT" \
+    | grep -qE '^[1-9][0-9]*$' \
+    || fail "snapshot write failures not reported nonzero: $(cat "$OUT")"
+  awk -F'|' '/snapshot write retries/ {gsub(/ /,"",$3); print $3}' "$OUT" \
+    | grep -qE '^[1-9][0-9]*$' \
+    || fail "snapshot write retries not reported nonzero"
+  awk -F'|' '/retrains published/ {gsub(/ /,"",$3); print $3}' "$OUT" \
+    | grep -qE '^[1-9][0-9]*$' \
+    || fail "no retrain published under snapshot-write fault"
+  [ -e "$WORK/snap.rpsn" ] && fail "failed snapshot write left a file"
+fi
+
+# --- malformed RPE_FAILPOINTS is diagnosed and ignored --------------------
+if ! RPE_FAILPOINTS="snapshot.write=exploded" \
+    "$CLI" snapshot-load --in "$MISSING" 2>"$ERR"; then
+  grep -q "RPE_FAILPOINTS ignored" "$ERR" \
+    || fail "malformed RPE_FAILPOINTS not diagnosed: $(cat "$ERR")"
+  grep -q "failpoints armed" "$ERR" \
+    && fail "malformed RPE_FAILPOINTS still armed something"
+else
+  fail "snapshot-load on a missing file exited zero"
+fi
+
+if [ "$fails" -ne 0 ]; then
+  note "$fails CLI exit-code check(s) failed"
+  exit 1
+fi
+note "all CLI exit-code checks passed"

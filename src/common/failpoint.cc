@@ -1,0 +1,252 @@
+#include "common/failpoint.h"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <mutex>
+
+namespace rpe {
+
+namespace failpoint_internal {
+std::atomic<int> g_armed_count{0};
+}  // namespace failpoint_internal
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+struct FailPointState {
+  FailPointSpec spec;
+  uint64_t hits = 0;
+  uint64_t trips = 0;
+  uint64_t rng = 0;  ///< kProbability stream state, seeded at arm time
+};
+
+/// Registry singleton. One mutex guards the map and the counters; the
+/// condvar wakes WaitForHits on every counted hit. Failpoints guard
+/// failure edges, not scoring loops, so a single lock is fine.
+class Registry {
+ public:
+  static Registry& Get() {
+    static Registry* instance = new Registry();  // leaked: outlives exit
+    return *instance;
+  }
+
+  void Arm(const std::string& name, FailPointSpec spec) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = points_.insert_or_assign(
+        name, FailPointState{spec, 0, 0, spec.seed * 0x9E3779B97F4A7C15ull +
+                                             0xD1B54A32D192ED03ull});
+    (void)it;
+    if (inserted) {
+      failpoint_internal::g_armed_count.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    }
+  }
+
+  void Disarm(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (points_.erase(name) > 0) {
+      failpoint_internal::g_armed_count.fetch_sub(1,
+                                                  std::memory_order_relaxed);
+    }
+  }
+
+  void DisarmAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    failpoint_internal::g_armed_count.fetch_sub(
+        static_cast<int>(points_.size()), std::memory_order_relaxed);
+    points_.clear();
+  }
+
+  bool Hit(const char* name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(name);
+    if (it == points_.end()) return false;
+    FailPointState& s = it->second;
+    ++s.hits;
+    bool trip = false;
+    switch (s.spec.mode) {
+      case FailPointSpec::Mode::kNever:
+        break;
+      case FailPointSpec::Mode::kAlways:
+        trip = true;
+        break;
+      case FailPointSpec::Mode::kProbability: {
+        const double u =
+            static_cast<double>(SplitMix64(&s.rng) >> 11) * 0x1.0p-53;
+        trip = u < s.spec.probability;
+        break;
+      }
+      case FailPointSpec::Mode::kNth:
+        trip = s.hits == s.spec.nth;
+        break;
+    }
+    if (trip) ++s.trips;
+    cv_.notify_all();
+    return trip;
+  }
+
+  FailPointCounters Counters(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(name);
+    if (it == points_.end()) return {};
+    return {it->second.hits, it->second.trips};
+  }
+
+  bool WaitForHits(const std::string& name, uint64_t n,
+                   std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, timeout, [&] {
+      auto it = points_.find(name);
+      return it != points_.end() && it->second.hits >= n;
+    });
+  }
+
+  std::vector<std::string> Armed() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> names;
+    names.reserve(points_.size());
+    for (const auto& [name, state] : points_) names.push_back(name);
+    return names;
+  }
+
+ private:
+  Registry() = default;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, FailPointState> points_;
+};
+
+Result<FailPointSpec> ParseOneSpec(const std::string& text) {
+  if (text == "always") return FailPointSpec::Always();
+  if (text == "never" || text == "observe") return FailPointSpec::Never();
+  if (text.rfind("nth:", 0) == 0) {
+    const std::string arg = text.substr(4);
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(arg.c_str(), &end, 10);
+    if (arg.empty() || *end != '\0' || n == 0) {
+      return Status::InvalidArgument("failpoint nth spec needs a positive "
+                                     "integer: '" + text + "'");
+    }
+    return FailPointSpec::Nth(n);
+  }
+  if (text.rfind("prob:", 0) == 0) {
+    // prob:<p> or prob:<p>:seed=<s>
+    std::string arg = text.substr(5);
+    uint64_t seed = 1;
+    const size_t colon = arg.find(':');
+    if (colon != std::string::npos) {
+      const std::string seed_part = arg.substr(colon + 1);
+      arg = arg.substr(0, colon);
+      if (seed_part.rfind("seed=", 0) != 0) {
+        return Status::InvalidArgument(
+            "failpoint prob spec expects prob:<p>[:seed=<s>]: '" + text +
+            "'");
+      }
+      char* end = nullptr;
+      seed = std::strtoull(seed_part.c_str() + 5, &end, 10);
+      if (*end != '\0') {
+        return Status::InvalidArgument("failpoint prob seed is not an "
+                                       "integer: '" + text + "'");
+      }
+    }
+    char* end = nullptr;
+    const double p = std::strtod(arg.c_str(), &end);
+    if (arg.empty() || *end != '\0' || p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument(
+          "failpoint probability must be in [0, 1]: '" + text + "'");
+    }
+    return FailPointSpec::Probability(p, seed);
+  }
+  return Status::InvalidArgument("unknown failpoint spec '" + text +
+                                 "' (expected always | never | nth:<k> | "
+                                 "prob:<p>[:seed=<s>])");
+}
+
+/// Parses RPE_FAILPOINTS once at process start so env-armed failpoints
+/// are live before any code path evaluates its first RPE_INJECT_FAULT.
+struct EnvArmer {
+  EnvArmer() {
+    const char* env = std::getenv("RPE_FAILPOINTS");
+    if (env == nullptr || *env == '\0') return;
+    const Status armed = FailPoints::ArmFromSpec(env);
+    if (!armed.ok()) {
+      std::cerr << "RPE_FAILPOINTS ignored: " << armed.ToString() << "\n";
+      FailPoints::DisarmAll();
+    }
+  }
+};
+const EnvArmer g_env_armer;
+
+}  // namespace
+
+void FailPoints::Arm(const std::string& name, FailPointSpec spec) {
+  Registry::Get().Arm(name, spec);
+}
+
+void FailPoints::Observe(const std::string& name) {
+  Registry::Get().Arm(name, FailPointSpec::Never());
+}
+
+void FailPoints::Disarm(const std::string& name) {
+  Registry::Get().Disarm(name);
+}
+
+void FailPoints::DisarmAll() { Registry::Get().DisarmAll(); }
+
+Status FailPoints::ArmFromSpec(const std::string& spec_list) {
+  size_t pos = 0;
+  while (pos < spec_list.size()) {
+    size_t end = spec_list.find_first_of(";,", pos);
+    if (end == std::string::npos) end = spec_list.size();
+    const std::string entry = spec_list.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument(
+          "failpoint entry is not <name>=<spec>: '" + entry + "'");
+    }
+    RPE_ASSIGN_OR_RETURN(FailPointSpec spec,
+                         ParseOneSpec(entry.substr(eq + 1)));
+    Registry::Get().Arm(entry.substr(0, eq), spec);
+  }
+  return Status::OK();
+}
+
+FailPointCounters FailPoints::Counters(const std::string& name) {
+  return Registry::Get().Counters(name);
+}
+
+uint64_t FailPoints::Hits(const std::string& name) {
+  return Registry::Get().Counters(name).hits;
+}
+
+uint64_t FailPoints::Trips(const std::string& name) {
+  return Registry::Get().Counters(name).trips;
+}
+
+bool FailPoints::WaitForHits(const std::string& name, uint64_t n,
+                             std::chrono::milliseconds timeout) {
+  return Registry::Get().WaitForHits(name, n, timeout);
+}
+
+std::vector<std::string> FailPoints::Armed() {
+  return Registry::Get().Armed();
+}
+
+namespace failpoint_internal {
+
+bool Hit(const char* name) { return Registry::Get().Hit(name); }
+
+}  // namespace failpoint_internal
+
+}  // namespace rpe

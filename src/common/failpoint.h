@@ -1,0 +1,130 @@
+// Deterministic fault injection for the serving tier. A failpoint is a
+// named site in production code where a test (or an operator, via the
+// RPE_FAILPOINTS environment variable) can force the failure path to run:
+//
+//   if (RPE_INJECT_FAULT("snapshot.write")) {
+//     return Status::IOError("injected failure: snapshot.write");
+//   }
+//
+// Failpoints are off by default and cost one relaxed atomic load of a
+// process-global "anything armed" counter on the hot path — the branch is
+// never taken in a production process that arms nothing. Building with
+// -DRPE_FAILPOINTS=OFF (the RPE_DISABLE_FAILPOINTS macro) compiles every
+// site down to a constant-false branch the optimizer deletes.
+//
+// Trigger modes (FailPointSpec):
+//   * kAlways      — every hit trips.
+//   * kProbability — each hit trips with probability p, driven by a
+//     per-failpoint PRNG seeded at arm time, so a given (p, seed) pair
+//     trips on the exact same hit sequence in every run.
+//   * kNth         — exactly the nth hit (1-based) trips, once.
+//   * kNever       — never trips, but hits are still counted. This is the
+//     sync-hook mode: a test arms a site observe-only and blocks in
+//     WaitForHits until the code under test has reached it, replacing
+//     sleep-based synchronization.
+//
+// Activation: programmatic (FailPoints::Arm/Observe/Disarm) or the
+// RPE_FAILPOINTS env var, parsed once on first registry use:
+//
+//   RPE_FAILPOINTS="snapshot.write=always;arena.mmap=prob:0.5:seed=7;ingest.push=nth:3"
+//
+// Threading contract: all registry operations are thread-safe; Hit() of
+// distinct failpoints serializes on one registry mutex (failpoints sit on
+// failure edges, not scoring hot loops). WaitForHits may be called from
+// any thread and wakes on every counted hit.
+//
+// The failpoint catalog (which names exist and what tripping them
+// simulates) lives in docs/ROBUSTNESS.md.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rpe {
+
+/// \brief How an armed failpoint decides whether a hit trips.
+struct FailPointSpec {
+  enum class Mode {
+    kNever,        ///< count hits only (sync hook)
+    kAlways,       ///< every hit trips
+    kProbability,  ///< seeded Bernoulli(p) per hit
+    kNth,          ///< exactly the nth hit (1-based) trips, once
+  };
+  Mode mode = Mode::kNever;
+  double probability = 0.0;  ///< kProbability: P(trip) per hit
+  uint64_t seed = 0;         ///< kProbability: PRNG seed (determinism)
+  uint64_t nth = 0;          ///< kNth: the 1-based hit index that trips
+
+  static FailPointSpec Always() { return {Mode::kAlways, 0.0, 0, 0}; }
+  static FailPointSpec Never() { return {Mode::kNever, 0.0, 0, 0}; }
+  static FailPointSpec Probability(double p, uint64_t seed) {
+    return {Mode::kProbability, p, seed, 0};
+  }
+  static FailPointSpec Nth(uint64_t n) { return {Mode::kNth, 0.0, 0, n}; }
+};
+
+/// \brief Point-in-time counters of one armed failpoint.
+struct FailPointCounters {
+  uint64_t hits = 0;   ///< times the site was reached while armed
+  uint64_t trips = 0;  ///< times the site was forced to fail
+};
+
+/// \brief Process-global failpoint registry (all methods static and
+/// thread-safe). Unarmed names cost one relaxed atomic load at the site.
+class FailPoints {
+ public:
+  /// Arm (or re-arm, resetting counters and PRNG state) a failpoint.
+  static void Arm(const std::string& name, FailPointSpec spec);
+  /// Arm observe-only: hits are counted, nothing ever trips.
+  static void Observe(const std::string& name);
+  static void Disarm(const std::string& name);
+  static void DisarmAll();
+
+  /// Parse an RPE_FAILPOINTS-style spec list ("a=always;b=prob:0.5:seed=7;
+  /// c=nth:3;d=never", ';' or ',' separated) and arm every entry.
+  static Status ArmFromSpec(const std::string& spec_list);
+
+  /// Counters of an armed failpoint (zeros when not armed).
+  static FailPointCounters Counters(const std::string& name);
+  static uint64_t Hits(const std::string& name);
+  static uint64_t Trips(const std::string& name);
+
+  /// Block until the named failpoint has been hit at least `n` times (it
+  /// must be armed — use Observe for pure sync). Returns false on timeout.
+  static bool WaitForHits(const std::string& name, uint64_t n,
+                          std::chrono::milliseconds timeout);
+
+  /// Names of every armed failpoint, for diagnostics banners.
+  static std::vector<std::string> Armed();
+};
+
+namespace failpoint_internal {
+
+/// Count of armed failpoints; the macro's cheap gate.
+extern std::atomic<int> g_armed_count;
+
+inline bool AnyArmed() {
+  return g_armed_count.load(std::memory_order_relaxed) != 0;
+}
+
+/// Slow path: count the hit and evaluate the spec. False for unarmed names.
+bool Hit(const char* name);
+
+}  // namespace failpoint_internal
+
+}  // namespace rpe
+
+#ifdef RPE_DISABLE_FAILPOINTS
+#define RPE_INJECT_FAULT(name) false
+#else
+/// True when the named failpoint is armed and its spec says this hit must
+/// fail. One relaxed atomic load when nothing is armed anywhere.
+#define RPE_INJECT_FAULT(name)                     \
+  (::rpe::failpoint_internal::AnyArmed() &&        \
+   ::rpe::failpoint_internal::Hit(name))
+#endif

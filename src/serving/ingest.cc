@@ -1,5 +1,6 @@
 #include "serving/ingest.h"
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace rpe {
@@ -11,7 +12,10 @@ RecordIngestQueue::RecordIngestQueue(size_t capacity) : capacity_(capacity) {
 bool RecordIngestQueue::Push(PipelineRecord record) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (closed_ || queue_.size() >= capacity_) {
+    // "ingest.push": the record is rejected as if the queue were full —
+    // same drop accounting, so injected losses stay exact.
+    if (closed_ || queue_.size() >= capacity_ ||
+        RPE_INJECT_FAULT("ingest.push")) {
       ++dropped_;
       return false;
     }
@@ -39,6 +43,9 @@ size_t RecordIngestQueue::WaitAndDrain(std::vector<PipelineRecord>* out,
                                        size_t max_records,
                                        std::chrono::milliseconds timeout) {
   std::unique_lock<std::mutex> lock(mu_);
+  // "ingest.wait": observe-only sync hook — tests block in WaitForHits
+  // until the consumer has reached this wait instead of sleeping.
+  (void)RPE_INJECT_FAULT("ingest.wait");
   cv_.wait_for(lock, timeout, [&] { return !queue_.empty() || closed_; });
   const size_t n = std::min(max_records, queue_.size());
   for (size_t i = 0; i < n; ++i) {

@@ -43,8 +43,26 @@ struct IngestStats {
   /// MonitorService model generation of the most recent publish (0 =
   /// nothing published yet).
   uint64_t last_swap_generation = 0;
-  /// Failed .rpsn writes of retrained stacks (publish still proceeded).
+  /// Retrain cycles that failed before anything was published; the loop
+  /// quarantines (exponential backoff) and keeps serving the previous
+  /// generation.
+  uint64_t retrain_failures = 0;
+  /// Successful retrain + publish cycles that ended a failure streak —
+  /// the loop healed without intervention.
+  uint64_t retrain_recoveries = 0;
+  /// Failed .rpsn writes of retrained stacks after every retry was
+  /// exhausted (publish still proceeded — a lost snapshot file never
+  /// blocks serving fresh models).
   uint64_t snapshot_write_failures = 0;
+  /// Snapshot-write retry attempts (beyond each first try) that the
+  /// bounded exponential backoff consumed.
+  uint64_t snapshot_write_retries = 0;
+  /// Publishes abandoned after every retry was exhausted: the retrained
+  /// stack is dropped, the previous generation keeps serving, and the
+  /// pending-record counters stay set so a later cycle retries.
+  uint64_t publish_failures = 0;
+  /// Publish retry attempts (beyond each first try).
+  uint64_t publish_retries = 0;
   size_t queue_size = 0;   ///< records currently queued
   size_t corpus_size = 0;  ///< records in the sliding training corpus
   double last_retrain_ms = 0.0;  ///< wall time of the most recent retrain

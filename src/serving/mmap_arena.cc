@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "mart/flat_ensemble.h"
 #include "selection/features.h"
@@ -17,7 +18,8 @@
 namespace rpe {
 
 Result<std::shared_ptr<MmapArena>> MmapArena::Map(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
+  const int fd = RPE_INJECT_FAULT("arena.open") ? -1
+                                                : ::open(path.c_str(), O_RDONLY);
   if (fd < 0) return Status::IOError("cannot open for mmap: " + path);
   struct stat st;
   if (::fstat(fd, &st) != 0) {
@@ -31,6 +33,10 @@ Result<std::shared_ptr<MmapArena>> MmapArena::Map(const std::string& path) {
   }
   void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
   ::close(fd);  // the mapping keeps its own reference to the file
+  if (RPE_INJECT_FAULT("arena.mmap")) {
+    if (addr != MAP_FAILED) ::munmap(addr, size);
+    addr = MAP_FAILED;
+  }
   if (addr == MAP_FAILED) {
     return Status::IOError("mmap failed: " + path);
   }
@@ -90,7 +96,7 @@ class AuxCursor {
  private:
   Status Raw(void* v, size_t size) {
     if (size > Remaining()) return Truncated();
-    std::memcpy(v, payload_.data() + pos_, size);
+    if (size != 0) std::memcpy(v, payload_.data() + pos_, size);
     pos_ += size;
     return Status::OK();
   }
@@ -234,7 +240,12 @@ struct ArenaBackedStack {
 
 Result<ArenaStackLoad> LoadSelectorStackMmap(const std::string& path) {
   RPE_ASSIGN_OR_RETURN(std::shared_ptr<MmapArena> arena, MmapArena::Map(path));
-  RPE_ASSIGN_OR_RETURN(SnapshotFrame frame, UnframeSnapshot(arena->bytes()));
+  std::string_view bytes = arena->bytes();
+  // "arena.short_map": the mapping comes up shorter than the file (disk
+  // shrank underneath us, or a short read on a copying filesystem). The
+  // frame's payload-size check must reject it before anything decodes.
+  if (RPE_INJECT_FAULT("arena.short_map")) bytes = bytes.substr(0, bytes.size() / 2);
+  RPE_ASSIGN_OR_RETURN(SnapshotFrame frame, UnframeSnapshot(bytes));
   if (frame.kind != SnapshotKind::kSelectorStack) {
     return Status::InvalidArgument("snapshot holds a different payload kind");
   }
@@ -276,8 +287,7 @@ Result<ArenaStackLoad> LoadSelectorStackMmap(const std::string& path) {
   // Copy fallback (legacy v1, no aux section, or unaligned slabs): decode
   // straight from the mapping into heap-owned structures; the mapping is
   // released when `arena` goes out of scope.
-  RPE_ASSIGN_OR_RETURN(SelectorStack stack,
-                       DecodeSelectorStack(arena->bytes()));
+  RPE_ASSIGN_OR_RETURN(SelectorStack stack, DecodeSelectorStack(bytes));
   out.stack = std::make_shared<const SelectorStack>(std::move(stack));
   out.zero_copy = false;
   return out;

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "common/crc32.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "selection/features.h"
 
@@ -88,7 +89,9 @@ class Reader {
  private:
   Status Raw(void* v, size_t size) {
     if (size > Remaining()) return Truncated();
-    std::memcpy(v, bytes_.data() + pos_, size);
+    // An empty slab decodes to a vector whose data() may be null; memcpy
+    // requires non-null pointers even for size 0.
+    if (size != 0) std::memcpy(v, bytes_.data() + pos_, size);
     pos_ += size;
     return Status::OK();
   }
@@ -401,6 +404,9 @@ std::string EncodeStackModelPayload(const SelectorStack& stack) {
 }
 
 Status WriteFile(const std::string& path, const std::string& bytes) {
+  if (RPE_INJECT_FAULT("snapshot.write")) {
+    return Status::IOError("injected failure: snapshot.write (" + path + ")");
+  }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IOError("cannot open for write: " + path);
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
@@ -408,11 +414,18 @@ Status WriteFile(const std::string& path, const std::string& bytes) {
 }
 
 Result<std::string> ReadFile(const std::string& path) {
+  if (RPE_INJECT_FAULT("snapshot.read")) {
+    return Status::IOError("injected failure: snapshot.read (" + path + ")");
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open: " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return std::move(buf).str();
+  std::string bytes = std::move(buf).str();
+  // "snapshot.read.short": the tail of the file never arrives — the frame
+  // checks downstream must reject the truncation, never decode part of it.
+  if (RPE_INJECT_FAULT("snapshot.read.short")) bytes.resize(bytes.size() / 2);
+  return bytes;
 }
 
 }  // namespace
@@ -444,7 +457,10 @@ Result<SnapshotFrame> UnframeSnapshot(std::string_view bytes) {
         "snapshot payload size mismatch (truncated or padded file)");
   }
   const std::string_view payload = bytes.substr(kHeaderSize);
-  if (FrameCrc(version, aux_offset, payload) != crc) {
+  // "snapshot.crc": the stored checksum reads back wrong — corruption on
+  // the wire or at rest, detected exactly like a real bit flip.
+  if (FrameCrc(version, aux_offset, payload) != crc ||
+      RPE_INJECT_FAULT("snapshot.crc")) {
     return Status::InvalidArgument("snapshot payload CRC mismatch");
   }
   if (kind != static_cast<uint32_t>(SnapshotKind::kSelectorStack) &&

@@ -1,14 +1,24 @@
 #include "serving/trainer_loop.h"
 
+#include <algorithm>
 #include <iostream>
+#include <thread>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace rpe {
 
 namespace {
 using Clock = std::chrono::steady_clock;
+
+/// Exponential backoff with a 64x cap: base, 2*base, 4*base, ...
+std::chrono::milliseconds BackoffDelay(std::chrono::milliseconds base,
+                                       uint64_t attempt) {
+  const uint64_t factor = uint64_t{1} << std::min<uint64_t>(attempt, 6);
+  return base * factor;
+}
 }  // namespace
 
 TrainerLoop::TrainerLoop(RecordIngestQueue* queue, ModelPublisher* service,
@@ -102,36 +112,107 @@ void TrainerLoop::MaybeRetrainLocked() {
       Clock::now() - last_retrain_time_ >= options_.max_staleness;
   if (!(rows_trip || staleness_trip)) return;
   if (corpus_.size() < options_.min_corpus) return;
+  // Quarantine after a failed cycle: serve the previous generation and
+  // defer the next attempt — a persistent fault must not become a retrain
+  // hot loop. The pending counters stay set, so leaving quarantine
+  // retries without waiting for fresh records.
+  if (consecutive_failures_ > 0 && Clock::now() < quarantine_until_) return;
 
   const auto start = Clock::now();
+
+  // "trainer.retrain" stands in for a failed training cycle (OOM, a bad
+  // corpus, a crashed worker): nothing is published, the loop quarantines.
+  if (RPE_INJECT_FAULT("trainer.retrain")) {
+    FailCycleLocked("retrain failed");
+    return;
+  }
   const std::vector<PipelineRecord> snapshot(corpus_.begin(), corpus_.end());
   auto stack = std::make_shared<const SelectorStack>(
       SelectorStack::Train(snapshot, options_.pool, options_.params));
 
-  uint64_t snapshot_failures = 0;
+  uint64_t snapshot_failures = 0, snapshot_retries = 0;
   if (!options_.snapshot_path.empty()) {
-    const Status saved = SaveSelectorStack(*stack, options_.snapshot_path);
+    Status saved;
+    for (size_t attempt = 0;; ++attempt) {
+      saved = SaveSelectorStack(*stack, options_.snapshot_path);
+      if (saved.ok() || attempt >= options_.snapshot_write_retries) break;
+      ++snapshot_retries;
+      std::this_thread::sleep_for(
+          BackoffDelay(options_.retry_backoff, attempt));
+    }
     if (!saved.ok()) {
-      std::cerr << "trainer_loop: snapshot write failed: " << saved.ToString()
-                << "\n";
+      // Exhausted: losing the on-disk copy is survivable, losing the
+      // publish is not — the fresh models still go out.
+      std::cerr << "trainer_loop: snapshot write failed after "
+                << options_.snapshot_write_retries
+                << " retries: " << saved.ToString() << "\n";
       snapshot_failures = 1;
     }
   }
 
-  const uint64_t generation = service_->SwapModels(std::move(stack));
+  // "trainer.publish" stands in for a publish edge that cannot accept the
+  // swap (a shard wedged mid-restart, a torn fan-out). Bounded retries,
+  // then the stack is dropped and the loop quarantines.
+  uint64_t generation = 0;
+  bool published = false;
+  uint64_t publish_retries = 0;
+  for (size_t attempt = 0;; ++attempt) {
+    if (!RPE_INJECT_FAULT("trainer.publish")) {
+      generation = service_->SwapModels(stack);
+      published = true;
+      break;
+    }
+    if (attempt >= options_.publish_retries) break;
+    ++publish_retries;
+    std::this_thread::sleep_for(BackoffDelay(options_.retry_backoff, attempt));
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    snapshot_write_failures_ += snapshot_failures;
+    snapshot_write_retries_ += snapshot_retries;
+    publish_retries_ += publish_retries;
+  }
+  if (!published) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++publish_failures_;
+    }
+    FailCycleLocked("publish failed");
+    return;
+  }
+
   new_since_retrain_ = 0;
   has_pending_since_ = false;
   last_retrain_time_ = Clock::now();
   const double retrain_ms =
       std::chrono::duration<double, std::milli>(last_retrain_time_ - start)
           .count();
+  const bool recovered = consecutive_failures_ > 0;
+  consecutive_failures_ = 0;
 
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++retrains_;
+    if (recovered) ++retrain_recoveries_;
+    last_swap_generation_ = generation;
+    corpus_size_ = corpus_.size();
+    last_retrain_ms_ = retrain_ms;
+  }
+  // Observe-only sync hook: tests wait for the nth successful publish
+  // here (FailPoints::WaitForHits) instead of polling retrains().
+  (void)RPE_INJECT_FAULT("trainer.retrain.done");
+}
+
+void TrainerLoop::FailCycleLocked(const char* what) {
+  ++consecutive_failures_;
+  quarantine_until_ =
+      Clock::now() + BackoffDelay(options_.retrain_quarantine,
+                                  consecutive_failures_ - 1);
+  std::cerr << "trainer_loop: " << what << " (failure streak "
+            << consecutive_failures_
+            << "); serving the previous generation, quarantined\n";
   std::lock_guard<std::mutex> lock(stats_mu_);
-  ++retrains_;
-  last_swap_generation_ = generation;
-  snapshot_write_failures_ += snapshot_failures;
-  corpus_size_ = corpus_.size();
-  last_retrain_ms_ = retrain_ms;
+  ++retrain_failures_;
 }
 
 uint64_t TrainerLoop::retrains() const {
@@ -149,7 +230,12 @@ IngestStats TrainerLoop::GetStats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats.retrains = retrains_;
   stats.last_swap_generation = last_swap_generation_;
+  stats.retrain_failures = retrain_failures_;
+  stats.retrain_recoveries = retrain_recoveries_;
   stats.snapshot_write_failures = snapshot_write_failures_;
+  stats.snapshot_write_retries = snapshot_write_retries_;
+  stats.publish_failures = publish_failures_;
+  stats.publish_retries = publish_retries_;
   stats.last_retrain_ms = last_retrain_ms_;
   // Live corpus size when the loop is idle; the post-retrain size while a
   // retrain is in flight (run_mu_ is not taken here so stats never stall

@@ -13,6 +13,19 @@
 //   * staleness — `max_staleness` elapsed since the last retrain while at
 //     least one new record is pending (0 disables the timer).
 //
+// Failure semantics (see docs/ROBUSTNESS.md): the loop degrades, it never
+// stops serving. A failed snapshot write is retried with bounded
+// exponential backoff and, when exhausted, counted — the publish still
+// goes out. A failed retrain or publish quarantines the loop (exponential
+// deferral of the next attempt) while sessions keep scoring on the last
+// published generation; the pending-record counters stay set, so the next
+// cycle out of quarantine retries, and a success is counted as a
+// recovery. Every failure/retry/recovery is an exact counter in
+// IngestStats, surfaced through MonitorService::Stats. Stop() completes
+// cleanly under any of these faults. The failure edges carry failpoints
+// ("trainer.retrain", "trainer.publish", "snapshot.write" — see
+// common/failpoint.h) so every path is deterministically testable.
+//
 // Threading contract: Start spawns the single consumer thread; Stop joins
 // it and then performs one final synchronous drain + threshold check so
 // every record accepted by the queue before Close/Stop is accounted for
@@ -61,9 +74,24 @@ class TrainerLoop {
     /// MART training parameters (params.pool selects the worker pool).
     MartParams params;
     /// When non-empty, every retrained stack is also written here as a
-    /// binary .rpsn snapshot (best effort: a failed write is counted but
-    /// does not block the publish).
+    /// binary .rpsn snapshot. A failed write is retried up to
+    /// `snapshot_write_retries` times with exponential backoff; exhausting
+    /// the retries is counted but never blocks the publish.
     std::string snapshot_path;
+    /// Retry attempts after a failed snapshot write (0 = no retries).
+    size_t snapshot_write_retries = 3;
+    /// Retry attempts after a failed model publish. Exhausting them drops
+    /// the retrained stack and leaves the pending counters set, so a later
+    /// cycle retrains and retries.
+    size_t publish_retries = 3;
+    /// First retry delay; doubles per attempt, capped at 64x. Applies to
+    /// snapshot-write and publish retries.
+    std::chrono::milliseconds retry_backoff{1};
+    /// Quarantine after a failed retrain/publish cycle: the next retrain
+    /// attempt is deferred by retrain_quarantine * 2^(consecutive failures
+    /// - 1), capped at 64x, while the previous generation keeps serving.
+    /// 0 disables the deferral (each trigger may retry immediately).
+    std::chrono::milliseconds retrain_quarantine{100};
   };
 
   /// `queue` and `service` must outlive the loop. `service` is any
@@ -112,6 +140,9 @@ class TrainerLoop {
   void MergeBatchLocked(std::vector<PipelineRecord>* batch);
   /// Retrain + publish if a trigger trips (caller holds run_mu_).
   void MaybeRetrainLocked();
+  /// Record a failed retrain/publish cycle and enter quarantine (caller
+  /// holds run_mu_, not stats_mu_).
+  void FailCycleLocked(const char* what);
 
   RecordIngestQueue* const queue_;
   ModelPublisher* const service_;
@@ -124,10 +155,21 @@ class TrainerLoop {
   std::chrono::steady_clock::time_point last_retrain_time_;  // run_mu_
   bool has_pending_since_ = false;         // guarded by run_mu_
 
+  /// Consecutive failed retrain/publish cycles; sets the quarantine
+  /// deferral and is reset (counting a recovery) by the next success.
+  /// Guarded by run_mu_.
+  uint64_t consecutive_failures_ = 0;
+  std::chrono::steady_clock::time_point quarantine_until_;  // run_mu_
+
   mutable std::mutex stats_mu_;
   uint64_t retrains_ = 0;
   uint64_t last_swap_generation_ = 0;
+  uint64_t retrain_failures_ = 0;
+  uint64_t retrain_recoveries_ = 0;
   uint64_t snapshot_write_failures_ = 0;
+  uint64_t snapshot_write_retries_ = 0;
+  uint64_t publish_failures_ = 0;
+  uint64_t publish_retries_ = 0;
   size_t corpus_size_ = 0;
   double last_retrain_ms_ = 0.0;
 

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "exec/executor.h"
 #include "harness/runner.h"
@@ -28,6 +29,24 @@ PipelineRecord LabeledRecord(const std::vector<PipelineRecord>& pool,
   r.query = "q" + std::to_string(i);
   return r;
 }
+
+/// Observe-only failpoint armed for the scope of one test: WaitForHits
+/// replaces sleep-based synchronization, and the disarm is exception- and
+/// assertion-failure-safe.
+class ScopedObserve {
+ public:
+  explicit ScopedObserve(std::string name) : name_(std::move(name)) {
+    FailPoints::Observe(name_);
+  }
+  ~ScopedObserve() { FailPoints::Disarm(name_); }
+  bool WaitForHits(uint64_t n, std::chrono::seconds timeout =
+                                   std::chrono::seconds(30)) const {
+    return FailPoints::WaitForHits(name_, n, timeout);
+  }
+
+ private:
+  const std::string name_;
+};
 
 MartParams TinyParams() {
   MartParams params;
@@ -107,22 +126,26 @@ TEST(RecordIngestQueueTest, DropAccountingIsExactUnderBackpressure) {
 TEST(RecordIngestQueueTest, WaitAndDrainWakesOnPushAndOnClose) {
   const auto pool = RandomRecords(2, 5);
   RecordIngestQueue queue(16);
+  // The "ingest.wait" sync hook fires as the consumer enters WaitAndDrain,
+  // so each producer thread acts only once the consumer is really parked —
+  // the wakeup itself is what's under test, with no sleep-tuned race.
+  const ScopedObserve entered("ingest.wait");
 
   std::thread producer([&] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_TRUE(entered.WaitForHits(1));
     queue.Push(LabeledRecord(pool, 0));
   });
   std::vector<PipelineRecord> out;
-  // Far below the 5s timeout: the push must wake the consumer.
-  EXPECT_EQ(queue.WaitAndDrain(&out, 8, std::chrono::seconds(5)), 1u);
+  // Far below the 30s timeout: the push must wake the consumer.
+  EXPECT_EQ(queue.WaitAndDrain(&out, 8, std::chrono::seconds(30)), 1u);
   producer.join();
 
   std::thread closer([&] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_TRUE(entered.WaitForHits(2));
     queue.Close();
   });
   out.clear();
-  EXPECT_EQ(queue.WaitAndDrain(&out, 8, std::chrono::seconds(5)), 0u);
+  EXPECT_EQ(queue.WaitAndDrain(&out, 8, std::chrono::seconds(30)), 0u);
   EXPECT_TRUE(queue.closed());
   closer.join();
 }
@@ -210,14 +233,12 @@ TEST(TrainerLoopTest, BackgroundThreadRetrainsAndStopDrainsTail) {
   TrainerLoop::Options options = TinyTrainerOptions();
   options.poll_interval = std::chrono::milliseconds(2);
   TrainerLoop trainer(&queue, &service, options);
+  // "trainer.retrain.done" fires after each successful publish: wait on
+  // the hook instead of polling retrains() on a sleep loop.
+  const ScopedObserve published("trainer.retrain.done");
   trainer.Start();
   for (size_t i = 0; i < 80; ++i) queue.Push(LabeledRecord(pool, i));
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(30);
-  while (trainer.retrains() == 0 &&
-         std::chrono::steady_clock::now() < deadline) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
+  EXPECT_TRUE(published.WaitForHits(1));
   EXPECT_GE(trainer.retrains(), 1u);
   queue.Close();
   trainer.Stop();

@@ -53,6 +53,7 @@
 #include <map>
 #include <string>
 
+#include "common/failpoint.h"
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
 #include "harness/experiment.h"
@@ -373,28 +374,36 @@ Status ExecuteServingWorkload(const WorkloadConfig& config,
   return Status::OK();
 }
 
-/// Initial serving stack: loaded from --model when given (zero-copy via
-/// the mmap arena with --mmap), else trained on `records` with --trees
-/// trees. Callers validate the flag combination up front
-/// (CheckMmapFlags) before running the workload.
-Result<std::shared_ptr<const SelectorStack>> InitialStack(
+/// Load the --model snapshot up front — before the (expensive) workload
+/// run — so a corrupt, truncated, or missing file fails in milliseconds
+/// with its Status on stderr and a nonzero exit. Returns nullptr when no
+/// --model flag was given (the stack is trained post-workload instead).
+Result<std::shared_ptr<const SelectorStack>> PreloadModel(
+    const std::map<std::string, std::string>& flags) {
+  if (flags.count("model") == 0) {
+    return std::shared_ptr<const SelectorStack>(nullptr);
+  }
+  const std::string& path = flags.at("model");
+  if (flags.count("mmap") > 0) {
+    RPE_ASSIGN_OR_RETURN(ArenaStackLoad loaded, LoadSelectorStackMmap(path));
+    std::cerr << "mmap-loaded selector stack from " << path << " ("
+              << (loaded.zero_copy ? "zero-copy" : "copy fallback") << ", "
+              << loaded.mapped_bytes << " bytes mapped)\n";
+    return loaded.stack;
+  }
+  RPE_ASSIGN_OR_RETURN(SelectorStack loaded, LoadSelectorStack(path));
+  std::cerr << "loaded selector stack from " << path << "\n";
+  return std::make_shared<const SelectorStack>(std::move(loaded));
+}
+
+/// Initial serving stack: the preloaded --model when given, else trained
+/// on `records` with --trees trees.
+std::shared_ptr<const SelectorStack> InitialStack(
     const std::map<std::string, std::string>& flags,
+    std::shared_ptr<const SelectorStack> preloaded,
     const std::vector<PipelineRecord>& records,
     const std::string& default_trees) {
-  if (flags.count("model") > 0) {
-    const std::string& path = flags.at("model");
-    if (flags.count("mmap") > 0) {
-      RPE_ASSIGN_OR_RETURN(ArenaStackLoad loaded,
-                           LoadSelectorStackMmap(path));
-      std::cerr << "mmap-loaded selector stack from " << path << " ("
-                << (loaded.zero_copy ? "zero-copy" : "copy fallback") << ", "
-                << loaded.mapped_bytes << " bytes mapped)\n";
-      return loaded.stack;
-    }
-    RPE_ASSIGN_OR_RETURN(SelectorStack loaded, LoadSelectorStack(path));
-    std::cerr << "loaded selector stack from " << path << "\n";
-    return std::make_shared<const SelectorStack>(std::move(loaded));
-  }
+  if (preloaded != nullptr) return preloaded;
   MartParams params = EstimatorSelector::DefaultParams();
   params.num_trees = std::stoi(FlagOr(flags, "trees", default_trees));
   std::cerr << "training selector stack on " << records.size()
@@ -441,6 +450,11 @@ int CmdServeReplay(const std::map<std::string, std::string>& flags) {
       return 2;
     }
   }
+  auto preloaded = PreloadModel(flags);
+  if (!preloaded.ok()) {
+    std::cerr << preloaded.status().ToString() << "\n";
+    return 1;
+  }
 
   std::vector<OwnedRun> runs;
   std::vector<PipelineRecord> records;
@@ -450,12 +464,8 @@ int CmdServeReplay(const std::map<std::string, std::string>& flags) {
     return 1;
   }
 
-  auto stack_result = InitialStack(flags, records, /*default_trees=*/"50");
-  if (!stack_result.ok()) {
-    std::cerr << stack_result.status().ToString() << "\n";
-    return 1;
-  }
-  std::shared_ptr<const SelectorStack> stack = *stack_result;
+  std::shared_ptr<const SelectorStack> stack =
+      InitialStack(flags, *preloaded, records, /*default_trees=*/"50");
 
   // One session per requested slot, cycling the executed runs.
   const size_t num_sessions = *sessions_flag;
@@ -537,6 +547,11 @@ int CmdServeOnline(const std::map<std::string, std::string>& flags) {
       return 2;
     }
   }
+  auto preloaded = PreloadModel(flags);
+  if (!preloaded.ok()) {
+    std::cerr << preloaded.status().ToString() << "\n";
+    return 1;
+  }
 
   std::vector<OwnedRun> runs;
   std::vector<PipelineRecord> records;
@@ -552,12 +567,8 @@ int CmdServeOnline(const std::map<std::string, std::string>& flags) {
   std::vector<PipelineRecord> seed(records.begin(),
                                    records.begin() + records.size() / 2);
   if (seed.empty()) seed = records;
-  auto stack_result = InitialStack(flags, seed, /*default_trees=*/"20");
-  if (!stack_result.ok()) {
-    std::cerr << stack_result.status().ToString() << "\n";
-    return 1;
-  }
-  std::shared_ptr<const SelectorStack> initial = *stack_result;
+  std::shared_ptr<const SelectorStack> initial =
+      InitialStack(flags, *preloaded, seed, /*default_trees=*/"20");
 
   ShardedMonitorService::Options service_options;
   service_options.num_shards = *shards;
@@ -662,6 +673,18 @@ int CmdServeOnline(const std::map<std::string, std::string>& flags) {
                 std::to_string(stats.total.ingest.dropped)});
   table.AddRow({"records drained",
                 std::to_string(stats.total.ingest.drained)});
+  table.AddRow({"retrain failures",
+                std::to_string(stats.total.ingest.retrain_failures)});
+  table.AddRow({"retrain recoveries",
+                std::to_string(stats.total.ingest.retrain_recoveries)});
+  table.AddRow({"snapshot write failures",
+                std::to_string(stats.total.ingest.snapshot_write_failures)});
+  table.AddRow({"snapshot write retries",
+                std::to_string(stats.total.ingest.snapshot_write_retries)});
+  table.AddRow({"publish failures",
+                std::to_string(stats.total.ingest.publish_failures)});
+  table.AddRow({"publish retries",
+                std::to_string(stats.total.ingest.publish_retries)});
   table.AddRow({"training corpus",
                 std::to_string(stats.total.ingest.corpus_size)});
   table.AddRow({"last retrain (ms)",
@@ -709,6 +732,13 @@ int Main(int argc, char** argv) {
   const auto flags = ParseFlags(argc, argv, 2);
   if (flags.count("threads") > 0) {
     ThreadPool::SetGlobalThreads(std::stoi(flags.at("threads")));
+  }
+  // Make fault-injection runs self-announcing: RPE_FAILPOINTS armed sites
+  // are listed up front so a chaos run is never mistaken for a clean one.
+  if (const auto armed = FailPoints::Armed(); !armed.empty()) {
+    std::cerr << "failpoints armed:";
+    for (const auto& name : armed) std::cerr << " " << name;
+    std::cerr << "\n";
   }
   if (cmd == "run") return CmdRun(flags);
   if (cmd == "train") return CmdTrain(flags);
