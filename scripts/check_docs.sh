@@ -4,10 +4,11 @@
 #      to an existing file,
 #   2. every `rpe_cli <subcommand>` documented in docs/CLI.md exists in
 #      the built binary's --help output, and
-#   3. every code symbol docs/TRAINING.md, docs/SERVING.md and
-#      docs/ROBUSTNESS.md reference in backticks still exists somewhere
-#      under src/ (or bench/, tests/, tools/ for bench rows, test files
-#      and CLI flags) — the guides must not drift from the code.
+#   3. every code symbol docs/TRAINING.md, docs/SERVING.md,
+#      docs/ROBUSTNESS.md and docs/NETWORK.md reference in backticks
+#      still exists somewhere under src/ (or bench/, tests/, tools/ for
+#      bench rows, test files and CLI flags) — the guides must not
+#      drift from the code.
 #
 # usage: scripts/check_docs.sh [path/to/rpe_cli]
 set -u
@@ -60,7 +61,8 @@ EOF
 # Backticked tokens that look like code symbols — qualified names
 # (`Class::Member`), CamelCase identifiers, or k-prefixed constants — must
 # appear somewhere in the sources. Lowercase/prose tokens are skipped.
-for guide in docs/TRAINING.md docs/SERVING.md docs/ROBUSTNESS.md; do
+for guide in docs/TRAINING.md docs/SERVING.md docs/ROBUSTNESS.md \
+  docs/NETWORK.md; do
   [ -f "$guide" ] || continue
   symbols=$(grep -oE '`[A-Za-z_][A-Za-z0-9_:()]*`' "$guide" |
     tr -d '\`' | sed 's/()$//' | sort -u)

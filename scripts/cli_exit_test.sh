@@ -49,7 +49,9 @@ expect_err "IOError" "$CLI" snapshot-load --in "$MISSING"
 
 # The serve commands must reject a bad --model up front (fail-fast: these
 # return within the preload, so a tiny workload config keeps them honest).
-for cmd in serve-replay serve-online; do
+# serve-tcp is included: a corrupt model must fail before the socket ever
+# binds, so nothing is listening when the Status lands on stderr.
+for cmd in serve-replay serve-online serve-tcp; do
   expect_err "InvalidArgument" \
     "$CLI" "$cmd" --kind tpch --queries 2 --scale 1 --model "$CORRUPT" --mmap
   expect_err "IOError" \
@@ -59,9 +61,25 @@ for cmd in serve-replay serve-online; do
 done
 
 # --mmap without --model is a flag error (exit 2), also pre-workload.
-"$CLI" serve-replay --kind tpch --queries 2 --scale 1 --mmap \
+for cmd in serve-replay serve-tcp; do
+  "$CLI" "$cmd" --kind tpch --queries 2 --scale 1 --mmap \
+    >/dev/null 2>&1
+  [ $? -eq 2 ] || fail "$cmd: --mmap without --model did not exit 2"
+done
+
+# serve-tcp flag contract: malformed or out-of-range values exit 2 with a
+# pointer at the docs, before any workload work starts.
+expect_err "invalid --port" \
+  "$CLI" serve-tcp --kind tpch --queries 2 --scale 1 --port 70000
+expect_err "invalid --port" \
+  "$CLI" serve-tcp --kind tpch --queries 2 --scale 1 --port banana
+expect_err "invalid --io-threads" \
+  "$CLI" serve-tcp --kind tpch --queries 2 --scale 1 --io-threads 9999
+expect_err "invalid --shards" \
+  "$CLI" serve-tcp --kind tpch --queries 2 --scale 1 --shards 0
+"$CLI" serve-tcp --kind tpch --queries 2 --scale 1 --port 70000 \
   >/dev/null 2>&1
-[ $? -eq 2 ] || fail "--mmap without --model did not exit 2"
+[ $? -eq 2 ] || fail "serve-tcp bad --port did not exit 2"
 
 # --- serve-online under a 100% snapshot-write fault -----------------------
 OUT="$WORK/serve_online.txt"

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# End-to-end smoke gate for the TCP serving front-end (wired into ctest
+# as `server_smoke` and run in the CI build matrix):
+#
+#   1. `rpe_cli serve-tcp` starts on an ephemeral port (4 shards) and
+#      prints the listening line.
+#   2. A closed-loop `rpe_loadgen` burst completes every requested
+#      session with zero errors, and its --check reconciliation passes:
+#      client opens/completions/steps match the server's StatsResponse
+#      counters exactly.
+#   3. An open-loop burst against the same server also exits clean.
+#   4. SIGTERM drains the server: it exits 0 and its final stats table
+#      reports every connection closed and zero protocol/io errors.
+#
+# Usage: server_smoke_test.sh <path-to-rpe_cli> <path-to-rpe_loadgen>
+set -u
+
+CLI="${1:?usage: server_smoke_test.sh <rpe_cli> <rpe_loadgen>}"
+LOADGEN="${2:?usage: server_smoke_test.sh <rpe_cli> <rpe_loadgen>}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/rpe_server_smoke.XXXXXX")"
+SRV_PID=""
+cleanup() {
+  [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fails=0
+note() { printf '%s\n' "$*"; }
+fail() { printf 'FAIL: %s\n' "$*"; fails=$((fails + 1)); }
+
+SRV_OUT="$WORK/server_stdout.txt"
+SRV_ERR="$WORK/server_stderr.txt"
+
+# --- start the server on an ephemeral port --------------------------------
+"$CLI" serve-tcp --kind tpch --queries 10 --scale 2 --shards 4 --trees 10 \
+  >"$SRV_OUT" 2>"$SRV_ERR" &
+SRV_PID=$!
+
+# The workload run + training dominate startup; poll for the listening
+# line (format pinned by rpe_cli serve-tcp).
+PORT=""
+for _ in $(seq 1 600); do
+  if ! kill -0 "$SRV_PID" 2>/dev/null; then
+    fail "server died during startup: $(cat "$SRV_ERR")"
+    exit 1
+  fi
+  PORT="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+          "$SRV_OUT" | head -n 1)"
+  [ -n "$PORT" ] && break
+  sleep 0.5
+done
+if [ -z "$PORT" ]; then
+  fail "server never printed its listening line: $(cat "$SRV_ERR")"
+  exit 1
+fi
+note "server up on port $PORT"
+
+# --- closed-loop burst with exact reconciliation --------------------------
+LG_OUT="$WORK/loadgen_closed.json"
+if ! "$LOADGEN" --port "$PORT" --connections 8 --sessions 48 --steps 32 \
+    --check >"$LG_OUT" 2>"$WORK/loadgen_closed_err.txt"; then
+  fail "closed-loop loadgen failed: $(cat "$WORK/loadgen_closed_err.txt")"
+fi
+JSON="$(tail -n 1 "$LG_OUT")"
+case "$JSON" in
+  *'"sessions_completed":48'*) ;;
+  *) fail "closed-loop run did not complete 48 sessions: $JSON" ;;
+esac
+case "$JSON" in
+  *'"errors":0'*) ;;
+  *) fail "closed-loop run reported errors: $JSON" ;;
+esac
+grep -q "counters reconcile exactly" "$WORK/loadgen_closed_err.txt" \
+  || fail "closed-loop reconciliation line missing"
+
+# --- open-loop burst (fixed arrival rate) ---------------------------------
+if ! "$LOADGEN" --port "$PORT" --connections 4 --sessions 20 --steps 16 \
+    --rate 200 >"$WORK/loadgen_open.json" \
+    2>"$WORK/loadgen_open_err.txt"; then
+  fail "open-loop loadgen failed: $(cat "$WORK/loadgen_open_err.txt")"
+fi
+case "$(tail -n 1 "$WORK/loadgen_open.json")" in
+  *'"sessions_completed":20'*) ;;
+  *) fail "open-loop run did not complete 20 sessions" ;;
+esac
+
+# --- SIGTERM drains to exit 0 ---------------------------------------------
+kill -TERM "$SRV_PID"
+SRV_RC=0
+wait "$SRV_PID" || SRV_RC=$?
+SRV_PID=""
+[ "$SRV_RC" -eq 0 ] || fail "server exited $SRV_RC after SIGTERM"
+
+table_value() {  # table_value <row-label-regex>
+  awk -F'|' "/$1/ {gsub(/ /,\"\",\$3); print \$3}" "$SRV_OUT" | head -n 1
+}
+ACCEPTED="$(table_value 'connections accepted')"
+CLOSED="$(table_value 'connections closed')"
+PROTO_ERRS="$(table_value 'protocol errors')"
+IO_ERRS="$(table_value 'io errors')"
+OPENED="$(table_value 'sessions opened')"
+COMPLETED="$(table_value 'sessions completed')"
+[ -n "$ACCEPTED" ] && [ "$ACCEPTED" = "$CLOSED" ] \
+  || fail "drain left connections open (accepted=$ACCEPTED closed=$CLOSED)"
+[ "$PROTO_ERRS" = "0" ] || fail "protocol errors: $PROTO_ERRS"
+[ "$IO_ERRS" = "0" ] || fail "io errors: $IO_ERRS"
+# 48 closed-loop + 20 open-loop sessions, all driven to completion.
+[ "$OPENED" = "68" ] || fail "server counted $OPENED opens, expected 68"
+[ "$COMPLETED" = "68" ] \
+  || fail "server counted $COMPLETED completions, expected 68"
+
+if [ "$fails" -ne 0 ]; then
+  note "$fails server smoke check(s) failed"
+  exit 1
+fi
+note "all server smoke checks passed"

@@ -1,0 +1,700 @@
+#include "serving/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <unordered_map>
+
+#include "common/failpoint.h"
+#include "common/logging.h"
+
+namespace rpe {
+namespace {
+
+/// Read-side scratch: one syscall's worth of bytes before they enter the
+/// frame decoder.
+constexpr size_t kReadChunk = 64 * 1024;
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+/// \brief One accepted socket: frame reassembly state, the FIFO of
+/// decoded-but-undispatched frames, the bounded write buffer, and the
+/// sessions it opened (closed with the connection). Owned by exactly one
+/// IO thread; nothing here is shared.
+struct TcpServer::Connection {
+  int fd = -1;
+  size_t shard = 0;  ///< every session of this connection opens here
+  FrameDecoder decoder;
+  /// Frames decoded but not yet dispatched. Dispatch stops at a deferred
+  /// Advance (response order is per-connection FIFO) and while reads are
+  /// paused by backpressure.
+  std::deque<WireFrame> inbox;
+  /// True while this connection has an Advance in the IO thread's batch;
+  /// later frames wait so responses keep request order.
+  bool advancing = false;
+  std::string wbuf;
+  size_t woff = 0;  ///< flushed prefix of wbuf
+  bool want_write = false;   ///< EPOLLOUT armed
+  bool paused_read = false;  ///< EPOLLIN disarmed by backpressure
+  bool dead = false;
+  std::vector<uint64_t> sessions;  ///< open session ids (global)
+
+  size_t pending_write() const { return wbuf.size() - woff; }
+};
+
+/// \brief One deferred Advance request inside an IO thread's per-iteration
+/// batch (see RunAdvanceBatch).
+struct TcpServer::AdvanceWork {
+  Connection* conn = nullptr;
+  uint64_t session = 0;
+  uint32_t budget = 0;
+  uint32_t taken = 0;
+  double progress = 0.0;
+  bool done = false;
+  bool retired = false;
+  Status error;  ///< non-OK: answered as an error frame
+};
+
+/// \brief Per-IO-thread state: the epoll instance, an eventfd for
+/// accept handoff + shutdown wakeup, the owned connections, and relaxed
+/// atomic counters (read by GetStats from other threads).
+struct TcpServer::IoThread {
+  size_t index = 0;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::thread thread;
+
+  std::mutex handoff_mu;
+  std::vector<int> handoff;  ///< accepted fds awaiting adoption
+
+  std::unordered_map<int, std::unique_ptr<Connection>> conns;
+  std::vector<AdvanceWork> batch;
+
+  // Counters are written only by this thread; GetStats sums them from
+  // outside, so they are relaxed atomics rather than plain fields.
+  std::atomic<uint64_t> frames_received{0};
+  std::atomic<uint64_t> frames_sent{0};
+  std::atomic<uint64_t> bytes_received{0};
+  std::atomic<uint64_t> bytes_sent{0};
+  std::atomic<uint64_t> protocol_errors{0};
+  std::atomic<uint64_t> io_errors{0};
+  std::atomic<uint64_t> connections_closed{0};
+  std::atomic<uint64_t> wire_sessions_opened{0};
+  std::atomic<uint64_t> wire_sessions_closed{0};
+  std::atomic<uint64_t> advance_steps{0};
+};
+
+TcpServer::TcpServer(ShardedMonitorService* service,
+                     std::vector<const QueryRunResult*> runs, Options options)
+    : service_(service), runs_(std::move(runs)), options_(options) {
+  RPE_CHECK(service_ != nullptr);
+  RPE_CHECK(!runs_.empty());
+}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start() {
+  RPE_CHECK(!started_);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const Status st = Errno("bind");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, SOMAXCONN) < 0) {
+    const Status st = Errno("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    const Status st = Errno("getsockname");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  port_ = ntohs(addr.sin_port);
+
+  acceptor_wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (acceptor_wake_fd_ < 0) {
+    const Status st = Errno("eventfd");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+
+  const size_t n_threads = options_.io_threads > 0 ? options_.io_threads
+                                                   : service_->num_shards();
+  for (size_t t = 0; t < n_threads; ++t) {
+    auto io = std::make_unique<IoThread>();
+    io->index = t;
+    io->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    io->wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (io->epoll_fd < 0 || io->wake_fd < 0) {
+      const Status st = Errno("epoll_create1/eventfd");
+      if (io->epoll_fd >= 0) ::close(io->epoll_fd);
+      if (io->wake_fd >= 0) ::close(io->wake_fd);
+      // No thread has been spawned yet (they all start below, after every
+      // IoThread exists), so cleanup is just releasing fds.
+      for (auto& prev : io_threads_) {
+        ::close(prev->epoll_fd);
+        ::close(prev->wake_fd);
+      }
+      io_threads_.clear();
+      ::close(acceptor_wake_fd_);
+      ::close(listen_fd_);
+      acceptor_wake_fd_ = listen_fd_ = -1;
+      return st;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = io->wake_fd;
+    RPE_CHECK_EQ(
+        ::epoll_ctl(io->epoll_fd, EPOLL_CTL_ADD, io->wake_fd, &ev), 0);
+    io_threads_.push_back(std::move(io));
+  }
+  for (auto& io : io_threads_) {
+    IoThread* raw = io.get();
+    raw->thread = std::thread([this, raw] { IoLoop(raw); });
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void TcpServer::Stop() {
+  if (!started_ || joined_) return;
+  stop_.store(true);
+  uint64_t one = 1;
+  // Wake everyone: the acceptor out of poll(), each IO loop out of
+  // epoll_wait. Writes to eventfds cannot fail here short of fd loss.
+  [[maybe_unused]] ssize_t n =
+      ::write(acceptor_wake_fd_, &one, sizeof one);
+  for (auto& io : io_threads_) n = ::write(io->wake_fd, &one, sizeof one);
+  acceptor_.join();
+  for (auto& io : io_threads_) io->thread.join();
+  for (auto& io : io_threads_) {
+    ::close(io->epoll_fd);
+    ::close(io->wake_fd);
+  }
+  ::close(acceptor_wake_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  acceptor_wake_fd_ = listen_fd_ = -1;
+  joined_ = true;
+}
+
+void TcpServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {acceptor_wake_fd_, POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (stop_.load(std::memory_order_relaxed)) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    while (true) {
+      const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) break;  // EAGAIN or transient error; poll again
+      IoThread* io =
+          io_threads_[next_io_thread_.fetch_add(1) % io_threads_.size()]
+              .get();
+      if (RPE_INJECT_FAULT("server.accept")) {
+        // Injected accept failure: the connection is refused, the server
+        // keeps serving (counted as an IO error on the target thread).
+        ::close(fd);
+        io->io_errors.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      accepted_total_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(io->handoff_mu);
+        io->handoff.push_back(fd);
+      }
+      uint64_t note = 1;
+      [[maybe_unused]] ssize_t n = ::write(io->wake_fd, &note, sizeof note);
+    }
+  }
+}
+
+bool TcpServer::UpdateEpoll(IoThread* io, Connection* conn) {
+  epoll_event ev{};
+  ev.events = (conn->paused_read ? 0u : static_cast<uint32_t>(EPOLLIN)) |
+              (conn->want_write ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+  ev.data.fd = conn->fd;
+  return ::epoll_ctl(io->epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev) == 0;
+}
+
+void TcpServer::CloseConnection(IoThread* io, Connection* conn) {
+  if (conn->dead) return;
+  conn->dead = true;
+  // A dropped connection closes its sessions server-side — dangling
+  // sessions would otherwise pin run state and skew open-session counts.
+  for (uint64_t id : conn->sessions) {
+    service_->CloseSession(id);  // best effort; may already be closed
+    io->wire_sessions_closed.fetch_add(1, std::memory_order_relaxed);
+  }
+  conn->sessions.clear();
+  ::epoll_ctl(io->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  io->connections_closed.fetch_add(1, std::memory_order_relaxed);
+  io->conns.erase(conn->fd);  // frees *conn
+}
+
+void TcpServer::SendFrame(IoThread* io, Connection* conn, std::string frame) {
+  conn->wbuf.append(frame);
+  io->frames_sent.fetch_add(1, std::memory_order_relaxed);
+  if (conn->pending_write() > options_.max_write_buffer &&
+      !conn->paused_read) {
+    // Backpressure: stop reading (and thus dispatching) until the buffer
+    // drains below half — see FlushWrites.
+    conn->paused_read = true;
+    UpdateEpoll(io, conn);
+  }
+}
+
+bool TcpServer::FlushWrites(IoThread* io, Connection* conn) {
+  while (conn->pending_write() > 0) {
+    ssize_t n = ::write(conn->fd, conn->wbuf.data() + conn->woff,
+                        conn->pending_write());
+    if (RPE_INJECT_FAULT("server.write")) {
+      n = -1;
+      errno = ECONNRESET;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!conn->want_write) {
+          conn->want_write = true;
+          UpdateEpoll(io, conn);
+        }
+        return true;
+      }
+      if (errno == EINTR) continue;
+      io->io_errors.fetch_add(1, std::memory_order_relaxed);
+      CloseConnection(io, conn);
+      return false;
+    }
+    conn->woff += static_cast<size_t>(n);
+    io->bytes_sent.fetch_add(static_cast<uint64_t>(n),
+                             std::memory_order_relaxed);
+  }
+  conn->wbuf.clear();
+  conn->woff = 0;
+  bool dirty = false;
+  if (conn->want_write) {
+    conn->want_write = false;
+    dirty = true;
+  }
+  if (conn->paused_read &&
+      conn->pending_write() < options_.max_write_buffer / 2) {
+    conn->paused_read = false;
+    dirty = true;
+  }
+  if (dirty) UpdateEpoll(io, conn);
+  return true;
+}
+
+void TcpServer::HandleFrame(IoThread* io, Connection* conn,
+                            const WireFrame& frame) {
+  switch (frame.type) {
+    case MsgType::kOpen: {
+      const auto req = DecodeOpenRequest(frame.payload);
+      if (!req.ok()) {
+        io->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        SendFrame(io, conn, EncodeErrorFrame(MsgType::kOpen, req.status()));
+        return;
+      }
+      const uint32_t resolved =
+          static_cast<uint32_t>(req->run_index % runs_.size());
+      const QueryRunResult* run = runs_[resolved];
+      const auto id = service_->OpenSessionOnShard(run, conn->shard);
+      if (!id.ok()) {
+        SendFrame(io, conn, EncodeErrorFrame(MsgType::kOpen, id.status()));
+        return;
+      }
+      conn->sessions.push_back(*id);
+      io->wire_sessions_opened.fetch_add(1, std::memory_order_relaxed);
+      OpenResponse resp;
+      resp.session_id = *id;
+      resp.run_index = resolved;
+      resp.num_observations =
+          static_cast<uint32_t>(run->observations.size());
+      SendFrame(io, conn, EncodeOpenResponse(resp));
+      return;
+    }
+    case MsgType::kAdvance: {
+      const auto req = DecodeAdvanceRequest(frame.payload);
+      if (!req.ok()) {
+        io->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        SendFrame(io, conn,
+                  EncodeErrorFrame(MsgType::kAdvance, req.status()));
+        return;
+      }
+      AdvanceWork work;
+      work.conn = conn;
+      work.session = req->session_id;
+      work.budget = req->max_steps;
+      conn->advancing = true;  // holds later frames until answered
+      io->batch.push_back(work);
+      return;
+    }
+    case MsgType::kProgress: {
+      const auto req = DecodeProgressRequest(frame.payload);
+      if (!req.ok()) {
+        io->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        SendFrame(io, conn,
+                  EncodeErrorFrame(MsgType::kProgress, req.status()));
+        return;
+      }
+      const auto progress = service_->Progress(req->session_id);
+      if (!progress.ok()) {
+        SendFrame(io, conn,
+                  EncodeErrorFrame(MsgType::kProgress, progress.status()));
+        return;
+      }
+      const auto done = service_->Done(req->session_id);
+      ProgressResponse resp;
+      resp.progress = *progress;
+      resp.done = done.ok() && *done ? 1 : 0;
+      SendFrame(io, conn, EncodeProgressResponse(resp));
+      return;
+    }
+    case MsgType::kClose: {
+      const auto req = DecodeCloseRequest(frame.payload);
+      if (!req.ok()) {
+        io->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        SendFrame(io, conn, EncodeErrorFrame(MsgType::kClose, req.status()));
+        return;
+      }
+      const Status closed = service_->CloseSession(req->session_id);
+      if (!closed.ok()) {
+        SendFrame(io, conn, EncodeErrorFrame(MsgType::kClose, closed));
+        return;
+      }
+      auto it = std::find(conn->sessions.begin(), conn->sessions.end(),
+                          req->session_id);
+      if (it != conn->sessions.end()) conn->sessions.erase(it);
+      io->wire_sessions_closed.fetch_add(1, std::memory_order_relaxed);
+      SendFrame(io, conn, EncodeCloseResponse());
+      return;
+    }
+    case MsgType::kStats: {
+      if (!frame.payload.empty()) {
+        io->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        SendFrame(io, conn,
+                  EncodeErrorFrame(
+                      MsgType::kStats,
+                      Status::InvalidArgument(
+                          "StatsRequest carries a nonempty payload")));
+        return;
+      }
+      SendFrame(io, conn, EncodeStatsResponse(BuildWireStats()));
+      return;
+    }
+  }
+  // Unreachable: FrameDecoder rejects unknown type bytes.
+  io->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TcpServer::DispatchInbox(IoThread* io, Connection* conn) {
+  while (!conn->inbox.empty() && !conn->advancing && !conn->paused_read &&
+         !conn->dead) {
+    const WireFrame frame = std::move(conn->inbox.front());
+    conn->inbox.pop_front();
+    HandleFrame(io, conn, frame);
+  }
+}
+
+void TcpServer::RunAdvanceBatch(IoThread* io) {
+  // Deficit round-robin over the batch: one observation step per pending
+  // request per round, so budgets interleave fairly (the front-end mirror
+  // of MonitorService::Tick's discipline). Bounded by the per-request
+  // kMaxAdvanceSteps cap the decoder enforces.
+  std::vector<AdvanceWork>& batch = io->batch;
+  size_t active = batch.size();
+  while (active > 0) {
+    for (AdvanceWork& w : batch) {
+      if (w.retired) continue;
+      const auto step = service_->Advance(w.session);
+      if (step.ok()) {
+        w.progress = *step;
+        ++w.taken;
+        io->advance_steps.fetch_add(1, std::memory_order_relaxed);
+        if (w.taken >= w.budget) {
+          const auto done = service_->Done(w.session);
+          w.done = done.ok() && *done;
+          w.retired = true;
+          --active;
+        }
+        continue;
+      }
+      if (step.status().code() == StatusCode::kOutOfRange) {
+        // Replay exhausted. If no step was taken this request, report the
+        // resting progress so the response is still well-formed.
+        if (w.taken == 0) {
+          const auto progress = service_->Progress(w.session);
+          if (progress.ok()) w.progress = *progress;
+        }
+        w.done = true;
+      } else {
+        w.error = step.status();
+      }
+      w.retired = true;
+      --active;
+    }
+  }
+  for (AdvanceWork& w : batch) {
+    Connection* conn = w.conn;
+    if (conn->dead) continue;
+    if (!w.error.ok()) {
+      SendFrame(io, conn, EncodeErrorFrame(MsgType::kAdvance, w.error));
+    } else {
+      AdvanceResponse resp;
+      resp.progress = w.progress;
+      resp.steps = w.taken;
+      resp.done = w.done ? 1 : 0;
+      SendFrame(io, conn, EncodeAdvanceResponse(resp));
+    }
+    conn->advancing = false;
+  }
+  batch.clear();
+}
+
+bool TcpServer::ReadInto(IoThread* io, Connection* conn) {
+  char chunk[kReadChunk];
+  while (!conn->paused_read) {
+    ssize_t n = ::read(conn->fd, chunk, sizeof chunk);
+    if (RPE_INJECT_FAULT("server.read")) {
+      n = -1;
+      errno = ECONNRESET;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      io->io_errors.fetch_add(1, std::memory_order_relaxed);
+      CloseConnection(io, conn);
+      return false;
+    }
+    if (n == 0) {  // peer closed
+      CloseConnection(io, conn);
+      return false;
+    }
+    io->bytes_received.fetch_add(static_cast<uint64_t>(n),
+                                 std::memory_order_relaxed);
+    conn->decoder.Feed(chunk, static_cast<size_t>(n));
+    while (true) {
+      WireFrame frame;
+      auto next = conn->decoder.Next(&frame);
+      bool forced = false;
+      if (next.ok() && *next && RPE_INJECT_FAULT("server.frame")) {
+        // Injected framing fault: treat the frame as hostile.
+        next = Status::IOError("injected failure: server.frame");
+        forced = true;
+      }
+      if (!next.ok()) {
+        // Hostile header (or injected framing fault): the stream cannot
+        // be re-synchronized. Answer with the error, flush, drop.
+        io->protocol_errors.fetch_add(forced ? 0 : 1,
+                                      std::memory_order_relaxed);
+        if (forced) io->io_errors.fetch_add(1, std::memory_order_relaxed);
+        SendFrame(io, conn,
+                  EncodeErrorFrame(MsgType::kStats, next.status()));
+        FlushWrites(io, conn);
+        if (!conn->dead) CloseConnection(io, conn);
+        return false;
+      }
+      if (!*next) break;
+      io->frames_received.fetch_add(1, std::memory_order_relaxed);
+      conn->inbox.push_back(std::move(frame));
+    }
+  }
+  return true;
+}
+
+void TcpServer::IoLoop(IoThread* io) {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (true) {
+    const bool stopping = stop_.load(std::memory_order_relaxed);
+    if (stopping) break;
+    const int n = ::epoll_wait(io->epoll_fd, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == io->wake_fd) {
+        uint64_t drained = 0;
+        [[maybe_unused]] ssize_t r =
+            ::read(io->wake_fd, &drained, sizeof drained);
+        // Adopt handed-off connections.
+        std::vector<int> adopted;
+        {
+          std::lock_guard<std::mutex> lock(io->handoff_mu);
+          adopted.swap(io->handoff);
+        }
+        for (int cfd : adopted) {
+          auto conn = std::make_unique<Connection>();
+          conn->fd = cfd;
+          conn->shard = io->index % service_->num_shards();
+          epoll_event ev{};
+          ev.events = EPOLLIN;
+          ev.data.fd = cfd;
+          if (::epoll_ctl(io->epoll_fd, EPOLL_CTL_ADD, cfd, &ev) != 0) {
+            ::close(cfd);
+            io->io_errors.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          io->conns.emplace(cfd, std::move(conn));
+        }
+        continue;
+      }
+      auto it = io->conns.find(fd);
+      if (it == io->conns.end()) continue;
+      Connection* conn = it->second.get();
+      const uint32_t ev = events[i].events;
+      if ((ev & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConnection(io, conn);
+        continue;
+      }
+      if ((ev & EPOLLOUT) != 0 && !FlushWrites(io, conn)) continue;
+      if ((ev & EPOLLIN) != 0 && !ReadInto(io, conn)) continue;
+    }
+    // Batched dispatch: every readable connection has decoded its frames;
+    // answer cheap requests inline and interleave the Advance work
+    // deficit-fairly, repeating until all frames decoded this iteration
+    // are answered (each pass consumes at least one frame). Flushing can
+    // lift a backpressure pause, which re-enables dispatch for frames the
+    // pause was holding — hence the outer loop.
+    bool dispatchable = true;
+    while (dispatchable) {
+      while (true) {
+        for (auto& [fd, conn] : io->conns) DispatchInbox(io, conn.get());
+        if (io->batch.empty()) break;
+        RunAdvanceBatch(io);
+      }
+      // One flush per touched connection: responses for a whole batch
+      // leave in as few write() calls as the kernel allows.
+      for (auto it2 = io->conns.begin(); it2 != io->conns.end();) {
+        Connection* conn = (it2++)->second.get();
+        if (conn->pending_write() > 0) FlushWrites(io, conn);
+      }
+      dispatchable = false;
+      for (auto& [fd, conn] : io->conns) {
+        if (!conn->inbox.empty() && !conn->advancing &&
+            !conn->paused_read) {
+          dispatchable = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Drain: stop reading, flush what is already queued (bounded by
+  // drain_timeout), then close everything — sessions included.
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.drain_timeout;
+  // Answer frames already decoded before the stop landed.
+  while (true) {
+    for (auto& [fd, conn] : io->conns) DispatchInbox(io, conn.get());
+    if (io->batch.empty()) break;
+    RunAdvanceBatch(io);
+  }
+  bool pending = true;
+  while (pending && std::chrono::steady_clock::now() < deadline) {
+    pending = false;
+    for (auto it = io->conns.begin(); it != io->conns.end();) {
+      Connection* conn = (it++)->second.get();
+      if (conn->pending_write() == 0) continue;
+      if (!FlushWrites(io, conn)) continue;  // conn died and was erased
+      if (!conn->dead && conn->pending_write() > 0) pending = true;
+    }
+    if (pending) {
+      ::epoll_wait(io->epoll_fd, events, kMaxEvents, 10);
+    }
+  }
+  while (!io->conns.empty()) {
+    CloseConnection(io, io->conns.begin()->second.get());
+  }
+}
+
+TcpServerStats TcpServer::GetStats() const {
+  TcpServerStats s;
+  s.connections_accepted =
+      accepted_total_.load(std::memory_order_relaxed);
+  for (const auto& io : io_threads_) {
+    s.connections_closed +=
+        io->connections_closed.load(std::memory_order_relaxed);
+    s.frames_received += io->frames_received.load(std::memory_order_relaxed);
+    s.frames_sent += io->frames_sent.load(std::memory_order_relaxed);
+    s.bytes_received += io->bytes_received.load(std::memory_order_relaxed);
+    s.bytes_sent += io->bytes_sent.load(std::memory_order_relaxed);
+    s.protocol_errors +=
+        io->protocol_errors.load(std::memory_order_relaxed);
+    s.io_errors += io->io_errors.load(std::memory_order_relaxed);
+    s.wire_sessions_opened +=
+        io->wire_sessions_opened.load(std::memory_order_relaxed);
+    s.wire_sessions_closed +=
+        io->wire_sessions_closed.load(std::memory_order_relaxed);
+    s.advance_steps += io->advance_steps.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+WireStats TcpServer::BuildWireStats() const {
+  const ShardedMonitorService::Stats svc = service_->GetStats();
+  const TcpServerStats tcp = GetStats();
+  WireStats w;
+  w.sessions_opened = svc.total.sessions_opened;
+  w.sessions_completed = svc.total.sessions_completed;
+  w.decisions = svc.total.decisions;
+  w.observations_scored = svc.total.observations_scored;
+  w.model_generation = svc.total.model_generation;
+  w.connections_accepted = tcp.connections_accepted;
+  w.connections_closed = tcp.connections_closed;
+  w.frames_received = tcp.frames_received;
+  w.frames_sent = tcp.frames_sent;
+  w.bytes_received = tcp.bytes_received;
+  w.bytes_sent = tcp.bytes_sent;
+  w.protocol_errors = tcp.protocol_errors;
+  w.io_errors = tcp.io_errors;
+  w.wire_sessions_opened = tcp.wire_sessions_opened;
+  w.wire_sessions_closed = tcp.wire_sessions_closed;
+  w.advance_steps = tcp.advance_steps;
+  w.p50_replay_ms = svc.total.p50_replay_ms;
+  w.p95_replay_ms = svc.total.p95_replay_ms;
+  return w;
+}
+
+}  // namespace rpe

@@ -1,0 +1,159 @@
+// TcpServer: the epoll TCP front-end of the serving tier. Untrusted
+// clients speak the length-prefixed wire protocol (serving/wire.h) —
+// Open/Advance/Progress/Close/Stats — against a ShardedMonitorService;
+// this file turns "traffic enters via in-process replay" into "traffic
+// enters via a socket" without adding a single lock to the scoring path.
+//
+// Threading / pinning model: N IO threads, each owning one epoll
+// instance and a disjoint set of connections. Accepted connections are
+// handed out round-robin and never migrate. IO thread t opens its
+// connections' sessions on monitor shard (t % num_shards) via
+// ShardedMonitorService::OpenSessionOnShard, so with io_threads ==
+// num_shards (the default) the event loops align 1:1 with shards and a
+// request never crosses a shard lock it didn't need — the only
+// contention on a session's shard comes from the one IO thread that owns
+// the session, plus the service-level Tick/publish machinery.
+//
+// Batched decode → deficit-fair advance: an IO thread drains every
+// readable connection first, decoding all complete frames, answering
+// cheap requests inline and deferring Advance work into a per-iteration
+// batch. The batch then runs as a deficit round-robin — one observation
+// step per pending request per round, exactly the service Tick's
+// fairness discipline — so a connection asking for 4096 steps cannot
+// starve one asking for 1. Per-connection FIFO response order is
+// preserved: a connection's later frames are not dispatched until its
+// deferred Advance has been answered.
+//
+// Backpressure: a connection's pending responses accumulate in a bounded
+// write buffer. When it exceeds Options::max_write_buffer the server
+// stops reading (and stops dispatching) from that connection until the
+// buffer drains below half — a slow reader throttles itself, never the
+// event loop or other connections.
+//
+// Shutdown: Stop() closes the listen socket, wakes every IO thread,
+// flushes pending write buffers for up to Options::drain_timeout, closes
+// every connection (closing its sessions), and joins the threads — a
+// SIGTERM'd server exits 0 with reconciled counters. Failure edges are
+// failpoint-instrumented (server.accept / server.read / server.write /
+// server.frame — see docs/ROBUSTNESS.md) so fault drills can hit the
+// wire the same way they hit snapshots and the trainer.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "serving/shard_router.h"
+#include "serving/wire.h"
+
+namespace rpe {
+
+/// \brief Exact counters of the TCP front-end, summed over IO threads.
+/// (The serving-tier counters live in ShardedMonitorService::Stats; a
+/// StatsResponse over the wire carries both.)
+struct TcpServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t frames_received = 0;
+  uint64_t frames_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t protocol_errors = 0;  ///< hostile frames / payloads
+  uint64_t io_errors = 0;        ///< read/write/accept failures
+  uint64_t wire_sessions_opened = 0;
+  uint64_t wire_sessions_closed = 0;
+  uint64_t advance_steps = 0;  ///< observation steps taken for Advance
+};
+
+/// \brief Epoll event-loop TCP server over a ShardedMonitorService.
+/// Start/Stop are not thread-safe against each other; everything the IO
+/// threads do internally is.
+class TcpServer {
+ public:
+  struct Options {
+    /// TCP port to bind (loopback); 0 picks an ephemeral port — read it
+    /// back with port() after Start().
+    uint16_t port = 0;
+    /// IO threads (event loops); 0 = one per monitor shard (the 1:1
+    /// pinning the header comment describes).
+    size_t io_threads = 0;
+    /// Per-connection write-buffer cap; beyond it the connection's reads
+    /// pause until the buffer drains below half (backpressure).
+    size_t max_write_buffer = 1 << 20;
+    /// How long Stop() keeps flushing pending responses before closing
+    /// connections that still have unread bytes.
+    std::chrono::milliseconds drain_timeout{2000};
+  };
+
+  /// `service` and the runs behind `runs` must outlive the server. `runs`
+  /// is the replay corpus OpenRequest.run_index indexes into (modulo).
+  TcpServer(ShardedMonitorService* service,
+            std::vector<const QueryRunResult*> runs, Options options);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Bind + listen + spawn the acceptor and IO threads. Fails with a
+  /// Status (nothing spawned) if the socket setup fails.
+  Status Start();
+
+  /// Drain and stop everything; idempotent, called by the destructor.
+  void Stop();
+
+  /// Bound port (after a successful Start()).
+  uint16_t port() const { return port_; }
+
+  TcpServerStats GetStats() const;
+
+  /// The WireStats a StatsRequest returns right now (service + front-end
+  /// counters merged) — shared with the stats handler so tests and the
+  /// CLI summary read exactly what clients see.
+  WireStats BuildWireStats() const;
+
+ private:
+  struct Connection;
+  struct AdvanceWork;
+  struct IoThread;
+
+  void AcceptLoop();
+  void IoLoop(IoThread* io);
+  /// Read until EAGAIN, decode frames into the connection inbox. False =
+  /// the connection died (already cleaned up).
+  bool ReadInto(IoThread* io, Connection* conn);
+  /// Dispatch queued frames in FIFO order until an Advance defers or the
+  /// write buffer fills. Appends deferred Advance work to io->batch.
+  void DispatchInbox(IoThread* io, Connection* conn);
+  /// Run the deferred Advance batch deficit-fairly, answer each request.
+  void RunAdvanceBatch(IoThread* io);
+  /// Flush the write buffer; arms EPOLLOUT on partial writes, resumes
+  /// paused reads once drained. False = the connection died.
+  bool FlushWrites(IoThread* io, Connection* conn);
+  void SendFrame(IoThread* io, Connection* conn, std::string frame);
+  void CloseConnection(IoThread* io, Connection* conn);
+  void HandleFrame(IoThread* io, Connection* conn, const WireFrame& frame);
+  bool UpdateEpoll(IoThread* io, Connection* conn);
+
+  ShardedMonitorService* const service_;
+  const std::vector<const QueryRunResult*> runs_;
+  const Options options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  bool joined_ = false;
+
+  std::vector<std::unique_ptr<IoThread>> io_threads_;
+  std::thread acceptor_;
+  int acceptor_wake_fd_ = -1;  ///< eventfd that interrupts the acceptor
+  std::atomic<uint64_t> next_io_thread_{0};
+  std::atomic<uint64_t> accepted_total_{0};  ///< written by the acceptor
+};
+
+}  // namespace rpe

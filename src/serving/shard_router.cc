@@ -69,7 +69,18 @@ uint64_t ShardedMonitorService::model_generation() const {
 
 Result<ShardedMonitorService::SessionId> ShardedMonitorService::OpenSession(
     const QueryRunResult* run) {
-  const size_t shard = HashTicket(open_ticket_.fetch_add(1)) % shards_.size();
+  return OpenSessionOnShard(
+      run, HashTicket(open_ticket_.fetch_add(1)) % shards_.size());
+}
+
+Result<ShardedMonitorService::SessionId>
+ShardedMonitorService::OpenSessionOnShard(const QueryRunResult* run,
+                                          size_t shard) {
+  if (shard >= shards_.size()) {
+    return Status::InvalidArgument(
+        "OpenSessionOnShard: shard " + std::to_string(shard) +
+        " out of range (have " + std::to_string(shards_.size()) + ")");
+  }
   RPE_ASSIGN_OR_RETURN(SessionId local, shards_[shard]->OpenSession(run));
   // local >= 1, so global ids never collide across shards and id 0 stays
   // invalid. ShardOf/LocalId invert this encoding.

@@ -78,6 +78,14 @@ class ShardedMonitorService : public ModelPublisher {
 
   /// Session API, routed by id; semantics identical to MonitorService.
   Result<SessionId> OpenSession(const QueryRunResult* run);
+  /// Open on an explicit shard instead of the hashed ticket. The TCP
+  /// front-end (serving/server.h) pins each connection to one IO thread
+  /// and opens that connection's sessions on the aligned shard, so every
+  /// later Advance/Progress/Close from the connection touches only locks
+  /// its own IO thread already owns. The returned id routes through the
+  /// normal Advance/Progress/Close/Done calls.
+  Result<SessionId> OpenSessionOnShard(const QueryRunResult* run,
+                                       size_t shard);
   Result<double> Advance(SessionId id);
   Result<double> Progress(SessionId id) const;
   Result<bool> Done(SessionId id) const;

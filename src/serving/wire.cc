@@ -1,0 +1,319 @@
+#include "serving/wire.h"
+
+#include <type_traits>
+
+namespace rpe {
+namespace {
+
+/// Sequential little-endian writer. All wire integers are encoded with
+/// memcpy so the codec is alignment- and strict-aliasing-safe.
+class Writer {
+ public:
+  explicit Writer(size_t reserve) { out_.reserve(reserve); }
+
+  template <typename T>
+  void Put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    char raw[sizeof(T)];
+    std::memcpy(raw, &value, sizeof(T));
+    out_.append(raw, sizeof(T));
+  }
+
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Sequential bounds-checked reader over an untrusted payload.
+class Reader {
+ public:
+  explicit Reader(std::string_view payload) : payload_(payload) {}
+
+  template <typename T>
+  Status Get(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (payload_.size() - pos_ < sizeof(T)) {
+      return Status::InvalidArgument("wire payload truncated");
+    }
+    std::memcpy(out, payload_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::OK();
+  }
+
+  /// Typed payloads are fixed-size: trailing bytes are as much a protocol
+  /// violation as missing ones (a lying encoder, not a storage fault).
+  Status ExpectEnd() const {
+    if (pos_ != payload_.size()) {
+      return Status::InvalidArgument(
+          "wire payload has " + std::to_string(payload_.size() - pos_) +
+          " trailing byte(s)");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string_view payload_;
+  size_t pos_ = 0;
+};
+
+std::string FinishFrame(MsgType type, uint8_t status, Writer* payload) {
+  return EncodeFrame(type, status, payload->Take());
+}
+
+}  // namespace
+
+Status WireFrame::ToStatus() const {
+  if (status == 0) return Status::OK();
+  const auto code = static_cast<StatusCode>(status);
+  switch (code) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kNotImplemented:
+    case StatusCode::kInternal:
+    case StatusCode::kIOError:
+      return Status(code, payload);
+    case StatusCode::kOk:
+      break;
+  }
+  return Status::Internal("unknown wire status code " +
+                          std::to_string(int{status}) + ": " + payload);
+}
+
+std::string EncodeFrame(MsgType type, uint8_t status,
+                        std::string_view payload) {
+  Writer w(kFrameHeaderBytes + payload.size());
+  w.Put(static_cast<uint32_t>(payload.size()));
+  w.Put(static_cast<uint8_t>(type));
+  w.Put(status);
+  w.Put(static_cast<uint16_t>(0));  // reserved
+  std::string out = w.Take();
+  out.append(payload);
+  return out;
+}
+
+std::string EncodeErrorFrame(MsgType type, const Status& error) {
+  return EncodeFrame(type, static_cast<uint8_t>(error.code()),
+                     error.message());
+}
+
+std::string EncodeOpenRequest(const OpenRequest& m) {
+  Writer w(4);
+  w.Put(m.run_index);
+  return FinishFrame(MsgType::kOpen, 0, &w);
+}
+
+std::string EncodeOpenResponse(const OpenResponse& m) {
+  Writer w(16);
+  w.Put(m.session_id);
+  w.Put(m.run_index);
+  w.Put(m.num_observations);
+  return FinishFrame(MsgType::kOpen, 0, &w);
+}
+
+std::string EncodeAdvanceRequest(const AdvanceRequest& m) {
+  Writer w(12);
+  w.Put(m.session_id);
+  w.Put(m.max_steps);
+  return FinishFrame(MsgType::kAdvance, 0, &w);
+}
+
+std::string EncodeAdvanceResponse(const AdvanceResponse& m) {
+  Writer w(13);
+  w.Put(m.progress);
+  w.Put(m.steps);
+  w.Put(m.done);
+  return FinishFrame(MsgType::kAdvance, 0, &w);
+}
+
+std::string EncodeProgressRequest(const ProgressRequest& m) {
+  Writer w(8);
+  w.Put(m.session_id);
+  return FinishFrame(MsgType::kProgress, 0, &w);
+}
+
+std::string EncodeProgressResponse(const ProgressResponse& m) {
+  Writer w(9);
+  w.Put(m.progress);
+  w.Put(m.done);
+  return FinishFrame(MsgType::kProgress, 0, &w);
+}
+
+std::string EncodeCloseRequest(const CloseRequest& m) {
+  Writer w(8);
+  w.Put(m.session_id);
+  return FinishFrame(MsgType::kClose, 0, &w);
+}
+
+std::string EncodeCloseResponse() {
+  return EncodeFrame(MsgType::kClose, 0, {});
+}
+
+std::string EncodeStatsRequest() {
+  return EncodeFrame(MsgType::kStats, 0, {});
+}
+
+std::string EncodeStatsResponse(const WireStats& m) {
+  Writer w(16 * 8 + 2 * 8);
+  w.Put(m.sessions_opened);
+  w.Put(m.sessions_completed);
+  w.Put(m.decisions);
+  w.Put(m.observations_scored);
+  w.Put(m.model_generation);
+  w.Put(m.connections_accepted);
+  w.Put(m.connections_closed);
+  w.Put(m.frames_received);
+  w.Put(m.frames_sent);
+  w.Put(m.bytes_received);
+  w.Put(m.bytes_sent);
+  w.Put(m.protocol_errors);
+  w.Put(m.io_errors);
+  w.Put(m.wire_sessions_opened);
+  w.Put(m.wire_sessions_closed);
+  w.Put(m.advance_steps);
+  w.Put(m.p50_replay_ms);
+  w.Put(m.p95_replay_ms);
+  return FinishFrame(MsgType::kStats, 0, &w);
+}
+
+Result<OpenRequest> DecodeOpenRequest(std::string_view payload) {
+  Reader r(payload);
+  OpenRequest m;
+  RPE_RETURN_NOT_OK(r.Get(&m.run_index));
+  RPE_RETURN_NOT_OK(r.ExpectEnd());
+  return m;
+}
+
+Result<OpenResponse> DecodeOpenResponse(std::string_view payload) {
+  Reader r(payload);
+  OpenResponse m;
+  RPE_RETURN_NOT_OK(r.Get(&m.session_id));
+  RPE_RETURN_NOT_OK(r.Get(&m.run_index));
+  RPE_RETURN_NOT_OK(r.Get(&m.num_observations));
+  RPE_RETURN_NOT_OK(r.ExpectEnd());
+  return m;
+}
+
+Result<AdvanceRequest> DecodeAdvanceRequest(std::string_view payload) {
+  Reader r(payload);
+  AdvanceRequest m;
+  RPE_RETURN_NOT_OK(r.Get(&m.session_id));
+  RPE_RETURN_NOT_OK(r.Get(&m.max_steps));
+  RPE_RETURN_NOT_OK(r.ExpectEnd());
+  if (m.max_steps == 0 || m.max_steps > kMaxAdvanceSteps) {
+    return Status::InvalidArgument(
+        "AdvanceRequest.max_steps " + std::to_string(m.max_steps) +
+        " outside [1, " + std::to_string(kMaxAdvanceSteps) + "]");
+  }
+  return m;
+}
+
+Result<AdvanceResponse> DecodeAdvanceResponse(std::string_view payload) {
+  Reader r(payload);
+  AdvanceResponse m;
+  RPE_RETURN_NOT_OK(r.Get(&m.progress));
+  RPE_RETURN_NOT_OK(r.Get(&m.steps));
+  RPE_RETURN_NOT_OK(r.Get(&m.done));
+  RPE_RETURN_NOT_OK(r.ExpectEnd());
+  return m;
+}
+
+Result<ProgressRequest> DecodeProgressRequest(std::string_view payload) {
+  Reader r(payload);
+  ProgressRequest m;
+  RPE_RETURN_NOT_OK(r.Get(&m.session_id));
+  RPE_RETURN_NOT_OK(r.ExpectEnd());
+  return m;
+}
+
+Result<ProgressResponse> DecodeProgressResponse(std::string_view payload) {
+  Reader r(payload);
+  ProgressResponse m;
+  RPE_RETURN_NOT_OK(r.Get(&m.progress));
+  RPE_RETURN_NOT_OK(r.Get(&m.done));
+  RPE_RETURN_NOT_OK(r.ExpectEnd());
+  return m;
+}
+
+Result<CloseRequest> DecodeCloseRequest(std::string_view payload) {
+  Reader r(payload);
+  CloseRequest m;
+  RPE_RETURN_NOT_OK(r.Get(&m.session_id));
+  RPE_RETURN_NOT_OK(r.ExpectEnd());
+  return m;
+}
+
+Result<WireStats> DecodeStatsResponse(std::string_view payload) {
+  Reader r(payload);
+  WireStats m;
+  RPE_RETURN_NOT_OK(r.Get(&m.sessions_opened));
+  RPE_RETURN_NOT_OK(r.Get(&m.sessions_completed));
+  RPE_RETURN_NOT_OK(r.Get(&m.decisions));
+  RPE_RETURN_NOT_OK(r.Get(&m.observations_scored));
+  RPE_RETURN_NOT_OK(r.Get(&m.model_generation));
+  RPE_RETURN_NOT_OK(r.Get(&m.connections_accepted));
+  RPE_RETURN_NOT_OK(r.Get(&m.connections_closed));
+  RPE_RETURN_NOT_OK(r.Get(&m.frames_received));
+  RPE_RETURN_NOT_OK(r.Get(&m.frames_sent));
+  RPE_RETURN_NOT_OK(r.Get(&m.bytes_received));
+  RPE_RETURN_NOT_OK(r.Get(&m.bytes_sent));
+  RPE_RETURN_NOT_OK(r.Get(&m.protocol_errors));
+  RPE_RETURN_NOT_OK(r.Get(&m.io_errors));
+  RPE_RETURN_NOT_OK(r.Get(&m.wire_sessions_opened));
+  RPE_RETURN_NOT_OK(r.Get(&m.wire_sessions_closed));
+  RPE_RETURN_NOT_OK(r.Get(&m.advance_steps));
+  RPE_RETURN_NOT_OK(r.Get(&m.p50_replay_ms));
+  RPE_RETURN_NOT_OK(r.Get(&m.p95_replay_ms));
+  RPE_RETURN_NOT_OK(r.ExpectEnd());
+  return m;
+}
+
+Result<bool> FrameDecoder::Next(WireFrame* frame) {
+  const size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderBytes) {
+    // Reclaim the consumed prefix while idle so a long-lived connection
+    // does not grow the buffer without bound.
+    if (pos_ > 0 && avail == 0) {
+      buf_.clear();
+      pos_ = 0;
+    }
+    return false;
+  }
+  uint32_t payload_len = 0;
+  uint8_t type = 0;
+  uint8_t status = 0;
+  uint16_t reserved = 0;
+  const char* head = buf_.data() + pos_;
+  std::memcpy(&payload_len, head, 4);
+  std::memcpy(&type, head + 4, 1);
+  std::memcpy(&status, head + 5, 1);
+  std::memcpy(&reserved, head + 6, 2);
+  if (payload_len > max_payload_) {
+    return Status::InvalidArgument(
+        "wire frame payload length " + std::to_string(payload_len) +
+        " exceeds the " + std::to_string(max_payload_) + "-byte cap");
+  }
+  if (type < kMinMsgType || type > kMaxMsgType) {
+    return Status::InvalidArgument("unknown wire message type " +
+                                   std::to_string(int{type}));
+  }
+  if (reserved != 0) {
+    return Status::InvalidArgument(
+        "wire frame reserved bits are nonzero (version mismatch?)");
+  }
+  if (avail < kFrameHeaderBytes + payload_len) return false;
+  frame->type = static_cast<MsgType>(type);
+  frame->status = status;
+  frame->payload.assign(head + kFrameHeaderBytes, payload_len);
+  pos_ += kFrameHeaderBytes + payload_len;
+  // Compact once the consumed prefix dominates the buffer: amortized O(1)
+  // per byte, keeps the resident footprint near the unread tail.
+  if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return true;
+}
+
+}  // namespace rpe

@@ -1,0 +1,222 @@
+// Wire protocol of the TCP serving front-end (serving/server.h): a
+// length-prefixed binary framing for the five session messages —
+// Open / Advance / Progress / Close / Stats — shared by the server and
+// the load generator (tools/rpe_loadgen.cc). The codec lives in its own
+// translation unit, with no socket anywhere in sight, so framing and
+// message encode/decode are unit-testable (tests/wire_test.cpp) and
+// fuzzable (tests/wire_fuzz_test.cpp) byte-for-byte.
+//
+// Frame layout (all integers little-endian, no padding):
+//
+//   offset  size  field
+//   0       4     payload_len   bytes after this 8-byte header;
+//                               must be <= kMaxPayloadBytes
+//   4       1     type          MsgType (1..5); anything else is rejected
+//   5       1     status        StatusCode; 0 on requests and successful
+//                               responses. A response with status != 0
+//                               carries the error message as its payload.
+//   6       2     reserved      must be zero (rejected otherwise) — the
+//                               version/extension escape hatch
+//   8       *     payload       fixed-layout message body (below)
+//
+// Requests and responses share the type byte; direction is implied by
+// who sent the frame. Every request gets exactly one response, in
+// request order per connection (the server's batch scheduler preserves
+// per-connection FIFO even while it interleaves Advance work across
+// connections — see serving/server.cc).
+//
+// Message payloads (sizes are exact; a typed decoder rejects any other
+// payload length with Status, never reads out of bounds):
+//
+//   OpenRequest      u32 run_index      (server resolves modulo its run set)
+//   OpenResponse     u64 session_id, u32 run_index (resolved),
+//                    u32 num_observations
+//   AdvanceRequest   u64 session_id, u32 max_steps (1..kMaxAdvanceSteps)
+//   AdvanceResponse  f64 progress, u32 steps (taken), u8 done
+//   ProgressRequest  u64 session_id
+//   ProgressResponse f64 progress, u8 done
+//   CloseRequest     u64 session_id
+//   CloseResponse    (empty)
+//   StatsRequest     (empty)
+//   StatsResponse    WireStats (fixed field order, see struct)
+//
+// Threat model: the decoder consumes untrusted bytes from the socket.
+// Hostile lengths, truncation, type/status garbage and payload-size lies
+// must all come back as Status (or "need more bytes"), never UB — this
+// is enforced by the seeded wire fuzz harness under ASan/UBSan in CI.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace rpe {
+
+/// Hard ceiling on a frame payload. Real payloads are tens of bytes; the
+/// cap exists so a hostile 4 GiB length prefix is rejected at the header,
+/// before any allocation sized by attacker-controlled input.
+inline constexpr size_t kMaxPayloadBytes = 1 << 20;
+
+/// Frame header size in bytes (see layout above).
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+/// Per-request ceiling on AdvanceRequest::max_steps: bounds the work one
+/// frame can demand from an IO thread.
+inline constexpr uint32_t kMaxAdvanceSteps = 1 << 16;
+
+/// \brief Message discriminator (the frame's `type` byte). Values are
+/// wire format — never renumber.
+enum class MsgType : uint8_t {
+  kOpen = 1,
+  kAdvance = 2,
+  kProgress = 3,
+  kClose = 4,
+  kStats = 5,
+};
+
+/// Smallest/largest valid MsgType values, for header validation.
+inline constexpr uint8_t kMinMsgType = 1;
+inline constexpr uint8_t kMaxMsgType = 5;
+
+/// \brief One complete decoded frame: header fields + owned payload.
+struct WireFrame {
+  MsgType type = MsgType::kOpen;
+  uint8_t status = 0;  ///< StatusCode; 0 = OK
+  std::string payload;
+
+  bool ok() const { return status == 0; }
+  /// Reconstruct the Status carried by an error response (OK when
+  /// status == 0). Unknown code bytes map to kInternal.
+  Status ToStatus() const;
+};
+
+// ---------------------------------------------------------------------------
+// Typed messages
+
+struct OpenRequest {
+  uint32_t run_index = 0;
+};
+
+struct OpenResponse {
+  uint64_t session_id = 0;
+  uint32_t run_index = 0;  ///< resolved (modulo the server's run set)
+  uint32_t num_observations = 0;
+};
+
+struct AdvanceRequest {
+  uint64_t session_id = 0;
+  uint32_t max_steps = 1;  ///< 1..kMaxAdvanceSteps
+};
+
+struct AdvanceResponse {
+  double progress = 0.0;  ///< after the last step taken
+  uint32_t steps = 0;     ///< observation steps actually taken
+  uint8_t done = 0;       ///< 1 once the replay is exhausted
+};
+
+struct ProgressRequest {
+  uint64_t session_id = 0;
+};
+
+struct ProgressResponse {
+  double progress = 0.0;
+  uint8_t done = 0;
+};
+
+struct CloseRequest {
+  uint64_t session_id = 0;
+};
+
+/// \brief StatsResponse payload: the serving tier's counters as seen over
+/// the wire, plus the front-end's own IO counters. Field order is wire
+/// format — append, never reorder.
+struct WireStats {
+  // ShardedMonitorService counters (exact sums across shards).
+  uint64_t sessions_opened = 0;
+  uint64_t sessions_completed = 0;
+  uint64_t decisions = 0;
+  uint64_t observations_scored = 0;
+  uint64_t model_generation = 0;
+  // TCP front-end counters (exact sums across IO threads).
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t frames_received = 0;
+  uint64_t frames_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t io_errors = 0;
+  uint64_t wire_sessions_opened = 0;
+  uint64_t wire_sessions_closed = 0;
+  uint64_t advance_steps = 0;
+  // Replay latency percentiles (milliseconds) from the service window.
+  double p50_replay_ms = 0.0;
+  double p95_replay_ms = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// Encoding (always succeeds; sizes are fixed and tiny)
+
+/// Raw frame assembly: header + payload. `status` is the StatusCode byte.
+std::string EncodeFrame(MsgType type, uint8_t status,
+                        std::string_view payload);
+
+/// A response frame carrying `error` for a request of type `type` (the
+/// message text is the payload; must not be OK).
+std::string EncodeErrorFrame(MsgType type, const Status& error);
+
+std::string EncodeOpenRequest(const OpenRequest& m);
+std::string EncodeOpenResponse(const OpenResponse& m);
+std::string EncodeAdvanceRequest(const AdvanceRequest& m);
+std::string EncodeAdvanceResponse(const AdvanceResponse& m);
+std::string EncodeProgressRequest(const ProgressRequest& m);
+std::string EncodeProgressResponse(const ProgressResponse& m);
+std::string EncodeCloseRequest(const CloseRequest& m);
+std::string EncodeCloseResponse();
+std::string EncodeStatsRequest();
+std::string EncodeStatsResponse(const WireStats& m);
+
+// ---------------------------------------------------------------------------
+// Decoding (bounds-checked; exact payload size required)
+
+Result<OpenRequest> DecodeOpenRequest(std::string_view payload);
+Result<OpenResponse> DecodeOpenResponse(std::string_view payload);
+Result<AdvanceRequest> DecodeAdvanceRequest(std::string_view payload);
+Result<AdvanceResponse> DecodeAdvanceResponse(std::string_view payload);
+Result<ProgressRequest> DecodeProgressRequest(std::string_view payload);
+Result<ProgressResponse> DecodeProgressResponse(std::string_view payload);
+Result<CloseRequest> DecodeCloseRequest(std::string_view payload);
+Result<WireStats> DecodeStatsResponse(std::string_view payload);
+
+/// \brief Incremental frame reassembly over an untrusted byte stream.
+/// Feed() appends whatever the socket produced (any chunking, including
+/// one byte at a time); Next() extracts complete frames. A hostile
+/// header — oversized length, unknown type, nonzero reserved bits —
+/// comes back as Status, after which the stream is unrecoverable and the
+/// connection must be dropped.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_payload = kMaxPayloadBytes)
+      : max_payload_(max_payload) {}
+
+  void Feed(const char* data, size_t n) { buf_.append(data, n); }
+  void Feed(std::string_view bytes) { buf_.append(bytes); }
+
+  /// True: *frame holds the next complete frame. False: more bytes are
+  /// needed (partial header or partial payload). Status: the header is
+  /// hostile and the stream cannot be re-synchronized.
+  Result<bool> Next(WireFrame* frame);
+
+  /// Bytes buffered but not yet consumed by Next().
+  size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  size_t max_payload_;
+  std::string buf_;
+  size_t pos_ = 0;  ///< consumed prefix of buf_
+};
+
+}  // namespace rpe

@@ -31,6 +31,16 @@
 //       (p50/p95 replay latency, decisions/sec). --mmap loads --model
 //       zero-copy through the snapshot arena.
 //
+//   rpe_cli serve-tcp --kind tpch --queries 40 [--port 0] [--shards 4]
+//                     [--io-threads 0] [--model stack.rpsn] [--mmap]
+//                     [--trees 50]
+//       Run a workload, then serve it over TCP (loopback) with the epoll
+//       front-end: Open/Advance/Progress/Close/Stats over the
+//       length-prefixed wire protocol (docs/NETWORK.md). Prints
+//       "listening on 127.0.0.1:<port>" once ready (--port 0 picks an
+//       ephemeral port), serves until SIGTERM/SIGINT, then drains, prints
+//       the serving stats, and exits 0. Drive it with rpe_loadgen.
+//
 //   rpe_cli serve-online --kind tpch --queries 40 [--sessions 64]
 //                        [--shards 4] [--model stack.rpsn] [--mmap]
 //                        [--retrain-every 48] [--queue-cap 1024]
@@ -47,11 +57,15 @@
 // RPE_NUM_THREADS env var, else hardware concurrency). Trained models are
 // identical at any thread count.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "common/failpoint.h"
 #include "common/table_printer.h"
@@ -60,6 +74,7 @@
 #include "harness/runner.h"
 #include "serving/mmap_arena.h"
 #include "serving/monitor_service.h"
+#include "serving/server.h"
 #include "serving/shard_router.h"
 #include "serving/snapshot.h"
 #include "serving/trainer_loop.h"
@@ -516,6 +531,111 @@ int CmdServeReplay(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// SIGTERM/SIGINT land here; the serve-tcp main loop polls the flag and
+/// runs the (non-async-signal-safe) drain outside the handler.
+volatile std::sig_atomic_t g_serve_tcp_stop = 0;
+
+void ServeTcpSignalHandler(int) { g_serve_tcp_stop = 1; }
+
+int CmdServeTcp(const std::map<std::string, std::string>& flags) {
+  auto parsed = ParseWorkloadFlags(flags, /*default_scale=*/"5",
+                                   /*default_queries=*/"40");
+  if (!parsed.ok()) {
+    std::cerr << parsed.status().ToString() << "\n";
+    return 1;
+  }
+  const WorkloadConfig& config = *parsed;
+
+  // Flag validation happens before the (expensive) workload run: a typo'd
+  // serve configuration must fail in milliseconds.
+  auto shards = ParseShards(flags);
+  auto port = ParseSizeFlag(flags, "port", "0", 0, 65535);
+  auto io_threads = ParseSizeFlag(flags, "io-threads", "0", 0, 256);
+  const Status mmap_ok = CheckMmapFlags(flags);
+  for (const Status& st :
+       {shards.status(), port.status(), io_threads.status(), mmap_ok}) {
+    if (!st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 2;
+    }
+  }
+  auto preloaded = PreloadModel(flags);
+  if (!preloaded.ok()) {
+    std::cerr << preloaded.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::vector<OwnedRun> runs;
+  std::vector<PipelineRecord> records;
+  const Status executed = ExecuteServingWorkload(config, &runs, &records);
+  if (!executed.ok()) {
+    std::cerr << executed.ToString() << "\n";
+    return 1;
+  }
+
+  std::shared_ptr<const SelectorStack> stack =
+      InitialStack(flags, *preloaded, records, /*default_trees=*/"50");
+
+  ShardedMonitorService::Options service_options;
+  service_options.num_shards = *shards;
+  ShardedMonitorService service(stack, service_options);
+
+  // The replay corpus OpenRequest.run_index indexes into (modulo).
+  std::vector<const QueryRunResult*> run_ptrs;
+  run_ptrs.reserve(runs.size());
+  for (const OwnedRun& run : runs) run_ptrs.push_back(&run.result);
+
+  TcpServer::Options server_options;
+  server_options.port = static_cast<uint16_t>(*port);
+  server_options.io_threads = *io_threads;
+  TcpServer server(&service, run_ptrs, server_options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << started.ToString() << "\n";
+    return 1;
+  }
+
+  g_serve_tcp_stop = 0;
+  std::signal(SIGTERM, ServeTcpSignalHandler);
+  std::signal(SIGINT, ServeTcpSignalHandler);
+  // The smoke test (scripts/server_smoke_test.sh) parses this line for
+  // the ephemeral port; keep the format stable.
+  std::cout << "listening on 127.0.0.1:" << server.port() << " ("
+            << service.num_shards() << " shards, " << run_ptrs.size()
+            << " runs)" << std::endl;
+  while (g_serve_tcp_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::cerr << "draining ...\n";
+  server.Stop();
+
+  const WireStats w = server.BuildWireStats();
+  TablePrinter table({"Metric", "Value"});
+  table.AddRow({"shards", std::to_string(service.num_shards())});
+  table.AddRow({"connections accepted",
+                std::to_string(w.connections_accepted)});
+  table.AddRow({"connections closed", std::to_string(w.connections_closed)});
+  table.AddRow({"frames received", std::to_string(w.frames_received)});
+  table.AddRow({"frames sent", std::to_string(w.frames_sent)});
+  table.AddRow({"bytes received", std::to_string(w.bytes_received)});
+  table.AddRow({"bytes sent", std::to_string(w.bytes_sent)});
+  table.AddRow({"protocol errors", std::to_string(w.protocol_errors)});
+  table.AddRow({"io errors", std::to_string(w.io_errors)});
+  table.AddRow({"sessions opened", std::to_string(w.sessions_opened)});
+  table.AddRow({"sessions completed",
+                std::to_string(w.sessions_completed)});
+  table.AddRow({"decisions", std::to_string(w.decisions)});
+  table.AddRow({"observations scored",
+                std::to_string(w.observations_scored)});
+  table.AddRow({"advance steps", std::to_string(w.advance_steps)});
+  table.AddRow({"p50 replay latency (ms)",
+                TablePrinter::Fmt(w.p50_replay_ms, 3)});
+  table.AddRow({"p95 replay latency (ms)",
+                TablePrinter::Fmt(w.p95_replay_ms, 3)});
+  table.Print();
+  return 0;
+}
+
 int CmdServeOnline(const std::map<std::string, std::string>& flags) {
   auto parsed = ParseWorkloadFlags(flags, /*default_scale=*/"5",
                                    /*default_queries=*/"40");
@@ -713,6 +833,7 @@ void PrintUsage(std::ostream& out) {
          "  snapshot-save  convert CSV records to a binary snapshot\n"
          "  snapshot-load  verify + describe a snapshot\n"
          "  serve-replay   concurrent MonitorService replay of a workload\n"
+         "  serve-tcp      epoll TCP front-end over the monitor tier\n"
          "  serve-online   replay + async ingest + background retraining\n"
          "common flags: --threads N; serve commands also take --shards N\n"
          "(sharded session routing) and --model x.rpsn --mmap (zero-copy\n"
@@ -747,6 +868,7 @@ int Main(int argc, char** argv) {
   if (cmd == "snapshot-save") return CmdSnapshotSave(flags);
   if (cmd == "snapshot-load") return CmdSnapshotLoad(flags);
   if (cmd == "serve-replay") return CmdServeReplay(flags);
+  if (cmd == "serve-tcp") return CmdServeTcp(flags);
   if (cmd == "serve-online") return CmdServeOnline(flags);
   std::cerr << "unknown command: " << cmd << "\n";
   return 2;

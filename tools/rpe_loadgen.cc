@@ -1,0 +1,452 @@
+// rpe_loadgen: load generator for the TCP serving front-end
+// (`rpe_cli serve-tcp`). Speaks the length-prefixed wire protocol
+// (src/serving/wire.h) over blocking loopback sockets, one thread per
+// connection, and reports a latency histogram plus throughput as JSON.
+//
+// Two driving modes:
+//
+//   closed loop (default)    every connection runs sessions back to back
+//                            until the shared --sessions budget is spent;
+//                            concurrency is fixed (= --connections), the
+//                            arrival rate is whatever the server sustains.
+//
+//   open loop (--rate R)     session arrivals follow a fixed schedule of
+//                            R per second, spread round-robin across the
+//                            connections; a slow server makes arrivals
+//                            queue behind their connection (latency grows,
+//                            the schedule does not bend). Stops after
+//                            --sessions arrivals.
+//
+// One session = Open -> Advance(--steps) until done -> Close. Latency is
+// sampled per request (RTT of each frame exchange) and per session
+// (open-to-close). Percentiles are exact: every sample is kept and
+// sorted, no binning.
+//
+// The final line on stdout is one JSON object (everything else goes to
+// stderr) so scripts can `tail -n 1 | python3 -m json.tool`. With
+// --check, the client's own counters are reconciled against the server's
+// StatsResponse — opens, completions, and advance steps must match
+// exactly when this loadgen is the server's only client — and any
+// mismatch exits 1.
+//
+// Example:
+//   rpe_loadgen --port 41001 --connections 8 --sessions 256 --steps 64
+//   rpe_loadgen --port 41001 --rate 500 --sessions 1000 --check
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serving/wire.h"
+
+namespace rpe {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// \brief One blocking connection to the server: framed request/response
+/// with incremental reassembly (responses can arrive in any chunking).
+class WireClient {
+ public:
+  ~WireClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Connect(const std::string& host, uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return Status::IOError("socket: " + std::string(std::strerror(errno)));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      return Status::InvalidArgument("bad --host address: " + host);
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      return Status::IOError("connect 127.0.0.1:" + std::to_string(port) +
+                             ": " + std::strerror(errno));
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return Status::OK();
+  }
+
+  /// Send one encoded frame, block until the matching response frame.
+  Result<WireFrame> Call(const std::string& request) {
+    size_t off = 0;
+    while (off < request.size()) {
+      const ssize_t n =
+          ::send(fd_, request.data() + off, request.size() - off, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("send: " + std::string(std::strerror(errno)));
+      }
+      off += static_cast<size_t>(n);
+    }
+    while (true) {
+      WireFrame frame;
+      RPE_ASSIGN_OR_RETURN(bool complete, decoder_.Next(&frame));
+      if (complete) return frame;
+      char chunk[16 * 1024];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("recv: " + std::string(std::strerror(errno)));
+      }
+      if (n == 0) {
+        return Status::IOError("server closed the connection mid-response");
+      }
+      decoder_.Feed(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+struct Config {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  size_t connections = 4;
+  size_t sessions = 64;    ///< total session budget (both modes)
+  uint32_t steps = 64;     ///< max_steps per AdvanceRequest
+  double rate = 0.0;       ///< arrivals/sec; 0 = closed loop
+  size_t runs = 0;         ///< distinct run_index values to cycle (0 = any)
+  bool check = false;      ///< reconcile against server stats, exit 1 off
+};
+
+/// \brief Per-worker tallies and latency samples, merged after the join.
+struct WorkerResult {
+  uint64_t opens = 0;
+  uint64_t completed = 0;
+  uint64_t advance_requests = 0;
+  uint64_t advance_steps = 0;
+  uint64_t errors = 0;
+  std::vector<double> request_ms;  ///< RTT of every frame exchange
+  std::vector<double> session_ms;  ///< open-to-close per session
+  Status fatal;  ///< first connection-fatal error, ends the worker
+};
+
+/// Run one full session on `client`; samples RTTs into `out`.
+Status RunSession(WireClient* client, const Config& config,
+                  uint32_t run_index, WorkerResult* out) {
+  const auto session_start = Clock::now();
+
+  auto timed = [&](const std::string& request) -> Result<WireFrame> {
+    const auto t0 = Clock::now();
+    RPE_ASSIGN_OR_RETURN(WireFrame frame, client->Call(request));
+    out->request_ms.push_back(SecondsSince(t0) * 1e3);
+    return frame;
+  };
+
+  OpenRequest open;
+  open.run_index = run_index;
+  RPE_ASSIGN_OR_RETURN(WireFrame frame, timed(EncodeOpenRequest(open)));
+  if (!frame.ok()) return frame.ToStatus();
+  RPE_ASSIGN_OR_RETURN(OpenResponse opened,
+                       DecodeOpenResponse(frame.payload));
+  ++out->opens;
+
+  AdvanceRequest advance;
+  advance.session_id = opened.session_id;
+  advance.max_steps = config.steps;
+  while (true) {
+    RPE_ASSIGN_OR_RETURN(frame, timed(EncodeAdvanceRequest(advance)));
+    if (!frame.ok()) return frame.ToStatus();
+    RPE_ASSIGN_OR_RETURN(AdvanceResponse stepped,
+                         DecodeAdvanceResponse(frame.payload));
+    ++out->advance_requests;
+    out->advance_steps += stepped.steps;
+    if (stepped.done != 0) break;
+  }
+
+  CloseRequest close;
+  close.session_id = opened.session_id;
+  RPE_ASSIGN_OR_RETURN(frame, timed(EncodeCloseRequest(close)));
+  if (!frame.ok()) return frame.ToStatus();
+  ++out->completed;
+  out->session_ms.push_back(SecondsSince(session_start) * 1e3);
+  return Status::OK();
+}
+
+/// Closed loop: claim session slots from the shared budget until spent.
+void ClosedLoopWorker(const Config& config, std::atomic<uint64_t>* next,
+                      WorkerResult* out) {
+  WireClient client;
+  out->fatal = client.Connect(config.host, config.port);
+  if (!out->fatal.ok()) return;
+  while (true) {
+    const uint64_t slot = next->fetch_add(1);
+    if (slot >= config.sessions) break;
+    const uint32_t run_index = static_cast<uint32_t>(
+        config.runs > 0 ? slot % config.runs : slot);
+    const Status st = RunSession(&client, config, run_index, out);
+    if (!st.ok()) {
+      ++out->errors;
+      out->fatal = st;  // blocking protocol: desync is not recoverable
+      return;
+    }
+  }
+}
+
+/// Open loop: arrivals k = id, id + connections, ... fire at k / rate
+/// seconds after the shared start; a late worker runs its backlog without
+/// bending the schedule.
+void OpenLoopWorker(const Config& config, size_t id,
+                    Clock::time_point start, WorkerResult* out) {
+  WireClient client;
+  out->fatal = client.Connect(config.host, config.port);
+  if (!out->fatal.ok()) return;
+  for (uint64_t k = id; k < config.sessions; k += config.connections) {
+    const auto due =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(
+                        static_cast<double>(k) / config.rate));
+    std::this_thread::sleep_until(due);
+    const uint32_t run_index =
+        static_cast<uint32_t>(config.runs > 0 ? k % config.runs : k);
+    const Status st = RunSession(&client, config, run_index, out);
+    if (!st.ok()) {
+      ++out->errors;
+      out->fatal = st;
+      return;
+    }
+  }
+}
+
+/// Exact percentile over sorted samples (nearest-rank interpolation, the
+/// same convention as common/stats.h on the server side).
+double PercentileSorted(const std::vector<double>& sorted, double pct) {
+  if (sorted.empty()) return 0.0;
+  const double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+std::string JsonNum(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream out;
+  out.precision(6);
+  out << std::fixed << v;
+  return out.str();
+}
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags[arg] = argv[++i];
+    } else {
+      flags[arg] = "true";
+    }
+  }
+  return flags;
+}
+
+void PrintUsage(std::ostream& out) {
+  out << "usage: rpe_loadgen --port P [--host 127.0.0.1]\n"
+         "  [--connections 4] [--sessions 64] [--steps 64]\n"
+         "  [--rate R]   open loop: R session arrivals/sec (0 = closed)\n"
+         "  [--runs N]   cycle run_index over [0, N) (0 = one per session)\n"
+         "  [--check]    reconcile client counters against server Stats;\n"
+         "               any mismatch exits 1\n"
+         "Drives `rpe_cli serve-tcp` (see docs/NETWORK.md); emits one\n"
+         "JSON result object as the last stdout line.\n";
+}
+
+int Main(int argc, char** argv) {
+  const auto flags = ParseFlags(argc, argv);
+  if (flags.count("help") > 0 || flags.count("port") == 0) {
+    PrintUsage(flags.count("help") > 0 ? std::cout : std::cerr);
+    return flags.count("help") > 0 ? 0 : 2;
+  }
+  Config config;
+  try {
+    config.host = flags.count("host") ? flags.at("host") : config.host;
+    config.port = static_cast<uint16_t>(std::stoul(flags.at("port")));
+    if (flags.count("connections"))
+      config.connections = std::stoul(flags.at("connections"));
+    if (flags.count("sessions"))
+      config.sessions = std::stoul(flags.at("sessions"));
+    if (flags.count("steps"))
+      config.steps = static_cast<uint32_t>(std::stoul(flags.at("steps")));
+    if (flags.count("rate")) config.rate = std::stod(flags.at("rate"));
+    if (flags.count("runs")) config.runs = std::stoul(flags.at("runs"));
+    config.check = flags.count("check") > 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bad flag value: " << e.what() << "\n";
+    return 2;
+  }
+  if (config.connections == 0 || config.sessions == 0 || config.steps == 0 ||
+      config.steps > kMaxAdvanceSteps || config.rate < 0.0) {
+    std::cerr << "invalid configuration: connections/sessions/steps must be "
+                 "positive, steps <= "
+              << kMaxAdvanceSteps << ", rate >= 0\n";
+    return 2;
+  }
+
+  std::cerr << (config.rate > 0.0 ? "open" : "closed") << "-loop run: "
+            << config.sessions << " sessions over " << config.connections
+            << " connections to " << config.host << ":" << config.port
+            << "\n";
+
+  std::vector<WorkerResult> results(config.connections);
+  std::vector<std::thread> workers;
+  std::atomic<uint64_t> next{0};
+  const auto start = Clock::now();
+  for (size_t c = 0; c < config.connections; ++c) {
+    if (config.rate > 0.0) {
+      workers.emplace_back(OpenLoopWorker, config, c, start, &results[c]);
+    } else {
+      workers.emplace_back(ClosedLoopWorker, config, &next, &results[c]);
+    }
+  }
+  for (auto& w : workers) w.join();
+  const double elapsed = SecondsSince(start);
+
+  WorkerResult total;
+  for (const WorkerResult& r : results) {
+    total.opens += r.opens;
+    total.completed += r.completed;
+    total.advance_requests += r.advance_requests;
+    total.advance_steps += r.advance_steps;
+    total.errors += r.errors;
+    total.request_ms.insert(total.request_ms.end(), r.request_ms.begin(),
+                            r.request_ms.end());
+    total.session_ms.insert(total.session_ms.end(), r.session_ms.begin(),
+                            r.session_ms.end());
+    if (total.fatal.ok() && !r.fatal.ok()) total.fatal = r.fatal;
+  }
+  if (!total.fatal.ok()) {
+    std::cerr << "worker failed: " << total.fatal.ToString() << "\n";
+  }
+  std::sort(total.request_ms.begin(), total.request_ms.end());
+  std::sort(total.session_ms.begin(), total.session_ms.end());
+
+  // Server-side view, over a fresh connection after the workers joined so
+  // the counters are quiescent.
+  WireStats server{};
+  bool have_server_stats = false;
+  {
+    WireClient stats_client;
+    if (stats_client.Connect(config.host, config.port).ok()) {
+      auto frame = stats_client.Call(EncodeStatsRequest());
+      if (frame.ok() && frame->ok()) {
+        auto decoded = DecodeStatsResponse(frame->payload);
+        if (decoded.ok()) {
+          server = *decoded;
+          have_server_stats = true;
+        }
+      }
+    }
+  }
+
+  std::ostringstream json;
+  json << "{"
+       << "\"mode\":\"" << (config.rate > 0.0 ? "open" : "closed") << "\","
+       << "\"connections\":" << config.connections << ","
+       << "\"sessions_requested\":" << config.sessions << ","
+       << "\"sessions_opened\":" << total.opens << ","
+       << "\"sessions_completed\":" << total.completed << ","
+       << "\"advance_requests\":" << total.advance_requests << ","
+       << "\"advance_steps\":" << total.advance_steps << ","
+       << "\"errors\":" << total.errors << ","
+       << "\"elapsed_s\":" << JsonNum(elapsed) << ","
+       << "\"sessions_per_sec\":"
+       << JsonNum(static_cast<double>(total.completed) / elapsed) << ","
+       << "\"steps_per_sec\":"
+       << JsonNum(static_cast<double>(total.advance_steps) / elapsed) << ","
+       << "\"request_p50_ms\":"
+       << JsonNum(PercentileSorted(total.request_ms, 50.0)) << ","
+       << "\"request_p99_ms\":"
+       << JsonNum(PercentileSorted(total.request_ms, 99.0)) << ","
+       << "\"request_p999_ms\":"
+       << JsonNum(PercentileSorted(total.request_ms, 99.9)) << ","
+       << "\"session_p50_ms\":"
+       << JsonNum(PercentileSorted(total.session_ms, 50.0)) << ","
+       << "\"session_p99_ms\":"
+       << JsonNum(PercentileSorted(total.session_ms, 99.0)) << ","
+       << "\"session_p999_ms\":"
+       << JsonNum(PercentileSorted(total.session_ms, 99.9));
+  if (have_server_stats) {
+    json << ",\"server\":{"
+         << "\"sessions_opened\":" << server.sessions_opened << ","
+         << "\"sessions_completed\":" << server.sessions_completed << ","
+         << "\"decisions\":" << server.decisions << ","
+         << "\"observations_scored\":" << server.observations_scored << ","
+         << "\"advance_steps\":" << server.advance_steps << ","
+         << "\"frames_received\":" << server.frames_received << ","
+         << "\"frames_sent\":" << server.frames_sent << ","
+         << "\"protocol_errors\":" << server.protocol_errors << ","
+         << "\"io_errors\":" << server.io_errors << ","
+         << "\"decisions_per_sec\":"
+         << JsonNum(static_cast<double>(server.decisions) / elapsed) << ","
+         << "\"p50_replay_ms\":" << JsonNum(server.p50_replay_ms) << ","
+         << "\"p95_replay_ms\":" << JsonNum(server.p95_replay_ms) << "}";
+  }
+  json << "}";
+  std::cout << json.str() << std::endl;
+
+  int rc = total.fatal.ok() && total.errors == 0 ? 0 : 1;
+  if (config.check) {
+    if (!have_server_stats) {
+      std::cerr << "CHECK FAILED: could not fetch server stats\n";
+      return 1;
+    }
+    // Exact reconciliation (valid when this loadgen is the only client):
+    // what the client opened / completed / stepped must be exactly what
+    // the service recorded and what the wire front-end routed.
+    struct Check {
+      const char* name;
+      uint64_t client;
+      uint64_t server;
+    };
+    const Check checks[] = {
+        {"sessions_opened", total.opens, server.sessions_opened},
+        {"wire_sessions_opened", total.opens, server.wire_sessions_opened},
+        {"sessions_completed", total.completed, server.sessions_completed},
+        {"observations_scored", total.advance_steps,
+         server.observations_scored},
+        {"advance_steps", total.advance_steps, server.advance_steps},
+    };
+    for (const Check& c : checks) {
+      if (c.client != c.server) {
+        std::cerr << "CHECK FAILED: " << c.name << " client=" << c.client
+                  << " server=" << c.server << "\n";
+        rc = 1;
+      }
+    }
+    if (rc == 0) {
+      std::cerr << "check: client and server counters reconcile exactly\n";
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace rpe
+
+int main(int argc, char** argv) { return rpe::Main(argc, argv); }
