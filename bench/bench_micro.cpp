@@ -16,8 +16,12 @@
 #include <memory>
 #include <numeric>
 
+#include "common/crc32.h"
+#include "common/random.h"
+#include "common/simd.h"
 #include "exec/executor.h"
 #include "mart/flat_ensemble.h"
+#include "mart/tree.h"
 #include "mart/mart.h"
 #include "optimizer/histogram.h"
 #include "selection/features.h"
@@ -325,6 +329,95 @@ void BM_MultiModelPredictFlat(benchmark::State& state) {
                           static_cast<int64_t>(out.size()));
 }
 BENCHMARK(BM_MultiModelPredictFlat);
+
+// SIMD kernel rows (common/simd.h): each benchmark runs once forced to
+// the scalar tier and once at the host's detected tier, so a report
+// shows the dispatch win side by side. The vector paths are pinned
+// bit-identical to scalar by tests/simd_test.cpp; these rows measure the
+// only thing a tier is allowed to change — throughput. All SIMD rows are
+// allowlisted in scripts/check_bench.py: the detected tier differs
+// between the baseline host and CI runners, so their ratios are
+// environment, not regressions.
+void BM_PredictAllBatch(benchmark::State& state) {
+  auto& fx = Inference();
+  const simd::Tier prev = simd::ActiveTier();
+  simd::ForceTier(state.range(0) != 0 ? simd::DetectedTier()
+                                      : simd::Tier::kScalar);
+  const size_t n = fx.data.num_examples();
+  std::vector<const double*> rows(n);
+  for (size_t r = 0; r < n; ++r) {
+    rows[r] = fx.data.ExampleSpan(r).data();
+  }
+  std::vector<double> out(n * fx.pool_set.num_models());
+  for (auto _ : state) {
+    fx.pool_set.PredictAllBatch(rows, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  simd::ForceTier(prev);
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<int64_t>(n * fx.pool_set.num_models()));
+}
+BENCHMARK(BM_PredictAllBatch)->Arg(0)->Arg(1);
+
+// Args: (tier, column shape) — shape 0 is a random column (run detection
+// must not lose), shape 1 a sorted/binned-monotone column (long uniform
+// runs, where the register-accumulator path wins).
+void BM_AccumulateColumnDense(benchmark::State& state) {
+  const size_t n = size_t{1} << 16;
+  const bool sorted = state.range(1) != 0;
+  std::vector<uint8_t> col(n);
+  std::vector<double> res(n);
+  Rng rng(7);
+  for (size_t i = 0; i < n; ++i) {
+    res[i] = rng.NextGaussian();
+    col[i] = sorted ? static_cast<uint8_t>((i * 256) / n)
+                    : static_cast<uint8_t>(rng.NextDouble() * 256.0);
+  }
+  std::vector<double> sum(256, 0.0);
+  std::vector<uint32_t> cnt(256, 0);
+  const simd::Tier prev = simd::ActiveTier();
+  simd::ForceTier(state.range(0) != 0 ? simd::DetectedTier()
+                                      : simd::Tier::kScalar);
+  for (auto _ : state) {
+    AccumulateColumnDense(col.data(), res.data(), n, sum.data(),
+                          cnt.data());
+    benchmark::DoNotOptimize(sum.data());
+  }
+  simd::ForceTier(prev);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_AccumulateColumnDense)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({1, 1});
+
+// The snapshot-checksum kernel over a 1 MiB buffer: SW is the slicing-
+// by-8 scalar reference, HW the dispatched (PCLMUL-folded) path.
+void Crc32Bench(benchmark::State& state, simd::Tier tier) {
+  std::vector<unsigned char> buf(size_t{1} << 20);
+  Rng rng(5);
+  for (auto& b : buf) {
+    b = static_cast<unsigned char>(rng.NextDouble() * 256.0);
+  }
+  const simd::Tier prev = simd::ActiveTier();
+  simd::ForceTier(tier);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32(buf.data(), buf.size()));
+  }
+  simd::ForceTier(prev);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(buf.size()));
+}
+void BM_Crc32SW(benchmark::State& state) {
+  Crc32Bench(state, simd::Tier::kScalar);
+}
+BENCHMARK(BM_Crc32SW);
+void BM_Crc32HW(benchmark::State& state) {
+  Crc32Bench(state, simd::DetectedTier());
+}
+BENCHMARK(BM_Crc32HW);
 
 // Serving-layer fixture: a synthetic record set at full schema arity, a
 // trained selector stack, and a few executed runs to replay — the

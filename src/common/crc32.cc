@@ -1,8 +1,16 @@
 #include "common/crc32.h"
 
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cstring>
+
+#include "common/simd.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define RPE_CRC32_PCLMUL 1
+#include <immintrin.h>
+#endif
 
 namespace rpe {
 namespace {
@@ -35,9 +43,135 @@ std::array<std::array<uint32_t, 256>, 8> BuildTables() {
   return tables;
 }
 
+#ifdef RPE_CRC32_PCLMUL
+
+/// PCLMULQDQ fold over the raw (pre-inverted) CRC register, the
+/// Gopal/Ozturk Intel-whitepaper reduction with the zlib constants for
+/// the reflected IEEE polynomial: four 128-bit accumulators fold 64 input
+/// bytes per iteration, collapse to one accumulator, then to 64 bits, and
+/// a Barrett reduction yields the 32-bit register. Requires size >= 64
+/// and size % 16 == 0; the caller feeds the tail to the scalar kernel.
+__attribute__((target("pclmul,sse4.1"))) uint32_t Crc32FoldRaw(
+    const unsigned char* buf, size_t len, uint32_t crc) {
+  alignas(16) static const uint64_t k1k2[2] = {0x0154442bd4, 0x01c6e41596};
+  alignas(16) static const uint64_t k3k4[2] = {0x01751997d0, 0x00ccaa009e};
+  alignas(16) static const uint64_t k5k0[2] = {0x0163cd6124, 0x0000000000};
+  alignas(16) static const uint64_t poly[2] = {0x01db710641, 0x01f7011641};
+
+  __m128i x1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf));
+  __m128i x2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 16));
+  __m128i x3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 32));
+  __m128i x4 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 48));
+  x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(static_cast<int>(crc)));
+
+  __m128i k = _mm_load_si128(reinterpret_cast<const __m128i*>(k1k2));
+  buf += 64;
+  len -= 64;
+
+  while (len >= 64) {
+    const __m128i x5 = _mm_clmulepi64_si128(x1, k, 0x00);
+    const __m128i x6 = _mm_clmulepi64_si128(x2, k, 0x00);
+    const __m128i x7 = _mm_clmulepi64_si128(x3, k, 0x00);
+    const __m128i x8 = _mm_clmulepi64_si128(x4, k, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+    x2 = _mm_clmulepi64_si128(x2, k, 0x11);
+    x3 = _mm_clmulepi64_si128(x3, k, 0x11);
+    x4 = _mm_clmulepi64_si128(x4, k, 0x11);
+    x1 = _mm_xor_si128(
+        _mm_xor_si128(x1, x5),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf)));
+    x2 = _mm_xor_si128(
+        _mm_xor_si128(x2, x6),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 16)));
+    x3 = _mm_xor_si128(
+        _mm_xor_si128(x3, x7),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 32)));
+    x4 = _mm_xor_si128(
+        _mm_xor_si128(x4, x8),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 48)));
+    buf += 64;
+    len -= 64;
+  }
+
+  // Fold the four accumulators into one.
+  k = _mm_load_si128(reinterpret_cast<const __m128i*>(k3k4));
+  __m128i t = _mm_clmulepi64_si128(x1, k, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, t), x2);
+  t = _mm_clmulepi64_si128(x1, k, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, t), x3);
+  t = _mm_clmulepi64_si128(x1, k, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, t), x4);
+
+  // Remaining whole 16-byte blocks.
+  while (len >= 16) {
+    t = _mm_clmulepi64_si128(x1, k, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+    x1 = _mm_xor_si128(
+        _mm_xor_si128(x1, t),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf)));
+    buf += 16;
+    len -= 16;
+  }
+
+  // 128 -> 64 bits.
+  t = _mm_clmulepi64_si128(x1, k, 0x10);
+  const __m128i low32 = _mm_setr_epi32(~0, 0, ~0, 0);
+  x1 = _mm_xor_si128(_mm_srli_si128(x1, 8), t);
+  k = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(k5k0));
+  t = _mm_srli_si128(x1, 4);
+  x1 = _mm_and_si128(x1, low32);
+  x1 = _mm_clmulepi64_si128(x1, k, 0x00);
+  x1 = _mm_xor_si128(x1, t);
+
+  // Barrett reduction 64 -> 32 bits.
+  k = _mm_load_si128(reinterpret_cast<const __m128i*>(poly));
+  t = _mm_and_si128(x1, low32);
+  t = _mm_clmulepi64_si128(t, k, 0x10);
+  t = _mm_and_si128(t, low32);
+  t = _mm_clmulepi64_si128(t, k, 0x00);
+  x1 = _mm_xor_si128(x1, t);
+  return static_cast<uint32_t>(_mm_extract_epi32(x1, 1));
+}
+
+/// Dispatch target for the sse42+ tiers: fold the body, chain the scalar
+/// kernel over the sub-16-byte tail. Seed chaining is exact — the fold
+/// consumes and produces the same CRC register the sliced kernel uses.
+uint32_t Crc32Pclmul(const void* data, size_t size, uint32_t seed) {
+  if (size < 64) return Crc32Scalar(data, size, seed);
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const size_t body = size & ~static_cast<size_t>(15);
+  const uint32_t folded =
+      Crc32FoldRaw(bytes, body, seed ^ 0xFFFFFFFFu) ^ 0xFFFFFFFFu;
+  return Crc32Scalar(bytes + body, size - body, folded);
+}
+
+#endif  // RPE_CRC32_PCLMUL
+
+using CrcFn = uint32_t (*)(const void*, size_t, uint32_t);
+
+std::atomic<CrcFn> g_crc32{&Crc32Scalar};
+
+const char* BindCrc32(simd::Tier tier) {
+#ifdef RPE_CRC32_PCLMUL
+  if (tier >= simd::Tier::kSse42) {
+    g_crc32.store(&Crc32Pclmul, std::memory_order_relaxed);
+    return "pclmul";
+  }
+#else
+  (void)tier;
+#endif
+  g_crc32.store(&Crc32Scalar, std::memory_order_relaxed);
+  return "slice8";
+}
+
+const simd::internal::KernelRegistrar kRegistrar("crc32", &BindCrc32);
+
 }  // namespace
 
-uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+uint32_t Crc32Scalar(const void* data, size_t size, uint32_t seed) {
   static const std::array<std::array<uint32_t, 256>, 8> kTables =
       BuildTables();
   const auto* bytes = static_cast<const unsigned char*>(data);
@@ -59,6 +193,10 @@ uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
     c = kTables[0][(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  return g_crc32.load(std::memory_order_relaxed)(data, size, seed);
 }
 
 }  // namespace rpe

@@ -1,6 +1,15 @@
 // CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant) over byte buffers.
 // Used by the binary snapshot container to detect corrupted or truncated
 // payloads before any field is decoded.
+//
+// Crc32 dispatches through common/simd.h: on x86 with PCLMULQDQ (the
+// sse42 tier and above) large buffers run a fold-by-4 carry-less-multiply
+// reduction — the hardware `crc32` instruction computes the Castagnoli
+// polynomial and cannot produce this checksum — while short buffers and
+// tails, and every byte on the scalar tier, go through the slicing-by-8
+// reference. Both paths produce identical words for identical bytes and
+// identical seed chains (tests/simd_test.cpp proves it differentially and
+// against known-answer vectors).
 #pragma once
 
 #include <cstddef>
@@ -11,5 +20,9 @@ namespace rpe {
 /// CRC of `data[0, size)`; `seed` chains incremental computations (pass the
 /// previous call's result to continue a running checksum).
 uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+/// The always-compiled slicing-by-8 reference; the differential tests and
+/// benchmarks compare the dispatched kernel against this directly.
+uint32_t Crc32Scalar(const void* data, size_t size, uint32_t seed = 0);
 
 }  // namespace rpe

@@ -1,0 +1,155 @@
+#include "common/simd.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <vector>
+
+namespace rpe::simd {
+namespace {
+
+struct Kernel {
+  const char* name;
+  internal::BindFn bind;
+  const char* impl;
+};
+
+/// Registry state: the kernel list grows during static init (one
+/// registrar per kernel TU) and is re-bound by ForceTier; the mutex keeps
+/// report/force callable from tests while worker threads run (the hot
+/// paths never touch the registry — they read their TU-local atomic
+/// function pointers).
+struct Registry {
+  std::mutex mu;
+  std::vector<Kernel> kernels;
+  Tier active;
+
+  Registry() : active(StartupTier()) {}
+
+  /// min(DetectedTier, RPE_SIMD), warning once about specs that are
+  /// unknown or above what the CPU has — a serving box must say when it
+  /// is not running the tier the operator asked for.
+  static Tier StartupTier() {
+    const char* spec = std::getenv("RPE_SIMD");
+    if (spec == nullptr) return DetectedTier();
+    Tier t = Tier::kScalar;
+    if (!ParseTier(spec, &t)) {
+      std::cerr << "RPE_SIMD ignored: unknown tier '" << spec
+                << "' (want off|scalar|sse42|avx2); using "
+                << TierName(DetectedTier()) << "\n";
+      return DetectedTier();
+    }
+    if (t > DetectedTier()) {
+      std::cerr << "RPE_SIMD=" << spec
+                << " exceeds what this CPU supports; clamping to "
+                << TierName(DetectedTier()) << "\n";
+      return DetectedTier();
+    }
+    return t;
+  }
+};
+
+Registry& GetRegistry() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace
+
+Tier DetectedTier() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const Tier detected = [] {
+    if (__builtin_cpu_supports("avx2")) return Tier::kAvx2;
+    if (__builtin_cpu_supports("sse4.2") &&
+        __builtin_cpu_supports("pclmul")) {
+      return Tier::kSse42;
+    }
+    return Tier::kScalar;
+  }();
+  return detected;
+#else
+  return Tier::kScalar;
+#endif
+}
+
+Tier ActiveTier() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return registry.active;
+}
+
+Tier ForceTier(Tier tier) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.active = std::min(tier, DetectedTier());
+  for (Kernel& kernel : registry.kernels) {
+    kernel.impl = kernel.bind(registry.active);
+  }
+  return registry.active;
+}
+
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kSse42:
+      return "sse42";
+    case Tier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool ParseTier(const char* spec, Tier* out) {
+  if (spec == nullptr) return false;
+  if (std::strcmp(spec, "off") == 0 || std::strcmp(spec, "scalar") == 0) {
+    *out = Tier::kScalar;
+    return true;
+  }
+  if (std::strcmp(spec, "sse42") == 0) {
+    *out = Tier::kSse42;
+    return true;
+  }
+  if (std::strcmp(spec, "avx2") == 0) {
+    *out = Tier::kAvx2;
+    return true;
+  }
+  return false;
+}
+
+std::string KernelReport() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<const Kernel*> sorted;
+  sorted.reserve(registry.kernels.size());
+  for (const Kernel& kernel : registry.kernels) sorted.push_back(&kernel);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Kernel* a, const Kernel* b) {
+              return std::strcmp(a->name, b->name) < 0;
+            });
+  std::string report = "tier=";
+  report += TierName(registry.active);
+  for (const Kernel* kernel : sorted) {
+    report += ' ';
+    report += kernel->name;
+    report += '=';
+    report += kernel->impl;
+  }
+  return report;
+}
+
+namespace internal {
+
+void RegisterKernel(const char* name, BindFn bind) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  // Bind immediately so a kernel is on its startup tier even if it is
+  // called before any ForceTier.
+  registry.kernels.push_back({name, bind, bind(registry.active)});
+}
+
+}  // namespace internal
+
+}  // namespace rpe::simd

@@ -1,0 +1,77 @@
+// Runtime SIMD dispatch for the hot kernels (batched QuickScorer scoring,
+// dense histogram accumulation, CRC-32). Each kernel lives in its own TU
+// with an always-compiled scalar reference implementation and optional
+// vector variants compiled with function-level target attributes (the
+// build stays portable -O2, no -march); at startup every kernel binds the
+// best variant the running CPU supports, and the `RPE_SIMD` environment
+// variable (off|scalar|sse42|avx2) caps the tier for A/B runs and the CI
+// scalar-fallback leg.
+//
+// Determinism contract: a vector variant must be *bit-identical* to the
+// scalar reference on every input — same doubles, same CRC words, same
+// chosen leaves — so the dispatch tier is never observable in results,
+// only in throughput. tests/simd_test.cpp enforces this differentially
+// per kernel; anything that cannot meet it (e.g. reassociated FP sums)
+// does not get a vector variant.
+//
+// The dispatch layer itself is a tested surface: ForceTier re-binds every
+// kernel at runtime (tests/benches pin a tier in-process) and
+// KernelReport names the bound implementation of each kernel for
+// `rpe_cli version` and the serving stats output.
+#pragma once
+
+#include <string>
+
+namespace rpe::simd {
+
+/// Instruction-set tiers a kernel can bind to, in strength order. A tier
+/// implies the ones below it; kSse42 also implies PCLMULQDQ (carry-less
+/// multiply, used by the CRC fold — the two arrived together in Westmere
+/// and are detected together here).
+enum class Tier : int { kScalar = 0, kSse42 = 1, kAvx2 = 2 };
+
+/// Highest tier the running CPU supports (cpuid, cached on first call).
+Tier DetectedTier();
+
+/// The tier kernels are currently bound to: min(DetectedTier(), RPE_SIMD)
+/// at startup, later changed only by ForceTier.
+Tier ActiveTier();
+
+/// Re-bind every kernel to min(tier, DetectedTier()) and return the tier
+/// actually bound. Test/benchmark hook; also safe while other threads are
+/// scoring (each kernel reads one atomic function pointer per call), but
+/// calls already in flight may finish on the previous binding.
+Tier ForceTier(Tier tier);
+
+/// Short stable name: "scalar", "sse42", "avx2".
+const char* TierName(Tier tier);
+
+/// Parse an RPE_SIMD-style spec ("off" or "scalar", "sse42", "avx2") into
+/// `*out`; false (and `*out` untouched) on anything else. Exposed so the
+/// env contract is unit-testable.
+bool ParseTier(const char* spec, Tier* out);
+
+/// One line naming the active tier and the bound implementation of every
+/// registered kernel, kernels sorted by name — e.g.
+/// "tier=avx2 accumulate=avx2 batch_score=avx2 crc32=pclmul".
+std::string KernelReport();
+
+namespace internal {
+
+/// Kernel TUs register at static init: `bind` must re-point the TU's
+/// atomic function pointer at the best variant for `tier` (clamping down
+/// is the binder's job only in the sense of picking what it has; the
+/// facade never passes a tier above DetectedTier) and return a short
+/// static name for the chosen implementation.
+using BindFn = const char* (*)(Tier);
+void RegisterKernel(const char* name, BindFn bind);
+
+struct KernelRegistrar {
+  KernelRegistrar(const char* name, BindFn bind) {
+    RegisterKernel(name, bind);
+  }
+};
+
+}  // namespace internal
+
+}  // namespace rpe::simd

@@ -1,12 +1,19 @@
 #include "mart/flat_ensemble.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <limits>
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/simd.h"
+
+#if defined(__x86_64__)
+#define RPE_BATCH_AVX2 1
+#include <immintrin.h>
+#endif
 
 namespace rpe {
 namespace flat_internal {
@@ -400,6 +407,184 @@ void MergedQuickScorer::ScoreAll(const double* __restrict x,
   }
 }
 
+namespace {
+
+/// Scalar reference for the batch path: ScoreAll row by row. The vector
+/// kernel must match this bit-for-bit on every input.
+void BatchScoreScalar(const MergedQuickScorer& qs,
+                      std::span<const double* const> rows,
+                      MergedQuickScorer::BatchScratch* scratch,
+                      std::span<double> out) {
+  const size_t stride = qs.bias.size();
+  for (size_t r = 0; r < rows.size(); ++r) {
+    qs.ScoreAll(rows[r], &scratch->row_bits,
+                out.subspan(r * stride, stride));
+  }
+}
+
+#ifdef RPE_BATCH_AVX2
+
+/// One full tile of kBatchRows rows, all lanes at once: the feature tile
+/// is transposed into SoA form, each tree's leaf bitvector is replicated
+/// per lane (bits[t * kBatchRows + lane]), and the entry scan runs the
+/// threshold compare and mask AND across all lanes per entry. Per lane
+/// exactly the entries with x[f] > thr fire — NaN lanes are handled by
+/// the scalar rule (every entry of the feature fires) and then parked at
+/// -inf so the vector compares never fire for them — and the tile exits a
+/// feature once no lane compares above the (ascending) threshold, the
+/// batch form of the scalar early exit. Leaf values then accumulate per
+/// lane in ScoreAll's exact order (bias first, trees ascending), so every
+/// output double is bit-identical to the per-row path.
+__attribute__((target("avx2"))) void ScoreTile8Avx2(
+    const MergedQuickScorer& qs, const double* const* rows,
+    MergedQuickScorer::BatchScratch* s, double* out) {
+  constexpr size_t kRows = MergedQuickScorer::kBatchRows;
+  const size_t nf = static_cast<size_t>(qs.num_features);
+  const size_t num_trees = qs.init_mask.size();
+  const size_t num_models = qs.bias.size();
+  s->x.resize(nf * kRows);
+  s->bits.resize(num_trees * kRows);
+  double* __restrict x = s->x.data();
+  uint64_t* __restrict bits = s->bits.data();
+  for (size_t r = 0; r < kRows; ++r) {
+    const double* __restrict src = rows[r];
+    for (size_t f = 0; f < nf; ++f) x[f * kRows + r] = src[f];
+  }
+  for (size_t t = 0; t < num_trees; ++t) {
+    const __m256i init =
+        _mm256_set1_epi64x(static_cast<long long>(qs.init_mask[t]));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(bits + t * kRows), init);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(bits + t * kRows + 4),
+                        init);
+  }
+  const double* __restrict thr = qs.threshold.data();
+  const int32_t* __restrict tr = qs.entry_tree.data();
+  const uint64_t* __restrict mk = qs.entry_mask.data();
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  for (size_t f = 0; f < nf; ++f) {
+    const size_t k0 = qs.feat_begin[f];
+    const size_t k1 = qs.feat_begin[f + 1];
+    if (k0 == k1) continue;
+    __m256d x0 = _mm256_loadu_pd(x + f * kRows);
+    __m256d x1 = _mm256_loadu_pd(x + f * kRows + 4);
+    const __m256d nan0 = _mm256_cmp_pd(x0, x0, _CMP_UNORD_Q);
+    const __m256d nan1 = _mm256_cmp_pd(x1, x1, _CMP_UNORD_Q);
+    const unsigned nan_lanes =
+        static_cast<unsigned>(_mm256_movemask_pd(nan0)) |
+        static_cast<unsigned>(_mm256_movemask_pd(nan1)) << 4;
+    if (nan_lanes != 0) {
+      // The tree walk sends NaN right at every node, so for a NaN lane
+      // every entry of this feature fires (the ScoreAll NaN rule).
+      for (size_t k = k0; k < k1; ++k) {
+        uint64_t* b = bits + static_cast<size_t>(tr[k]) * kRows;
+        for (unsigned l = nan_lanes; l != 0; l &= l - 1) {
+          b[std::countr_zero(l)] &= mk[k];
+        }
+      }
+      if (nan_lanes == 0xFFu) continue;
+      // Park NaN lanes at -inf: x > thr is false for every threshold, so
+      // the entry scan below never fires them again.
+      const __m256d ninf =
+          _mm256_set1_pd(-std::numeric_limits<double>::infinity());
+      x0 = _mm256_blendv_pd(x0, ninf, nan0);
+      x1 = _mm256_blendv_pd(x1, ninf, nan1);
+    }
+    for (size_t k = k0; k < k1; ++k) {
+      const __m256d thr_v = _mm256_set1_pd(thr[k]);
+      const __m256i c0 =
+          _mm256_castpd_si256(_mm256_cmp_pd(x0, thr_v, _CMP_GT_OQ));
+      const __m256i c1 =
+          _mm256_castpd_si256(_mm256_cmp_pd(x1, thr_v, _CMP_GT_OQ));
+      // Ascending thresholds: once no lane exceeds thr[k] none exceeds
+      // any later threshold of this feature — the whole tile exits, the
+      // batch form of ScoreAll's early exit (validated for borrowed
+      // tables by CheckQuickScorerTables).
+      if (_mm256_testz_si256(c0, c0) && _mm256_testz_si256(c1, c1)) break;
+      const __m256i mkv =
+          _mm256_set1_epi64x(static_cast<long long>(mk[k]));
+      // Fired lanes AND with the entry mask, unfired lanes with ~0 (a
+      // no-op): eff = mask | ~cmp.
+      const __m256i eff0 = _mm256_or_si256(mkv, _mm256_xor_si256(c0, ones));
+      const __m256i eff1 = _mm256_or_si256(mkv, _mm256_xor_si256(c1, ones));
+      uint64_t* b = bits + static_cast<size_t>(tr[k]) * kRows;
+      const __m256i b0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+      const __m256i b1 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + 4));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(b),
+                          _mm256_and_si256(b0, eff0));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(b + 4),
+                          _mm256_and_si256(b1, eff1));
+    }
+  }
+  const int32_t* __restrict lb = qs.leaf_base.data();
+  const double* __restrict lv = qs.leaf_value.data();
+  const int32_t* __restrict mtb = qs.model_tree_begin.data();
+  for (size_t m = 0; m + 1 < qs.model_tree_begin.size(); ++m) {
+    double acc[kRows];
+    for (size_t r = 0; r < kRows; ++r) acc[r] = qs.bias[m];
+    for (int32_t t = mtb[m]; t < mtb[m + 1]; ++t) {
+      const uint64_t* b = bits + static_cast<size_t>(t) * kRows;
+      const int32_t base = lb[t];
+      for (size_t r = 0; r < kRows; ++r) {
+        acc[r] += lv[base + std::countr_zero(b[r])];
+      }
+    }
+    for (size_t r = 0; r < kRows; ++r) out[r * num_models + m] = acc[r];
+  }
+}
+
+void BatchScoreAvx2(const MergedQuickScorer& qs,
+                    std::span<const double* const> rows,
+                    MergedQuickScorer::BatchScratch* scratch,
+                    std::span<double> out) {
+  constexpr size_t kRows = MergedQuickScorer::kBatchRows;
+  const size_t stride = qs.bias.size();
+  size_t r = 0;
+  for (; r + kRows <= rows.size(); r += kRows) {
+    ScoreTile8Avx2(qs, rows.data() + r, scratch, out.data() + r * stride);
+  }
+  // Tail rows (< one tile) take the per-row path — same bits either way.
+  for (; r < rows.size(); ++r) {
+    qs.ScoreAll(rows[r], &scratch->row_bits,
+                out.subspan(r * stride, stride));
+  }
+}
+
+#endif  // RPE_BATCH_AVX2
+
+using BatchScoreFn = void (*)(const MergedQuickScorer&,
+                              std::span<const double* const>,
+                              MergedQuickScorer::BatchScratch*,
+                              std::span<double>);
+
+std::atomic<BatchScoreFn> g_batch_score{&BatchScoreScalar};
+
+const char* BindBatchScore(simd::Tier tier) {
+#ifdef RPE_BATCH_AVX2
+  if (tier >= simd::Tier::kAvx2) {
+    g_batch_score.store(&BatchScoreAvx2, std::memory_order_relaxed);
+    return "avx2";
+  }
+#else
+  (void)tier;
+#endif
+  g_batch_score.store(&BatchScoreScalar, std::memory_order_relaxed);
+  return "scalar";
+}
+
+const simd::internal::KernelRegistrar kBatchScoreRegistrar("batch_score",
+                                                           &BindBatchScore);
+
+}  // namespace
+
+void MergedQuickScorer::PredictAllBatch(std::span<const double* const> rows,
+                                        BatchScratch* scratch,
+                                        std::span<double> out) const {
+  RPE_CHECK_EQ(out.size(), rows.size() * bias.size());
+  g_batch_score.load(std::memory_order_relaxed)(*this, rows, scratch, out);
+}
+
 }  // namespace flat_internal
 
 FlatEnsemble FlatEnsemble::Compile(const MartModel& model) {
@@ -495,6 +680,20 @@ Status CheckQuickScorerTables(const Table& t, int32_t num_trees,
   for (size_t k = 0; k < entries; ++k) {
     if (t.entry_tree[k] < 0 || t.entry_tree[k] >= num_trees) {
       return FlatInvalid(where + " entry tree id out of range");
+    }
+  }
+  // Both scoring paths early-exit a feature's entry list at the first
+  // threshold the value does not exceed (ScoreAll per row, the batch
+  // kernel per tile); that is only equivalent to scanning every entry —
+  // and only tier-independent — when each feature's thresholds ascend and
+  // none is NaN. Compiled tables satisfy this by construction; borrowed
+  // snapshot tables must prove it here.
+  for (size_t f = 0; f + 1 < t.feat_begin.size(); ++f) {
+    for (size_t k = t.feat_begin[f]; k < t.feat_begin[f + 1]; ++k) {
+      if (std::isnan(t.threshold[k]) ||
+          (k > t.feat_begin[f] && t.threshold[k] < t.threshold[k - 1])) {
+        return FlatInvalid(where + " entry thresholds not ascending");
+      }
     }
   }
   for (int32_t tr = 0; tr < num_trees; ++tr) {
@@ -649,6 +848,42 @@ void FlatEnsembleSet::PredictAll(std::span<const double> features,
   }
   for (size_t m = 0; m < out.size(); ++m) {
     out[m] = ScoreModel(m, features.data());
+  }
+}
+
+void FlatEnsembleSet::PredictAllBatch(std::span<const double* const> rows,
+                                      std::span<double> out) const {
+  RPE_CHECK_EQ(out.size(), rows.size() * num_models());
+  if (merged_.usable) {
+    static thread_local flat_internal::MergedQuickScorer::BatchScratch
+        scratch;
+    merged_.PredictAllBatch(rows, &scratch, out);
+    return;
+  }
+  // No merged tables (node-walk fallback models): per-row, the exact
+  // PredictAll loop.
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t m = 0; m < num_models(); ++m) {
+      out[r * num_models() + m] = ScoreModel(m, rows[r]);
+    }
+  }
+}
+
+void FlatEnsembleSet::ArgMinBatch(std::span<const double* const> rows,
+                                  std::span<size_t> out) const {
+  RPE_CHECK_EQ(out.size(), rows.size());
+  RPE_CHECK_GT(num_models(), 0u);
+  if (rows.empty()) return;
+  static thread_local std::vector<double> scores;
+  scores.resize(rows.size() * num_models());
+  PredictAllBatch(rows, scores);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const double* row = scores.data() + r * num_models();
+    size_t best = 0;
+    for (size_t m = 1; m < num_models(); ++m) {
+      if (row[m] < row[best]) best = m;
+    }
+    out[r] = best;
   }
 }
 

@@ -94,6 +94,30 @@ struct MergedQuickScorer {
   void ScoreAll(const double* x, std::vector<uint64_t>* bits_scratch,
                 std::span<double> out) const;
 
+  /// Rows scored together by PredictAllBatch's vector kernel; the batch
+  /// facade tiles any row count into groups of this many.
+  static constexpr size_t kBatchRows = 8;
+
+  /// Reusable scratch for PredictAllBatch (SoA feature tile + per-lane
+  /// leaf bitvectors); allocation-free after the first call.
+  struct BatchScratch {
+    std::vector<double> x;          ///< tile: x[f * kBatchRows + lane]
+    std::vector<uint64_t> bits;     ///< bits[tree * kBatchRows + lane]
+    std::vector<uint64_t> row_bits; ///< ScoreAll scratch for tail rows
+  };
+
+  /// Batched ScoreAll, dispatched through common/simd.h: out is row-major,
+  /// out[r * num_models + m] = model m's prediction for rows[r] (each row
+  /// a feature vector of at least num_features values); out.size() must be
+  /// rows.size() * num_models. The AVX2 kernel gathers kBatchRows rows
+  /// into an SoA tile and runs the threshold compares and bitmask ANDs
+  /// over all lanes at once; per lane the same entries fire and leaves
+  /// accumulate in the same order as ScoreAll, so every output double is
+  /// bit-identical to the per-row path on every tier
+  /// (tests/simd_test.cpp).
+  void PredictAllBatch(std::span<const double* const> rows,
+                       BatchScratch* scratch, std::span<double> out) const;
+
   bool usable = false;
   int32_t num_features = 0;  ///< max over models
 
@@ -237,10 +261,25 @@ class FlatEnsembleSet {
   void PredictAll(std::span<const double> features,
                   std::span<double> out) const;
 
+  /// Batched PredictAll over many feature vectors: out is row-major,
+  /// out[r * num_models() + m] = model m's prediction for rows[r];
+  /// out.size() must be rows.size() * num_models(). When the merged
+  /// QuickScorer is usable this runs the SIMD-dispatched batch kernel
+  /// (groups of MergedQuickScorer::kBatchRows rows per tile); every
+  /// output double is bit-identical to PredictAll on the same row.
+  void PredictAllBatch(std::span<const double* const> rows,
+                       std::span<double> out) const;
+
   /// Index of the model with the smallest prediction (first on ties);
   /// requires num_models() > 0. Allocation-free after the first call on
   /// each thread.
   size_t ArgMin(std::span<const double> features) const;
+
+  /// Batched ArgMin: out[r] = ArgMin(rows[r]), scored through
+  /// PredictAllBatch (same first-on-ties election, so the chosen indices
+  /// are identical to the per-row path at every tier).
+  void ArgMinBatch(std::span<const double* const> rows,
+                   std::span<size_t> out) const;
 
  private:
   double ScoreModel(size_t m, const double* x) const;

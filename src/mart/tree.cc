@@ -1,13 +1,20 @@
 #include "mart/tree.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <memory>
 #include <sstream>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
+
+#if defined(__x86_64__)
+#define RPE_ACCUM_AVX2 1
+#include <immintrin.h>
+#endif
 
 namespace rpe {
 
@@ -59,18 +66,112 @@ bool ShouldParallelize(ThreadPool* pool, size_t work, size_t nblocks) {
          work >= kMinParallelWork;
 }
 
-/// One feature's histogram over a dense leaf (`indices` covers every
-/// example): both the bin column and the residuals stream sequentially.
-inline void AccumulateColumnDense(const uint8_t* __restrict col,
-                                  const double* __restrict res, size_t n,
-                                  double* __restrict sum,
-                                  uint32_t* __restrict cnt) {
+#ifdef RPE_ACCUM_AVX2
+
+/// AVX2 variant of AccumulateColumnDense: one vpcmpeqb classifies each
+/// 32-byte chunk of the bin column as uniform or mixed, guarded by a
+/// cheap col[i] == col[i+31] probe so mixed data (where the probe almost
+/// never passes) pays one predictable scalar compare per chunk instead of
+/// a vector check. A uniform run keeps its single bin's accumulator in a
+/// register — the adds stay in ascending-i order into the same bin, so
+/// the sum is the same FP operation sequence as the scalar loop,
+/// bit-identical by construction — and retires the counts in one add.
+/// (The one carve-out is NaN payload bits: IEEE leaves NaN propagation
+/// through `+` to the operand order the compiler emits, which no two
+/// builds of even the scalar loop pin down. Training data is NaN-free;
+/// tests/simd_test.cpp compares NaNs as a class.)
+/// Constant columns and binned near-monotone features (long runs) go
+/// 3-4x faster; uniform-random columns match the scalar loop.
+__attribute__((target("avx2"))) void AccumulateColumnDenseAvx2(
+    const uint8_t* __restrict col, const double* __restrict res, size_t n,
+    double* __restrict sum, uint32_t* __restrict cnt) {
+  size_t i = 0;
+  while (i + 32 <= n) {
+    if (col[i] == col[i + 31]) {
+      const __m256i chunk =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col + i));
+      const __m256i first = _mm256_set1_epi8(static_cast<char>(col[i]));
+      if (static_cast<unsigned>(_mm256_movemask_epi8(
+              _mm256_cmpeq_epi8(chunk, first))) == 0xFFFFFFFFu) {
+        const uint8_t b = col[i];
+        size_t e = i + 32;
+        while (e + 32 <= n && col[e] == col[e + 31]) {
+          const __m256i next =
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col + e));
+          if (static_cast<unsigned>(_mm256_movemask_epi8(
+                  _mm256_cmpeq_epi8(next, first))) != 0xFFFFFFFFu) {
+            break;
+          }
+          e += 32;
+        }
+        double acc = sum[b];
+        for (size_t k = i; k < e; ++k) acc += res[k];
+        sum[b] = acc;
+        cnt[b] += static_cast<uint32_t>(e - i);
+        i = e;
+        continue;
+      }
+    }
+    for (size_t k = i; k < i + 32; ++k) {
+      const uint8_t b = col[k];
+      sum[b] += res[k];
+      cnt[b] += 1;
+    }
+    i += 32;
+  }
+  for (; i < n; ++i) {
+    const uint8_t b = col[i];
+    sum[b] += res[i];
+    cnt[b] += 1;
+  }
+}
+
+#endif  // RPE_ACCUM_AVX2
+
+using AccumulateFn = void (*)(const uint8_t*, const double*, size_t,
+                              double*, uint32_t*);
+
+std::atomic<AccumulateFn> g_accumulate{&AccumulateColumnDenseScalar};
+
+const char* BindAccumulate(simd::Tier tier) {
+#ifdef RPE_ACCUM_AVX2
+  if (tier >= simd::Tier::kAvx2) {
+    g_accumulate.store(&AccumulateColumnDenseAvx2,
+                       std::memory_order_relaxed);
+    return "avx2";
+  }
+#else
+  (void)tier;
+#endif
+  g_accumulate.store(&AccumulateColumnDenseScalar,
+                     std::memory_order_relaxed);
+  return "scalar";
+}
+
+const simd::internal::KernelRegistrar kAccumulateRegistrar("accumulate",
+                                                           &BindAccumulate);
+
+}  // namespace
+
+// One feature's histogram over a dense leaf (`indices` covers every
+// example): both the bin column and the residuals stream sequentially.
+void AccumulateColumnDenseScalar(const uint8_t* __restrict col,
+                                 const double* __restrict res, size_t n,
+                                 double* __restrict sum,
+                                 uint32_t* __restrict cnt) {
   for (size_t i = 0; i < n; ++i) {
     const uint8_t b = col[i];
     sum[b] += res[i];
     cnt[b] += 1;
   }
 }
+
+void AccumulateColumnDense(const uint8_t* col, const double* res, size_t n,
+                           double* sum, uint32_t* cnt) {
+  g_accumulate.load(std::memory_order_relaxed)(col, res, n, sum, cnt);
+}
+
+namespace {
 
 /// One feature's histogram over a sparse leaf: `ordered[k]` is the
 /// (pre-gathered) residual of example `idx[k]`, so only the bin column is

@@ -10,6 +10,7 @@
 // any thread count. The full pipeline is documented in docs/TRAINING.md.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -53,6 +54,23 @@ void BuildLeafHistograms(const BinnedDataset& data,
                          const std::vector<double>& residuals,
                          std::span<const uint32_t> indices,
                          HistogramSet* hist, ThreadPool* pool = nullptr);
+
+/// One feature's histogram over a dense leaf: for i in [0, n) ascending,
+/// sum[col[i]] += res[i] and cnt[col[i]] += 1. The inner kernel of the
+/// dense BuildLeafHistograms/Fit paths, dispatched through common/simd.h:
+/// the AVX2 variant detects uniform 32-byte runs in the bin column
+/// (constant and near-sorted columns — binned monotone features — are
+/// long runs) and keeps that bin's accumulator in a register across the
+/// run; mixed chunks fall back to the scalar loop. Every per-bin add
+/// still happens in ascending-i order, so the result is bit-identical to
+/// the scalar reference on every input (tests/simd_test.cpp). Exposed for
+/// the differential tests and benchmarks.
+void AccumulateColumnDense(const uint8_t* col, const double* res, size_t n,
+                           double* sum, uint32_t* cnt);
+
+/// The always-compiled scalar reference for AccumulateColumnDense.
+void AccumulateColumnDenseScalar(const uint8_t* col, const double* res,
+                                 size_t n, double* sum, uint32_t* cnt);
 
 /// \brief A fitted regression tree; predicts from raw feature vectors.
 class RegressionTree {

@@ -45,6 +45,69 @@ std::vector<ProgressMonitor::PipelineDecision> ProgressMonitor::DecideForRun(
   return decisions;
 }
 
+namespace {
+
+/// Score `rows` through sel.SelectBatch into `out` (resized to match).
+void SelectRowsInto(const EstimatorSelector& sel,
+                    const std::vector<std::vector<double>>& rows,
+                    std::vector<size_t>* out) {
+  std::vector<const std::vector<double>*> ptrs(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) ptrs[i] = &rows[i];
+  out->resize(rows.size());
+  sel.SelectBatch(ptrs, *out);
+}
+
+}  // namespace
+
+std::vector<std::vector<ProgressMonitor::PipelineDecision>>
+ProgressMonitor::DecideForRuns(
+    std::span<const QueryRunResult* const> runs) const {
+  std::vector<std::vector<PipelineDecision>> all(runs.size());
+  // Gather pass: the decision skeletons plus the rows to score — static
+  // features for every started pipeline, the full vector for every
+  // pipeline that reaches the revision marker.
+  struct Slot {
+    size_t run;
+    size_t pipe;
+  };
+  std::vector<std::vector<double>> static_rows;
+  std::vector<std::vector<double>> dynamic_rows;
+  std::vector<Slot> static_slots;
+  std::vector<Slot> dynamic_slots;
+  for (size_t r = 0; r < runs.size(); ++r) {
+    const QueryRunResult& run = *runs[r];
+    all[r].reserve(run.pipelines.size());
+    for (const Pipeline& pipeline : run.pipelines) {
+      PipelineDecision d;
+      d.pipeline_id = pipeline.id;
+      if (pipeline.first_obs >= 0) {
+        PipelineView view{&run, &pipeline};
+        static_slots.push_back({r, all[r].size()});
+        static_rows.push_back(ExtractStaticFeatures(view));
+        d.revision_obs = MarkerObservation(view, revision_marker_pct_);
+        if (d.revision_obs >= 0) {
+          dynamic_slots.push_back({r, all[r].size()});
+          dynamic_rows.push_back(ExtractAllFeatures(view));
+        }
+      }
+      all[r].push_back(d);
+    }
+  }
+  // Scatter pass: two batched scoring calls, choices back to their slots.
+  std::vector<size_t> choices;
+  SelectRowsInto(*static_selector_, static_rows, &choices);
+  for (size_t i = 0; i < static_slots.size(); ++i) {
+    all[static_slots[i].run][static_slots[i].pipe].initial_choice =
+        choices[i];
+  }
+  SelectRowsInto(*dynamic_selector_, dynamic_rows, &choices);
+  for (size_t i = 0; i < dynamic_slots.size(); ++i) {
+    all[dynamic_slots[i].run][dynamic_slots[i].pipe].revised_choice =
+        choices[i];
+  }
+  return all;
+}
+
 double ProgressMonitor::PipelineProgress(const QueryRunResult& run,
                                          const PipelineDecision& decision,
                                          size_t oi) const {

@@ -40,6 +40,17 @@ class ProgressMonitor {
   /// Decide (and record) the estimator choices for every pipeline of `run`.
   std::vector<PipelineDecision> DecideForRun(const QueryRunResult& run) const;
 
+  /// Batched DecideForRun over many runs: decisions are bit-identical to
+  /// calling DecideForRun per run (same selectors, same first-on-ties
+  /// argmin), but every static choice scores through one
+  /// EstimatorSelector::SelectBatch call and every dynamic revision
+  /// through another, so the SIMD tile kernel (common/simd.h) sees full
+  /// batches even when each run has only a few pipelines. The serving
+  /// tier's session-open and replay paths feed this
+  /// (serving/monitor_service.h).
+  std::vector<std::vector<PipelineDecision>> DecideForRuns(
+      std::span<const QueryRunResult* const> runs) const;
+
   /// Progress of one pipeline at observation oi as reported live: the
   /// static choice's estimate before the revision point, the revised
   /// choice's estimate afterwards.

@@ -145,6 +145,24 @@ size_t EstimatorSelector::SelectForRecord(
   return Select(record.features);
 }
 
+void EstimatorSelector::SelectBatch(
+    std::span<const std::vector<double>* const> rows,
+    std::span<size_t> out) const {
+  RPE_CHECK_EQ(out.size(), rows.size());
+  if (rows.empty()) return;
+  static thread_local std::vector<const double*> ptrs;
+  static thread_local std::vector<size_t> choice;
+  ptrs.resize(rows.size());
+  choice.resize(rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    // Same arity contract as Select: ProjectSpan validates each row, and
+    // the projected view is a prefix, so only the pointer survives.
+    ptrs[r] = ProjectSpan(*rows[r]).data();
+  }
+  flat_.ArgMinBatch(ptrs, choice);
+  for (size_t r = 0; r < rows.size(); ++r) out[r] = pool_[choice[r]];
+}
+
 std::vector<double> EstimatorSelector::FeatureImportance() const {
   std::vector<double> gains(num_inputs_, 0.0);
   if (models_.empty()) {

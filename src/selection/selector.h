@@ -92,6 +92,16 @@ class EstimatorSelector {
     return Select(std::span<const double>(features));
   }
 
+  /// Batched Select: `out[r]` is exactly `Select(rows[r])` for every row
+  /// — same projection, same first-on-ties argmin — but the pool scores
+  /// through FlatEnsembleSet::ArgMinBatch, whose merged QuickScorer path
+  /// runs the SIMD tile kernel (common/simd.h) across 8 decisions at
+  /// once. Each `rows[r]` must point at a full feature vector of the
+  /// schema width Select accepts. Used by the serving tier to open and
+  /// replay many sessions per call (monitor_service.h).
+  void SelectBatch(std::span<const std::vector<double>* const> rows,
+                   std::span<size_t> out) const;
+
   /// Chosen estimator for a record (uses its stored features).
   size_t SelectForRecord(const PipelineRecord& record) const;
 

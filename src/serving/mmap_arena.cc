@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <iostream>
 #include <utility>
 #include <vector>
 
@@ -40,7 +41,16 @@ Result<std::shared_ptr<MmapArena>> MmapArena::Map(const std::string& path) {
   if (addr == MAP_FAILED) {
     return Status::IOError("mmap failed: " + path);
   }
-  return std::shared_ptr<MmapArena>(new MmapArena(addr, size));
+  // Prefault hint: the loader CRC-sweeps the whole file immediately, so
+  // ask the kernel to read it ahead instead of faulting page by page.
+  // Advisory only — a refusal costs throughput, not correctness.
+  const bool prefaulted = !RPE_INJECT_FAULT("arena.madvise") &&
+                          ::madvise(addr, size, MADV_WILLNEED) == 0;
+  if (!prefaulted) {
+    std::cerr << "madvise(MADV_WILLNEED) failed for " << path
+              << "; continuing without prefault\n";
+  }
+  return std::shared_ptr<MmapArena>(new MmapArena(addr, size, prefaulted));
 }
 
 MmapArena::~MmapArena() { ::munmap(addr_, size_); }

@@ -50,6 +50,11 @@ class MmapArena {
  public:
   /// Map `path` read-only. IOError when the file cannot be opened or
   /// mapped; InvalidArgument for an empty file (shorter than any header).
+  /// A successful mapping is advised with madvise(MADV_WILLNEED) so the
+  /// kernel prefaults the snapshot ahead of the CRC sweep instead of one
+  /// 4 KiB page per fault; madvise is advisory, so a failure (failpoint
+  /// `arena.madvise`) degrades to a warning and `prefaulted() == false`,
+  /// never an error.
   static Result<std::shared_ptr<MmapArena>> Map(const std::string& path);
 
   ~MmapArena();
@@ -60,12 +65,16 @@ class MmapArena {
     return {static_cast<const char*>(addr_), size_};
   }
   size_t size() const { return size_; }
+  /// True when the MADV_WILLNEED advice was accepted at Map time.
+  bool prefaulted() const { return prefaulted_; }
 
  private:
-  MmapArena(void* addr, size_t size) : addr_(addr), size_(size) {}
+  MmapArena(void* addr, size_t size, bool prefaulted)
+      : addr_(addr), size_(size), prefaulted_(prefaulted) {}
 
   void* addr_;
   size_t size_;
+  bool prefaulted_;
 };
 
 /// \brief Result of LoadSelectorStackMmap.

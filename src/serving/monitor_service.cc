@@ -95,6 +95,50 @@ Result<MonitorService::SessionId> MonitorService::OpenSession(
   return id;
 }
 
+Result<std::vector<MonitorService::SessionId>> MonitorService::OpenSessions(
+    std::span<const QueryRunResult* const> runs) {
+  for (const QueryRunResult* run : runs) {
+    if (run == nullptr) {
+      return Status::InvalidArgument("OpenSessions: null run");
+    }
+  }
+  std::vector<SessionId> ids(runs.size());
+  if (runs.empty()) return ids;
+  const auto start = Clock::now();
+  const std::shared_ptr<const SelectorStack> stack = models();
+  std::vector<std::shared_ptr<Session>> opened;
+  opened.reserve(runs.size());
+  for (const QueryRunResult* run : runs) {
+    opened.push_back(
+        std::make_shared<Session>(stack, run, options_.revision_marker_pct));
+  }
+  // One batched decision pass across every pipeline of every run — the
+  // same choices OpenSession makes per run, scored in full SIMD tiles.
+  auto decided = opened.front()->monitor.DecideForRuns(runs);
+  const double elapsed = SecondsSince(start);
+  const double per_session = elapsed / static_cast<double>(runs.size());
+  uint64_t total_decisions = 0;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    total_decisions += CountDecisions(decided[i]);
+    opened[i]->decisions = std::move(decided[i]);
+    opened[i]->elapsed_sec = per_session;
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (size_t i = 0; i < runs.size(); ++i) {
+      ids[i] = next_id_++;
+      sessions_.emplace(ids[i], std::move(opened[i]));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    sessions_opened_ += runs.size();
+    decisions_ += total_decisions;
+    scoring_time_sec_ += elapsed;
+  }
+  return ids;
+}
+
 Result<std::shared_ptr<MonitorService::Session>> MonitorService::Find(
     SessionId id) const {
   std::lock_guard<std::mutex> lock(sessions_mu_);
@@ -278,25 +322,31 @@ std::vector<std::vector<double>> MonitorService::ReplayAll(
   ThreadPool* pool =
       options_.pool != nullptr ? options_.pool : &ThreadPool::Global();
   std::vector<std::vector<double>> out(runs.size());
+  if (runs.empty()) return out;
+  // Decisions for every run score in one batched pass (full SIMD tiles
+  // across runs) before the per-observation replay shards across the
+  // pool. DecideForRuns is bit-identical to per-run DecideForRun, so each
+  // series stays bit-identical to the sequential
+  // ProgressMonitor::ReplayQueryProgress regardless of sharding.
+  const auto decide_start = Clock::now();
+  ProgressMonitor monitor(&stack->static_selector, &stack->dynamic_selector,
+                          options_.revision_marker_pct);
+  const auto decided = monitor.DecideForRuns(runs);
+  const double decide_ms_per_run =
+      SecondsSince(decide_start) * 1e3 / static_cast<double>(runs.size());
   std::vector<double> latency_ms(runs.size(), 0.0);
   std::vector<uint64_t> decisions(runs.size(), 0);
   std::vector<uint64_t> scored(runs.size(), 0);
   pool->ParallelFor(runs.size(), [&](size_t i) {
     const QueryRunResult& run = *runs[i];
     const auto start = Clock::now();
-    // Same decision + per-observation evaluation sequence as the
-    // sequential ProgressMonitor::ReplayQueryProgress, so each series is
-    // bit-identical to it regardless of how sessions are sharded.
-    ProgressMonitor monitor(&stack->static_selector, &stack->dynamic_selector,
-                            options_.revision_marker_pct);
-    const auto decided = monitor.DecideForRun(run);
     std::vector<double>& series = out[i];
     series.reserve(run.observations.size());
     for (size_t oi = 0; oi < run.observations.size(); ++oi) {
-      series.push_back(monitor.QueryProgressAt(run, decided, oi));
+      series.push_back(monitor.QueryProgressAt(run, decided[i], oi));
     }
-    latency_ms[i] = SecondsSince(start) * 1e3;
-    decisions[i] = CountDecisions(decided);
+    latency_ms[i] = decide_ms_per_run + SecondsSince(start) * 1e3;
+    decisions[i] = CountDecisions(decided[i]);
     scored[i] = run.observations.size();
   });
   std::lock_guard<std::mutex> lock(stats_mu_);

@@ -82,8 +82,19 @@ class MonitorService : public ModelPublisher {
 
   /// Open a monitoring session over a recorded run. The per-pipeline
   /// estimator decisions (initial + revision) are made here, against the
-  /// current snapshot. `run` must outlive the session.
+  /// current snapshot — per-observation Advance/Tick work replays against
+  /// these precomputed decisions and never scores a selector. `run` must
+  /// outlive the session.
   Result<SessionId> OpenSession(const QueryRunResult* run);
+
+  /// Open many sessions in one call; returns one SessionId per run, in
+  /// order. The estimator decisions for every pipeline of every run score
+  /// through one batched ProgressMonitor::DecideForRuns pass — full SIMD
+  /// tiles across runs (common/simd.h) — and are bit-identical to opening
+  /// each session individually against the same snapshot. A null run
+  /// fails the whole call before any session is opened.
+  Result<std::vector<SessionId>> OpenSessions(
+      std::span<const QueryRunResult* const> runs);
 
   /// Advance the session by one observation tick; returns the query
   /// progress reported at the new observation. OutOfRange once the run's

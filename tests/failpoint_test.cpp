@@ -437,6 +437,26 @@ TEST_F(MmapFaultTest, InjectedMmapFailureIsACleanStatus) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
 }
 
+TEST_F(MmapFaultTest, InjectedMadviseFailureDegradesToUnprefaultedLoad) {
+  // The MADV_WILLNEED prefault hint is advisory: when it fails, the
+  // mapping must come up anyway (prefaulted() == false, a warning on
+  // stderr) and load the exact same stack — slower, never wronger.
+  const ScopedFailPoint fp("arena.madvise", FailPointSpec::Always());
+  auto arena = MmapArena::Map(*path_);
+  ASSERT_TRUE(arena.ok()) << arena.status().ToString();
+  EXPECT_FALSE(arena.ValueOrDie()->prefaulted());
+  auto loaded = LoadSelectorStackMmap(*path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->zero_copy);
+  ExpectScoresMatchOriginal(*loaded->stack);
+}
+
+TEST_F(MmapFaultTest, MadviseHintIsAppliedOnTheCleanPath) {
+  auto arena = MmapArena::Map(*path_);
+  ASSERT_TRUE(arena.ok()) << arena.status().ToString();
+  EXPECT_TRUE(arena.ValueOrDie()->prefaulted());
+}
+
 TEST_F(MmapFaultTest, InjectedShortMapIsRejectedNeverPartiallyLoaded) {
   // A mapping that comes up half-length (torn truncation under the
   // reader) must fail container validation — not decode half a stack.

@@ -2,6 +2,7 @@
 // recorded runs.
 #include <gtest/gtest.h>
 
+#include "common/simd.h"
 #include "harness/runner.h"
 #include "selection/monitor.h"
 
@@ -74,6 +75,35 @@ TEST_F(MonitorTest, DecisionsCoverAllPipelines) {
       EXPECT_GE(d.revision_obs, 0);
       EXPECT_LT(*d.revised_choice,
                 static_cast<size_t>(kNumSelectableEstimators));
+    }
+  }
+}
+
+TEST_F(MonitorTest, BatchedDecisionsMatchPerRunDecisions) {
+  // DecideForRuns is the SIMD-batched entry the serving tier uses at
+  // session open; its choices must equal per-run DecideForRun exactly,
+  // field for field, at every active tier.
+  ProgressMonitor monitor(static_selector_, dynamic_selector_);
+  std::vector<OwnedRun> owned;
+  owned.reserve(6);
+  for (size_t q = 0; q < 6; ++q) owned.push_back(RunOne(q));
+  std::vector<const QueryRunResult*> runs;
+  for (const OwnedRun& run : owned) runs.push_back(&run.result);
+  for (simd::Tier tier : {simd::Tier::kScalar, simd::Tier::kAvx2}) {
+    const simd::Tier prev = simd::ActiveTier();
+    simd::ForceTier(tier);
+    const auto batched = monitor.DecideForRuns(runs);
+    simd::ForceTier(prev);
+    ASSERT_EQ(batched.size(), runs.size());
+    for (size_t r = 0; r < runs.size(); ++r) {
+      const auto single = monitor.DecideForRun(*runs[r]);
+      ASSERT_EQ(batched[r].size(), single.size());
+      for (size_t p = 0; p < single.size(); ++p) {
+        EXPECT_EQ(batched[r][p].pipeline_id, single[p].pipeline_id);
+        EXPECT_EQ(batched[r][p].initial_choice, single[p].initial_choice);
+        EXPECT_EQ(batched[r][p].revised_choice, single[p].revised_choice);
+        EXPECT_EQ(batched[r][p].revision_obs, single[p].revision_obs);
+      }
     }
   }
 }

@@ -200,6 +200,52 @@ TEST_F(ShardedMonitorServiceTest, RoutedSessionsMatchSequentialReplay) {
   EXPECT_FALSE(service.CloseSession(0).ok());
 }
 
+TEST_F(ShardedMonitorServiceTest, BatchOpenSessionsMatchesPerSessionOpens) {
+  // OpenSessions makes every decision through the SIMD-batched
+  // DecideForRuns pass; the sessions it opens must replay bit-identically
+  // to sessions opened one at a time, and the counters must be exact.
+  const auto reference = ReferencePerRun();
+  const size_t kSessions = 37;  // not a tile multiple: exercises the tail
+  const auto session_runs = SessionRuns(kSessions);
+
+  MonitorService service(stack_);
+  auto ids = service.OpenSessions(session_runs);
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  ASSERT_EQ(ids->size(), kSessions);
+  EXPECT_EQ(service.num_open_sessions(), kSessions);
+
+  MonitorService one_by_one(stack_);
+  uint64_t want_decisions = 0;
+  for (size_t s = 0; s < kSessions; ++s) {
+    ASSERT_TRUE(one_by_one.OpenSession(session_runs[s]).ok());
+  }
+  want_decisions = one_by_one.GetStats().decisions;
+  EXPECT_EQ(service.GetStats().decisions, want_decisions);
+  EXPECT_EQ(service.GetStats().sessions_opened, kSessions);
+
+  for (size_t s = 0; s < kSessions; ++s) {
+    const auto& expected = reference[s % runs_->size()];
+    for (size_t oi = 0; oi < expected.size(); ++oi) {
+      auto progress = service.Advance((*ids)[s]);
+      ASSERT_TRUE(progress.ok()) << progress.status().ToString();
+      ASSERT_EQ(*progress, expected[oi]) << "session " << s << " obs " << oi;
+    }
+    EXPECT_TRUE(*service.Done((*ids)[s]));
+  }
+
+  // A null run poisons the whole batch before any session is opened.
+  std::vector<const QueryRunResult*> with_null = SessionRuns(3);
+  with_null.push_back(nullptr);
+  MonitorService strict(stack_);
+  EXPECT_FALSE(strict.OpenSessions(with_null).ok());
+  EXPECT_EQ(strict.num_open_sessions(), 0u);
+
+  // An empty batch is a clean no-op.
+  auto empty = service.OpenSessions({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
 TEST_F(ShardedMonitorServiceTest, BudgetedTickDrivesAllShardsToCompletion) {
   for (size_t shards : {size_t{1}, size_t{4}}) {
     for (size_t budget : {size_t{0}, size_t{2}, size_t{32}}) {

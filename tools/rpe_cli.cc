@@ -68,6 +68,7 @@
 #include <thread>
 
 #include "common/failpoint.h"
+#include "common/simd.h"
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
 #include "harness/experiment.h"
@@ -514,6 +515,7 @@ int CmdServeReplay(const std::map<std::string, std::string>& flags) {
   const ShardedMonitorService::Stats stats = service.GetStats();
   TablePrinter table({"Metric", "Value"});
   table.AddRow({"shards", std::to_string(stats.shards)});
+  table.AddRow({"simd", simd::KernelReport()});
   table.AddRow({"sessions replayed",
                 std::to_string(stats.total.sessions_completed)});
   table.AddRow({"decisions", std::to_string(stats.total.decisions)});
@@ -612,6 +614,7 @@ int CmdServeTcp(const std::map<std::string, std::string>& flags) {
   const WireStats w = server.BuildWireStats();
   TablePrinter table({"Metric", "Value"});
   table.AddRow({"shards", std::to_string(service.num_shards())});
+  table.AddRow({"simd", simd::KernelReport()});
   table.AddRow({"connections accepted",
                 std::to_string(w.connections_accepted)});
   table.AddRow({"connections closed", std::to_string(w.connections_closed)});
@@ -777,6 +780,7 @@ int CmdServeOnline(const std::map<std::string, std::string>& flags) {
   const ShardedMonitorService::Stats stats = service.GetStats();
   TablePrinter table({"Metric", "Value"});
   table.AddRow({"shards", std::to_string(stats.shards)});
+  table.AddRow({"simd", simd::KernelReport()});
   table.AddRow({"sessions replayed",
                 std::to_string(stats.total.sessions_completed)});
   table.AddRow({"ticks", std::to_string(ticks)});
@@ -835,9 +839,21 @@ void PrintUsage(std::ostream& out) {
          "  serve-replay   concurrent MonitorService replay of a workload\n"
          "  serve-tcp      epoll TCP front-end over the monitor tier\n"
          "  serve-online   replay + async ingest + background retraining\n"
+         "  version        build + SIMD dispatch report (also --version)\n"
          "common flags: --threads N; serve commands also take --shards N\n"
          "(sharded session routing) and --model x.rpsn --mmap (zero-copy\n"
          "snapshot load)\n";
+}
+
+/// `version` / `--version`: which SIMD tier was detected, what RPE_SIMD
+/// resolved to, and which implementation each dispatched kernel bound —
+/// the observable surface of common/simd.h (tests/simd_test.cpp asserts
+/// on the same KernelReport string).
+int CmdVersion() {
+  std::cout << "rpe_cli (journals_pvldb_KonigDCN11 reproduction)\n"
+            << "simd: detected=" << simd::TierName(simd::DetectedTier())
+            << " " << simd::KernelReport() << "\n";
+  return 0;
 }
 
 int Main(int argc, char** argv) {
@@ -850,6 +866,7 @@ int Main(int argc, char** argv) {
     PrintUsage(std::cout);
     return 0;
   }
+  if (cmd == "version" || cmd == "--version") return CmdVersion();
   const auto flags = ParseFlags(argc, argv, 2);
   if (flags.count("threads") > 0) {
     ThreadPool::SetGlobalThreads(std::stoi(flags.at("threads")));
