@@ -11,6 +11,12 @@
 #   3. An open-loop burst against the same server also exits clean.
 #   4. SIGTERM drains the server: it exits 0 and its final stats table
 #      reports every connection closed and zero protocol/io errors.
+#   5. A second server wired for online learning (--retrain-every /
+#      --ingest-watermark) runs the saturation legs: an oversized ingest
+#      batch is answered busy (shed, never dropped silently), a paced
+#      under-watermark stream is accepted in full, and an
+#      --ingest-until-swap run observes a published retrain — all with
+#      --check reconciling client and server counters exactly.
 #
 # Usage: server_smoke_test.sh <path-to-rpe_cli> <path-to-rpe_loadgen>
 set -u
@@ -19,8 +25,10 @@ CLI="${1:?usage: server_smoke_test.sh <rpe_cli> <rpe_loadgen>}"
 LOADGEN="${2:?usage: server_smoke_test.sh <rpe_cli> <rpe_loadgen>}"
 WORK="$(mktemp -d "${TMPDIR:-/tmp}/rpe_server_smoke.XXXXXX")"
 SRV_PID=""
+SRV2_PID=""
 cleanup() {
   [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null
+  [ -n "$SRV2_PID" ] && kill -9 "$SRV2_PID" 2>/dev/null
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -109,6 +117,115 @@ COMPLETED="$(table_value 'sessions completed')"
 [ "$OPENED" = "68" ] || fail "server counted $OPENED opens, expected 68"
 [ "$COMPLETED" = "68" ] \
   || fail "server counted $COMPLETED completions, expected 68"
+
+# --- online-loop server: ingest → retrain → hot swap ----------------------
+SRV2_OUT="$WORK/server2_stdout.txt"
+SRV2_ERR="$WORK/server2_stderr.txt"
+"$CLI" serve-tcp --kind tpch --queries 10 --scale 2 --shards 2 --trees 10 \
+  --retrain-every 64 --ingest-watermark 16 \
+  >"$SRV2_OUT" 2>"$SRV2_ERR" &
+SRV2_PID=$!
+PORT2=""
+for _ in $(seq 1 600); do
+  if ! kill -0 "$SRV2_PID" 2>/dev/null; then
+    fail "online server died during startup: $(cat "$SRV2_ERR")"
+    exit 1
+  fi
+  PORT2="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+           "$SRV2_OUT" | head -n 1)"
+  [ -n "$PORT2" ] && break
+  sleep 0.5
+done
+if [ -z "$PORT2" ]; then
+  fail "online server never printed its listening line: $(cat "$SRV2_ERR")"
+  exit 1
+fi
+note "online server up on port $PORT2"
+
+# Saturation: every batch is bigger than the watermark, so every record is
+# answered busy — shed exactly, dropped never — and --check still passes.
+# (Runs first: nothing enters the queue, so the trainer stays idle and the
+# later legs see deterministic admission decisions.)
+if ! "$LOADGEN" --port "$PORT2" --sessions 0 --connections 1 \
+    --ingest-records 64 --ingest-batch 32 --check \
+    >"$WORK/loadgen_shed.json" 2>"$WORK/loadgen_shed_err.txt"; then
+  fail "saturation loadgen failed: $(cat "$WORK/loadgen_shed_err.txt")"
+fi
+JSON="$(tail -n 1 "$WORK/loadgen_shed.json")"
+case "$JSON" in
+  *'"ingest_shed":64'*) ;;
+  *) fail "oversized batches were not all answered busy: $JSON" ;;
+esac
+case "$JSON" in
+  *'"ingest_accepted":0'*) ;;
+  *) fail "oversized batches were partially accepted: $JSON" ;;
+esac
+
+# Recovery: paced under-watermark batches are accepted in full — the busy
+# state disappears once the offered load fits the queue again.
+if ! "$LOADGEN" --port "$PORT2" --sessions 0 --connections 1 \
+    --ingest-records 40 --ingest-batch 8 --ingest-rate 50 --check \
+    >"$WORK/loadgen_recover.json" 2>"$WORK/loadgen_recover_err.txt"; then
+  fail "recovery loadgen failed: $(cat "$WORK/loadgen_recover_err.txt")"
+fi
+JSON="$(tail -n 1 "$WORK/loadgen_recover.json")"
+case "$JSON" in
+  *'"ingest_accepted":40'*) ;;
+  *) fail "under-watermark stream was not accepted in full: $JSON" ;;
+esac
+case "$JSON" in
+  *'"ingest_shed":0'*) ;;
+  *) fail "under-watermark stream was shed: $JSON" ;;
+esac
+
+# Online loop end to end: session traffic + ingest until a retrain is
+# published mid-run, with exact client/server reconciliation.
+if ! "$LOADGEN" --port "$PORT2" --connections 2 --sessions 8 --steps 16 \
+    --ingest-rate 400 --ingest-batch 8 --ingest-until-swap --check \
+    >"$WORK/loadgen_swap.json" 2>"$WORK/loadgen_swap_err.txt"; then
+  fail "online-loop loadgen failed: $(cat "$WORK/loadgen_swap_err.txt")"
+fi
+JSON="$(tail -n 1 "$WORK/loadgen_swap.json")"
+case "$JSON" in
+  *'"swap_observed":true'*) ;;
+  *) fail "online-loop run never observed a model swap: $JSON" ;;
+esac
+case "$JSON" in
+  *'"errors":0'*) ;;
+  *) fail "online-loop run reported errors: $JSON" ;;
+esac
+grep -q "counters reconcile exactly" "$WORK/loadgen_swap_err.txt" \
+  || fail "online-loop reconciliation line missing"
+
+# SIGTERM drains the online server too: exit 0, retrain published,
+# nothing left open.
+kill -TERM "$SRV2_PID"
+SRV2_RC=0
+wait "$SRV2_PID" || SRV2_RC=$?
+SRV2_PID=""
+[ "$SRV2_RC" -eq 0 ] || fail "online server exited $SRV2_RC after SIGTERM"
+
+table2_value() {  # table2_value <row-label-regex>
+  awk -F'|' "/$1/ {gsub(/ /,\"\",\$3); print \$3}" "$SRV2_OUT" | head -n 1
+}
+GENERATION="$(table2_value 'model generation')"
+RETRAINS="$(table2_value 'retrains published')"
+INGESTED="$(table2_value 'wire records ingested')"
+SHED="$(table2_value 'wire records shed')"
+ACCEPTED2="$(table2_value 'connections accepted')"
+CLOSED2="$(table2_value 'connections closed')"
+[ -n "$GENERATION" ] && [ "$GENERATION" != "0" ] \
+  || fail "online server never published a generation: '$GENERATION'"
+[ -n "$RETRAINS" ] && [ "$RETRAINS" != "0" ] \
+  || fail "online server reported zero retrains: '$RETRAINS'"
+[ -n "$INGESTED" ] && [ "$INGESTED" != "0" ] \
+  || fail "online server ingested nothing: '$INGESTED'"
+# 64 records from the saturation leg, plus whatever the swap leg shed.
+[ -n "$SHED" ] && [ "$SHED" -ge 64 ] \
+  || fail "online server shed $SHED records, expected >= 64"
+[ -n "$ACCEPTED2" ] && [ "$ACCEPTED2" = "$CLOSED2" ] \
+  || fail "online drain left connections open" \
+          "(accepted=$ACCEPTED2 closed=$CLOSED2)"
 
 if [ "$fails" -ne 0 ]; then
   note "$fails server smoke check(s) failed"

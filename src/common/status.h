@@ -17,6 +17,10 @@ enum class StatusCode {
   kNotImplemented,
   kInternal,
   kIOError,
+  /// Transient overload: the operation was refused by admission control
+  /// (not failed) and is expected to succeed after backoff. Appended last
+  /// — the numeric values travel as the wire status byte (serving/wire.h).
+  kUnavailable,
 };
 
 /// \brief Outcome of a fallible operation: a code plus a human-readable
@@ -45,6 +49,9 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -64,6 +71,7 @@ class Status {
       case StatusCode::kNotImplemented: return "NotImplemented";
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kIOError: return "IOError";
+      case StatusCode::kUnavailable: return "Unavailable";
     }
     return "Unknown";
   }

@@ -30,12 +30,57 @@ Status Errno(const std::string& what) {
   return Status::IOError(what + ": " + std::strerror(errno));
 }
 
+/// Frames admission control may refuse. kClose is exempt (it frees
+/// resources — shedding it would pin sessions under the very overload
+/// shedding exists to survive) and so is kStats (observability must work
+/// when the server is saturated, or the saturation is undebuggable).
+bool Sheddable(MsgType type) {
+  switch (type) {
+    case MsgType::kOpen:
+    case MsgType::kAdvance:
+    case MsgType::kProgress:
+    case MsgType::kIngestRecord:
+    case MsgType::kIngestBatch:
+      return true;
+    case MsgType::kClose:
+    case MsgType::kStats:
+      return false;
+  }
+  return true;
+}
+
+/// Records an ingest frame offers, counted without decoding it (the frame
+/// may be shed before decode): 1 for kIngestRecord; for kIngestBatch the
+/// leading u32 count, clamped to the protocol bound so a lying prefix
+/// cannot inflate the shed counter. A batch too short to carry its count
+/// is counted as 0 offered — dispatch would reject it as a protocol
+/// error, not shed it, so nothing is miscounted.
+uint32_t IngestFrameRecords(const WireFrame& frame) {
+  if (frame.type == MsgType::kIngestRecord) return 1;
+  if (frame.payload.size() < 4) return 0;
+  uint32_t count = 0;
+  std::memcpy(&count, frame.payload.data(), 4);
+  return std::min(count, kMaxIngestBatchRecords);
+}
+
 }  // namespace
 
 /// \brief One accepted socket: frame reassembly state, the FIFO of
 /// decoded-but-undispatched frames, the bounded write buffer, and the
 /// sessions it opened (closed with the connection). Owned by exactly one
 /// IO thread; nothing here is shared.
+/// \brief One decoded frame awaiting dispatch. A frame shed by admission
+/// control keeps its inbox slot (the busy response must leave in FIFO
+/// order) but its payload is released at shed time and `shed` marks it
+/// so dispatch answers without handling.
+struct TcpServer::InboxEntry {
+  WireFrame frame;
+  /// Records the frame offered, captured before the payload was released
+  /// (nonzero only for shed ingest frames).
+  uint32_t shed_records = 0;
+  bool shed = false;
+};
+
 struct TcpServer::Connection {
   int fd = -1;
   size_t shard = 0;  ///< every session of this connection opens here
@@ -43,7 +88,7 @@ struct TcpServer::Connection {
   /// Frames decoded but not yet dispatched. Dispatch stops at a deferred
   /// Advance (response order is per-connection FIFO) and while reads are
   /// paused by backpressure.
-  std::deque<WireFrame> inbox;
+  std::deque<InboxEntry> inbox;
   /// True while this connection has an Advance in the IO thread's batch;
   /// later frames wait so responses keep request order.
   bool advancing = false;
@@ -97,13 +142,27 @@ struct TcpServer::IoThread {
   std::atomic<uint64_t> wire_sessions_opened{0};
   std::atomic<uint64_t> wire_sessions_closed{0};
   std::atomic<uint64_t> advance_steps{0};
+  std::atomic<uint64_t> requests_shed{0};
+  std::atomic<uint64_t> records_ingested{0};
+  std::atomic<uint64_t> records_ingest_dropped{0};
+  std::atomic<uint64_t> records_ingest_shed{0};
 };
 
 TcpServer::TcpServer(ShardedMonitorService* service,
                      std::vector<const QueryRunResult*> runs, Options options)
-    : service_(service), runs_(std::move(runs)), options_(options) {
+    : TcpServer(service, std::move(runs), nullptr, options) {}
+
+TcpServer::TcpServer(ShardedMonitorService* service,
+                     std::vector<const QueryRunResult*> runs,
+                     RecordIngestQueue* ingest, Options options)
+    : service_(service),
+      runs_(std::move(runs)),
+      ingest_(ingest),
+      options_(options) {
   RPE_CHECK(service_ != nullptr);
   RPE_CHECK(!runs_.empty());
+  RPE_CHECK(options_.max_inflight_per_conn > 0);
+  RPE_CHECK(options_.max_inflight_total > 0);
 }
 
 TcpServer::~TcpServer() { Stop(); }
@@ -265,6 +324,14 @@ void TcpServer::CloseConnection(IoThread* io, Connection* conn) {
     io->wire_sessions_closed.fetch_add(1, std::memory_order_relaxed);
   }
   conn->sessions.clear();
+  // Undispatched frames die with the connection; give their in-flight
+  // slots back so the global budget cannot leak under disconnect storms.
+  for (const InboxEntry& entry : conn->inbox) {
+    if (!entry.shed) {
+      inflight_total_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  conn->inbox.clear();
   ::epoll_ctl(io->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
   ::close(conn->fd);
   io->connections_closed.fetch_add(1, std::memory_order_relaxed);
@@ -421,17 +488,112 @@ void TcpServer::HandleFrame(IoThread* io, Connection* conn,
       SendFrame(io, conn, EncodeStatsResponse(BuildWireStats()));
       return;
     }
+    case MsgType::kIngestRecord: {
+      auto req = DecodeIngestRecordRequest(frame.payload);
+      if (!req.ok()) {
+        io->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        SendFrame(io, conn,
+                  EncodeErrorFrame(MsgType::kIngestRecord, req.status()));
+        return;
+      }
+      std::vector<PipelineRecord> records;
+      records.push_back(std::move(req->record));
+      IngestRecords(io, conn, MsgType::kIngestRecord, std::move(records));
+      return;
+    }
+    case MsgType::kIngestBatch: {
+      auto req = DecodeIngestBatchRequest(frame.payload);
+      if (!req.ok()) {
+        io->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        SendFrame(io, conn,
+                  EncodeErrorFrame(MsgType::kIngestBatch, req.status()));
+        return;
+      }
+      IngestRecords(io, conn, MsgType::kIngestBatch,
+                    std::move(req->records));
+      return;
+    }
   }
   // Unreachable: FrameDecoder rejects unknown type bytes.
   io->protocol_errors.fetch_add(1, std::memory_order_relaxed);
 }
 
+void TcpServer::AnswerShed(IoThread* io, Connection* conn,
+                           const InboxEntry& entry) {
+  (void)RPE_INJECT_FAULT("server.shed");  // sync hook: a shed was answered
+  if (entry.shed_records > 0) {
+    io->records_ingest_shed.fetch_add(entry.shed_records,
+                                      std::memory_order_relaxed);
+  } else {
+    io->requests_shed.fetch_add(1, std::memory_order_relaxed);
+  }
+  SendFrame(io, conn,
+            EncodeErrorFrame(
+                entry.frame.type,
+                Status::Unavailable(
+                    "server overloaded: in-flight budget exceeded, retry "
+                    "after backoff")));
+}
+
+void TcpServer::IngestRecords(IoThread* io, Connection* conn, MsgType type,
+                              std::vector<PipelineRecord> records) {
+  if (ingest_ == nullptr) {
+    // Replay-only server: a well-formed ingest frame is not a protocol
+    // error, the deployment just has no online loop to feed.
+    SendFrame(io, conn,
+              EncodeErrorFrame(type, Status::NotImplemented(
+                                         "server has no ingest queue")));
+    return;
+  }
+  const size_t watermark = options_.ingest_shed_watermark > 0
+                               ? options_.ingest_shed_watermark
+                               : ingest_->capacity();
+  if (ingest_->size() + records.size() > watermark) {
+    // Watermark shed: the whole frame is refused with busy before any
+    // record is enqueued — partial acceptance would make client-side
+    // reconciliation ambiguous. Queue-full drops below can then only
+    // happen when another producer races us past the watermark.
+    (void)RPE_INJECT_FAULT("server.shed");
+    io->records_ingest_shed.fetch_add(records.size(),
+                                      std::memory_order_relaxed);
+    SendFrame(io, conn,
+              EncodeErrorFrame(
+                  type, Status::Unavailable(
+                            "server overloaded: ingest queue at watermark, "
+                            "retry after backoff")));
+    return;
+  }
+  IngestResponse resp;
+  for (PipelineRecord& record : records) {
+    if (RPE_INJECT_FAULT("server.ingest")) {
+      // Injected drop at the wire→queue edge: accounted exactly like a
+      // queue-full drop, visible in the response and the counters.
+      ++resp.dropped;
+      continue;
+    }
+    if (ingest_->Push(std::move(record))) {
+      ++resp.accepted;
+    } else {
+      ++resp.dropped;
+    }
+  }
+  io->records_ingested.fetch_add(resp.accepted, std::memory_order_relaxed);
+  io->records_ingest_dropped.fetch_add(resp.dropped,
+                                       std::memory_order_relaxed);
+  SendFrame(io, conn, EncodeIngestResponse(type, resp));
+}
+
 void TcpServer::DispatchInbox(IoThread* io, Connection* conn) {
   while (!conn->inbox.empty() && !conn->advancing && !conn->paused_read &&
          !conn->dead) {
-    const WireFrame frame = std::move(conn->inbox.front());
+    const InboxEntry entry = std::move(conn->inbox.front());
     conn->inbox.pop_front();
-    HandleFrame(io, conn, frame);
+    if (entry.shed) {
+      AnswerShed(io, conn, entry);
+      continue;
+    }
+    inflight_total_.fetch_sub(1, std::memory_order_relaxed);
+    HandleFrame(io, conn, entry.frame);
   }
 }
 
@@ -535,7 +697,28 @@ bool TcpServer::ReadInto(IoThread* io, Connection* conn) {
       }
       if (!*next) break;
       io->frames_received.fetch_add(1, std::memory_order_relaxed);
-      conn->inbox.push_back(std::move(frame));
+      InboxEntry entry;
+      entry.frame = std::move(frame);
+      // Admission control happens here, at read time: a frame over the
+      // per-connection or global in-flight budget is marked shed and its
+      // payload released immediately (a flood costs inbox slots, not
+      // payload bytes), but it keeps its slot so the busy response leaves
+      // in FIFO order at dispatch.
+      if (Sheddable(entry.frame.type) &&
+          (conn->inbox.size() >= options_.max_inflight_per_conn ||
+           inflight_total_.load(std::memory_order_relaxed) >=
+               options_.max_inflight_total)) {
+        entry.shed = true;
+        if (entry.frame.type == MsgType::kIngestRecord ||
+            entry.frame.type == MsgType::kIngestBatch) {
+          entry.shed_records = IngestFrameRecords(entry.frame);
+        }
+        entry.frame.payload.clear();
+        entry.frame.payload.shrink_to_fit();
+      } else {
+        inflight_total_.fetch_add(1, std::memory_order_relaxed);
+      }
+      conn->inbox.push_back(std::move(entry));
     }
   }
   return true;
@@ -668,6 +851,13 @@ TcpServerStats TcpServer::GetStats() const {
     s.wire_sessions_closed +=
         io->wire_sessions_closed.load(std::memory_order_relaxed);
     s.advance_steps += io->advance_steps.load(std::memory_order_relaxed);
+    s.requests_shed += io->requests_shed.load(std::memory_order_relaxed);
+    s.records_ingested +=
+        io->records_ingested.load(std::memory_order_relaxed);
+    s.records_ingest_dropped +=
+        io->records_ingest_dropped.load(std::memory_order_relaxed);
+    s.records_ingest_shed +=
+        io->records_ingest_shed.load(std::memory_order_relaxed);
   }
   return s;
 }
@@ -694,6 +884,15 @@ WireStats TcpServer::BuildWireStats() const {
   w.advance_steps = tcp.advance_steps;
   w.p50_replay_ms = svc.total.p50_replay_ms;
   w.p95_replay_ms = svc.total.p95_replay_ms;
+  w.records_ingested = tcp.records_ingested;
+  w.records_ingest_dropped = tcp.records_ingest_dropped;
+  w.records_ingest_shed = tcp.records_ingest_shed;
+  w.requests_shed = tcp.requests_shed;
+  w.ingest_pushed = svc.total.ingest.pushed;
+  w.ingest_dropped = svc.total.ingest.dropped;
+  w.ingest_drained = svc.total.ingest.drained;
+  w.ingest_queue_size = svc.total.ingest.queue_size;
+  w.retrains = svc.total.ingest.retrains;
   return w;
 }
 

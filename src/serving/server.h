@@ -30,6 +30,19 @@
 // buffer drains below half — a slow reader throttles itself, never the
 // event loop or other connections.
 //
+// Online ingest + admission control: kIngestRecord / kIngestBatch frames
+// stream PipelineRecords into the RecordIngestQueue handed to the
+// constructor (the TrainerLoop drains it, retrains, and hot-swaps —
+// generation bumps are visible in kStats responses mid-connection).
+// Saturation is shed, never queued unboundedly and never dropped
+// silently: a frame that exceeds the per-connection or global in-flight
+// budget, or an ingest frame that would push the queue past its
+// watermark, is answered with a kStatusBusy error frame in FIFO order
+// and counted exactly (TcpServerStats::requests_shed /
+// records_ingest_shed). Shed decisions happen at read time — the frame's
+// payload is released immediately, so a flood costs inbox slots, not
+// payload bytes — but the busy response still goes out in request order.
+//
 // Shutdown: Stop() closes the listen socket, wakes every IO thread,
 // flushes pending write buffers for up to Options::drain_timeout, closes
 // every connection (closing its sessions), and joins the threads — a
@@ -48,6 +61,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "serving/ingest.h"
 #include "serving/shard_router.h"
 #include "serving/wire.h"
 
@@ -68,6 +82,14 @@ struct TcpServerStats {
   uint64_t wire_sessions_opened = 0;
   uint64_t wire_sessions_closed = 0;
   uint64_t advance_steps = 0;  ///< observation steps taken for Advance
+  // Admission control / online ingest. Every record offered over the wire
+  // is accounted exactly once: ingested + ingest_dropped + ingest_shed ==
+  // records offered; every shed frame (session or ingest) was answered
+  // with kStatusBusy, never silently discarded.
+  uint64_t requests_shed = 0;           ///< session frames answered busy
+  uint64_t records_ingested = 0;        ///< records accepted into the queue
+  uint64_t records_ingest_dropped = 0;  ///< records refused at the queue edge
+  uint64_t records_ingest_shed = 0;     ///< records answered busy
 };
 
 /// \brief Epoll event-loop TCP server over a ShardedMonitorService.
@@ -88,12 +110,27 @@ class TcpServer {
     /// How long Stop() keeps flushing pending responses before closing
     /// connections that still have unread bytes.
     std::chrono::milliseconds drain_timeout{2000};
+    /// Admission control: max undispatched frames per connection before
+    /// new sheddable frames are answered kStatusBusy.
+    size_t max_inflight_per_conn = 128;
+    /// Global cap on undispatched frames across all connections.
+    size_t max_inflight_total = 4096;
+    /// Ingest-queue watermark: an ingest frame whose records would push
+    /// the queue past this is answered kStatusBusy. 0 = the queue's
+    /// capacity (shed exactly when Push would start dropping).
+    size_t ingest_shed_watermark = 0;
   };
 
   /// `service` and the runs behind `runs` must outlive the server. `runs`
   /// is the replay corpus OpenRequest.run_index indexes into (modulo).
+  /// Without an ingest queue, ingest frames are answered NotImplemented.
   TcpServer(ShardedMonitorService* service,
             std::vector<const QueryRunResult*> runs, Options options);
+  /// `ingest` (may be null) must outlive the server; it is the wire →
+  /// TrainerLoop edge for kIngestRecord / kIngestBatch frames.
+  TcpServer(ShardedMonitorService* service,
+            std::vector<const QueryRunResult*> runs,
+            RecordIngestQueue* ingest, Options options);
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
@@ -118,6 +155,7 @@ class TcpServer {
 
  private:
   struct Connection;
+  struct InboxEntry;
   struct AdvanceWork;
   struct IoThread;
 
@@ -137,10 +175,18 @@ class TcpServer {
   void SendFrame(IoThread* io, Connection* conn, std::string frame);
   void CloseConnection(IoThread* io, Connection* conn);
   void HandleFrame(IoThread* io, Connection* conn, const WireFrame& frame);
+  /// Answer a frame shed at read time with kStatusBusy (FIFO order) and
+  /// bump the exact shed counter (records for ingest, frames otherwise).
+  void AnswerShed(IoThread* io, Connection* conn, const InboxEntry& entry);
+  /// Push decoded records into the ingest queue (watermark shed, per-record
+  /// `server.ingest` failpoint) and answer with an IngestResponse.
+  void IngestRecords(IoThread* io, Connection* conn, MsgType type,
+                     std::vector<PipelineRecord> records);
   bool UpdateEpoll(IoThread* io, Connection* conn);
 
   ShardedMonitorService* const service_;
   const std::vector<const QueryRunResult*> runs_;
+  RecordIngestQueue* const ingest_;  ///< may be null (replay-only server)
   const Options options_;
 
   int listen_fd_ = -1;
@@ -154,6 +200,9 @@ class TcpServer {
   int acceptor_wake_fd_ = -1;  ///< eventfd that interrupts the acceptor
   std::atomic<uint64_t> next_io_thread_{0};
   std::atomic<uint64_t> accepted_total_{0};  ///< written by the acceptor
+  /// Undispatched (non-shed) frames across all connections — the global
+  /// in-flight budget admission control checks at read time.
+  std::atomic<uint64_t> inflight_total_{0};
 };
 
 }  // namespace rpe

@@ -1,6 +1,9 @@
 #include "serving/wire.h"
 
+#include <cmath>
 #include <type_traits>
+
+#include "selection/features.h"
 
 namespace rpe {
 namespace {
@@ -18,6 +21,8 @@ class Writer {
     std::memcpy(raw, &value, sizeof(T));
     out_.append(raw, sizeof(T));
   }
+
+  void PutBytes(const std::string& bytes) { out_.append(bytes); }
 
   std::string Take() { return std::move(out_); }
 
@@ -41,7 +46,16 @@ class Reader {
     return Status::OK();
   }
 
-  /// Typed payloads are fixed-size: trailing bytes are as much a protocol
+  Status GetBytes(std::string* out, size_t n) {
+    if (payload_.size() - pos_ < n) {
+      return Status::InvalidArgument("wire payload truncated");
+    }
+    out->assign(payload_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  /// Typed payloads are exact-size: trailing bytes are as much a protocol
   /// violation as missing ones (a lying encoder, not a storage fault).
   Status ExpectEnd() const {
     if (pos_ != payload_.size()) {
@@ -61,6 +75,97 @@ std::string FinishFrame(MsgType type, uint8_t status, Writer* payload) {
   return EncodeFrame(type, status, payload->Take());
 }
 
+// --- wire record (see the layout in wire.h) --------------------------------
+
+void PutString16(Writer* w, const std::string& s) {
+  // Lengths travel as written; the decoder enforces the caps, so a lying
+  // or oversized encoder is rejected by the peer rather than silently
+  // truncated here.
+  w->Put(static_cast<uint16_t>(s.size()));
+  w->PutBytes(s);
+}
+
+void PutDoubles16(Writer* w, const std::vector<double>& v) {
+  w->Put(static_cast<uint16_t>(v.size()));
+  for (double d : v) w->Put(d);
+}
+
+size_t RecordWireBytes(const PipelineRecord& r) {
+  return 3 * 2 + r.workload.size() + r.query.size() + r.tag.size() + 4 + 8 +
+         3 * 2 + 8 * (r.features.size() + r.l1.size() + r.l2.size());
+}
+
+void PutRecord(Writer* w, const PipelineRecord& r) {
+  PutString16(w, r.workload);
+  PutString16(w, r.query);
+  PutString16(w, r.tag);
+  w->Put(static_cast<int32_t>(r.pipeline_id));
+  w->Put(r.total_n);
+  PutDoubles16(w, r.features);
+  PutDoubles16(w, r.l1);
+  PutDoubles16(w, r.l2);
+}
+
+Status GetString16(Reader* r, std::string* out, const char* field) {
+  uint16_t len = 0;
+  RPE_RETURN_NOT_OK(r->Get(&len));
+  if (len > kMaxIngestStringBytes) {
+    return Status::InvalidArgument(
+        "wire record " + std::string(field) + " length " +
+        std::to_string(len) + " exceeds the " +
+        std::to_string(kMaxIngestStringBytes) + "-byte cap");
+  }
+  return r->GetBytes(out, len);
+}
+
+Status GetDoubles16(Reader* r, std::vector<double>* out, size_t expected,
+                    const char* field) {
+  uint16_t n = 0;
+  RPE_RETURN_NOT_OK(r->Get(&n));
+  if (n != expected) {
+    return Status::InvalidArgument(
+        "wire record " + std::string(field) + " arity " + std::to_string(n) +
+        " != expected " + std::to_string(expected));
+  }
+  out->clear();
+  out->reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    double d = 0.0;
+    RPE_RETURN_NOT_OK(r->Get(&d));
+    if (!std::isfinite(d)) {
+      return Status::InvalidArgument("wire record " + std::string(field) +
+                                     " carries a non-finite value");
+    }
+    out->push_back(d);
+  }
+  return Status::OK();
+}
+
+Status GetRecord(Reader* r, PipelineRecord* out) {
+  RPE_RETURN_NOT_OK(GetString16(r, &out->workload, "workload"));
+  RPE_RETURN_NOT_OK(GetString16(r, &out->query, "query"));
+  RPE_RETURN_NOT_OK(GetString16(r, &out->tag, "tag"));
+  int32_t pipeline_id = 0;
+  RPE_RETURN_NOT_OK(r->Get(&pipeline_id));
+  out->pipeline_id = pipeline_id;
+  RPE_RETURN_NOT_OK(r->Get(&out->total_n));
+  if (!std::isfinite(out->total_n)) {
+    return Status::InvalidArgument(
+        "wire record total_n carries a non-finite value");
+  }
+  // A record whose arity disagrees with this process's schema / estimator
+  // table must be rejected at the wire, exactly as RecordsFromCsv rejects
+  // it at the file boundary — a mixed-arity corpus breaks retraining.
+  RPE_RETURN_NOT_OK(GetDoubles16(r, &out->features,
+                                 FeatureSchema::Get().num_features(),
+                                 "features"));
+  RPE_RETURN_NOT_OK(GetDoubles16(
+      r, &out->l1, static_cast<size_t>(kNumEstimatorKinds), "l1"));
+  RPE_RETURN_NOT_OK(GetDoubles16(
+      r, &out->l2, static_cast<size_t>(kNumEstimatorKinds), "l2"));
+  return Status::OK();
+}
+
 }  // namespace
 
 Status WireFrame::ToStatus() const {
@@ -73,6 +178,7 @@ Status WireFrame::ToStatus() const {
     case StatusCode::kNotImplemented:
     case StatusCode::kInternal:
     case StatusCode::kIOError:
+    case StatusCode::kUnavailable:
       return Status(code, payload);
     case StatusCode::kOk:
       break;
@@ -154,8 +260,30 @@ std::string EncodeStatsRequest() {
   return EncodeFrame(MsgType::kStats, 0, {});
 }
 
+std::string EncodeIngestRecordRequest(const IngestRecordRequest& m) {
+  Writer w(RecordWireBytes(m.record));
+  PutRecord(&w, m.record);
+  return FinishFrame(MsgType::kIngestRecord, 0, &w);
+}
+
+std::string EncodeIngestBatchRequest(const IngestBatchRequest& m) {
+  size_t bytes = 4;
+  for (const PipelineRecord& r : m.records) bytes += RecordWireBytes(r);
+  Writer w(bytes);
+  w.Put(static_cast<uint32_t>(m.records.size()));
+  for (const PipelineRecord& r : m.records) PutRecord(&w, r);
+  return FinishFrame(MsgType::kIngestBatch, 0, &w);
+}
+
+std::string EncodeIngestResponse(MsgType type, const IngestResponse& m) {
+  Writer w(8);
+  w.Put(m.accepted);
+  w.Put(m.dropped);
+  return FinishFrame(type, 0, &w);
+}
+
 std::string EncodeStatsResponse(const WireStats& m) {
-  Writer w(16 * 8 + 2 * 8);
+  Writer w(25 * 8 + 2 * 8);
   w.Put(m.sessions_opened);
   w.Put(m.sessions_completed);
   w.Put(m.decisions);
@@ -174,6 +302,15 @@ std::string EncodeStatsResponse(const WireStats& m) {
   w.Put(m.advance_steps);
   w.Put(m.p50_replay_ms);
   w.Put(m.p95_replay_ms);
+  w.Put(m.records_ingested);
+  w.Put(m.records_ingest_dropped);
+  w.Put(m.records_ingest_shed);
+  w.Put(m.requests_shed);
+  w.Put(m.ingest_pushed);
+  w.Put(m.ingest_dropped);
+  w.Put(m.ingest_drained);
+  w.Put(m.ingest_queue_size);
+  w.Put(m.retrains);
   return FinishFrame(MsgType::kStats, 0, &w);
 }
 
@@ -265,6 +402,53 @@ Result<WireStats> DecodeStatsResponse(std::string_view payload) {
   RPE_RETURN_NOT_OK(r.Get(&m.advance_steps));
   RPE_RETURN_NOT_OK(r.Get(&m.p50_replay_ms));
   RPE_RETURN_NOT_OK(r.Get(&m.p95_replay_ms));
+  RPE_RETURN_NOT_OK(r.Get(&m.records_ingested));
+  RPE_RETURN_NOT_OK(r.Get(&m.records_ingest_dropped));
+  RPE_RETURN_NOT_OK(r.Get(&m.records_ingest_shed));
+  RPE_RETURN_NOT_OK(r.Get(&m.requests_shed));
+  RPE_RETURN_NOT_OK(r.Get(&m.ingest_pushed));
+  RPE_RETURN_NOT_OK(r.Get(&m.ingest_dropped));
+  RPE_RETURN_NOT_OK(r.Get(&m.ingest_drained));
+  RPE_RETURN_NOT_OK(r.Get(&m.ingest_queue_size));
+  RPE_RETURN_NOT_OK(r.Get(&m.retrains));
+  RPE_RETURN_NOT_OK(r.ExpectEnd());
+  return m;
+}
+
+Result<IngestRecordRequest> DecodeIngestRecordRequest(
+    std::string_view payload) {
+  Reader r(payload);
+  IngestRecordRequest m;
+  RPE_RETURN_NOT_OK(GetRecord(&r, &m.record));
+  RPE_RETURN_NOT_OK(r.ExpectEnd());
+  return m;
+}
+
+Result<IngestBatchRequest> DecodeIngestBatchRequest(std::string_view payload) {
+  Reader r(payload);
+  uint32_t count = 0;
+  RPE_RETURN_NOT_OK(r.Get(&count));
+  if (count == 0 || count > kMaxIngestBatchRecords) {
+    return Status::InvalidArgument(
+        "IngestBatchRequest count " + std::to_string(count) +
+        " outside [1, " + std::to_string(kMaxIngestBatchRecords) + "]");
+  }
+  IngestBatchRequest m;
+  m.records.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PipelineRecord record;
+    RPE_RETURN_NOT_OK(GetRecord(&r, &record));
+    m.records.push_back(std::move(record));
+  }
+  RPE_RETURN_NOT_OK(r.ExpectEnd());
+  return m;
+}
+
+Result<IngestResponse> DecodeIngestResponse(std::string_view payload) {
+  Reader r(payload);
+  IngestResponse m;
+  RPE_RETURN_NOT_OK(r.Get(&m.accepted));
+  RPE_RETURN_NOT_OK(r.Get(&m.dropped));
   RPE_RETURN_NOT_OK(r.ExpectEnd());
   return m;
 }

@@ -1,7 +1,9 @@
 // Wire protocol of the TCP serving front-end (serving/server.h): a
-// length-prefixed binary framing for the five session messages —
-// Open / Advance / Progress / Close / Stats — shared by the server and
-// the load generator (tools/rpe_loadgen.cc). The codec lives in its own
+// length-prefixed binary framing for the session messages —
+// Open / Advance / Progress / Close / Stats — plus the online-ingest
+// messages IngestRecord / IngestBatch that stream PipelineRecords into
+// the server's RecordIngestQueue, shared by the server and the load
+// generator (tools/rpe_loadgen.cc). The codec lives in its own
 // translation unit, with no socket anywhere in sight, so framing and
 // message encode/decode are unit-testable (tests/wire_test.cpp) and
 // fuzzable (tests/wire_fuzz_test.cpp) byte-for-byte.
@@ -11,13 +13,15 @@
 //   offset  size  field
 //   0       4     payload_len   bytes after this 8-byte header;
 //                               must be <= kMaxPayloadBytes
-//   4       1     type          MsgType (1..5); anything else is rejected
+//   4       1     type          MsgType (1..7); anything else is rejected
 //   5       1     status        StatusCode; 0 on requests and successful
 //                               responses. A response with status != 0
-//                               carries the error message as its payload.
+//                               carries the error message as its payload
+//                               (kStatusBusy marks an admission-control
+//                               rejection — retry after backoff).
 //   6       2     reserved      must be zero (rejected otherwise) — the
 //                               version/extension escape hatch
-//   8       *     payload       fixed-layout message body (below)
+//   8       *     payload       message body (below)
 //
 // Requests and responses share the type byte; direction is implied by
 // who sent the frame. Every request gets exactly one response, in
@@ -39,19 +43,40 @@
 //   CloseResponse    (empty)
 //   StatsRequest     (empty)
 //   StatsResponse    WireStats (fixed field order, see struct)
+//   IngestRecordRequest  one wire record (layout below)
+//   IngestBatchRequest   u32 count (1..kMaxIngestBatchRecords), then
+//                        `count` wire records back to back
+//   IngestResponse   u32 accepted, u32 dropped (both request types)
+//
+// A wire record is the only variable-length payload element; every
+// length is its own prefix and every prefix is validated before a byte
+// is read behind it:
+//
+//   record :=  u16 len, bytes   workload   (len <= kMaxIngestStringBytes)
+//              u16 len, bytes   query
+//              u16 len, bytes   tag
+//              i32              pipeline_id
+//              f64              total_n    (must be finite)
+//              u16 n, f64 * n   features   (n must equal the feature
+//                                          schema arity; values finite)
+//              u16 n, f64 * n   l1         (n == kNumEstimatorKinds)
+//              u16 n, f64 * n   l2         (n == kNumEstimatorKinds)
 //
 // Threat model: the decoder consumes untrusted bytes from the socket.
-// Hostile lengths, truncation, type/status garbage and payload-size lies
-// must all come back as Status (or "need more bytes"), never UB — this
-// is enforced by the seeded wire fuzz harness under ASan/UBSan in CI.
+// Hostile lengths, truncation, type/status garbage, payload-size lies,
+// record-length lies and non-finite doubles must all come back as Status
+// (or "need more bytes"), never UB and never a partial record — this is
+// enforced by the seeded wire fuzz harness under ASan/UBSan in CI.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
+#include "selection/record.h"
 
 namespace rpe {
 
@@ -67,6 +92,14 @@ inline constexpr size_t kFrameHeaderBytes = 8;
 /// frame can demand from an IO thread.
 inline constexpr uint32_t kMaxAdvanceSteps = 1 << 16;
 
+/// Per-frame ceiling on IngestBatchRequest record count: bounds the queue
+/// work (and the decode allocation) one frame can demand.
+inline constexpr uint32_t kMaxIngestBatchRecords = 512;
+
+/// Per-field ceiling on a wire record's string labels (workload / query /
+/// tag): a training label, not a document.
+inline constexpr uint32_t kMaxIngestStringBytes = 256;
+
 /// \brief Message discriminator (the frame's `type` byte). Values are
 /// wire format — never renumber.
 enum class MsgType : uint8_t {
@@ -75,11 +108,20 @@ enum class MsgType : uint8_t {
   kProgress = 3,
   kClose = 4,
   kStats = 5,
+  kIngestRecord = 6,
+  kIngestBatch = 7,
 };
 
 /// Smallest/largest valid MsgType values, for header validation.
 inline constexpr uint8_t kMinMsgType = 1;
-inline constexpr uint8_t kMaxMsgType = 5;
+inline constexpr uint8_t kMaxMsgType = 7;
+
+/// Wire status byte of an admission-control rejection
+/// (StatusCode::kUnavailable): the server refused the request because a
+/// budget or watermark was exceeded — nothing failed, retry after
+/// backoff. Never sent for Close or Stats requests.
+inline constexpr uint8_t kStatusBusy =
+    static_cast<uint8_t>(StatusCode::kUnavailable);
 
 /// \brief One complete decoded frame: header fields + owned payload.
 struct WireFrame {
@@ -130,6 +172,23 @@ struct CloseRequest {
   uint64_t session_id = 0;
 };
 
+struct IngestRecordRequest {
+  PipelineRecord record;
+};
+
+struct IngestBatchRequest {
+  std::vector<PipelineRecord> records;  ///< 1..kMaxIngestBatchRecords
+};
+
+/// \brief Response to either ingest request type (the frame carries the
+/// request's type byte). accepted + dropped equals the records offered;
+/// a shed request gets a kStatusBusy error frame instead, so a record is
+/// never silently lost.
+struct IngestResponse {
+  uint32_t accepted = 0;  ///< enqueued for the TrainerLoop
+  uint32_t dropped = 0;   ///< refused at the queue edge (full / injected)
+};
+
 /// \brief StatsResponse payload: the serving tier's counters as seen over
 /// the wire, plus the front-end's own IO counters. Field order is wire
 /// format — append, never reorder.
@@ -155,6 +214,21 @@ struct WireStats {
   // Replay latency percentiles (milliseconds) from the service window.
   double p50_replay_ms = 0.0;
   double p95_replay_ms = 0.0;
+  // Online ingest + admission control (appended fields — order is wire
+  // format). The records_* counters are the TCP front-end's view of the
+  // wire→queue edge; the ingest_* counters are the queue's own (all
+  // producers), so records_ingested == ingest_pushed whenever the wire is
+  // the only producer, and ingest_pushed == ingest_drained +
+  // ingest_queue_size at any consistent cut.
+  uint64_t records_ingested = 0;        ///< wire records accepted into the queue
+  uint64_t records_ingest_dropped = 0;  ///< wire records refused at the queue edge
+  uint64_t records_ingest_shed = 0;     ///< wire records answered kStatusBusy
+  uint64_t requests_shed = 0;           ///< session frames answered kStatusBusy
+  uint64_t ingest_pushed = 0;           ///< queue-side accepted records
+  uint64_t ingest_dropped = 0;          ///< queue-side drops (full / closed)
+  uint64_t ingest_drained = 0;          ///< records handed to the TrainerLoop
+  uint64_t ingest_queue_size = 0;       ///< records currently queued
+  uint64_t retrains = 0;                ///< published retrain cycles
 };
 
 // ---------------------------------------------------------------------------
@@ -178,6 +252,11 @@ std::string EncodeCloseRequest(const CloseRequest& m);
 std::string EncodeCloseResponse();
 std::string EncodeStatsRequest();
 std::string EncodeStatsResponse(const WireStats& m);
+std::string EncodeIngestRecordRequest(const IngestRecordRequest& m);
+std::string EncodeIngestBatchRequest(const IngestBatchRequest& m);
+/// `type` must be kIngestRecord or kIngestBatch (the response echoes the
+/// request's type byte).
+std::string EncodeIngestResponse(MsgType type, const IngestResponse& m);
 
 // ---------------------------------------------------------------------------
 // Decoding (bounds-checked; exact payload size required)
@@ -190,6 +269,15 @@ Result<ProgressRequest> DecodeProgressRequest(std::string_view payload);
 Result<ProgressResponse> DecodeProgressResponse(std::string_view payload);
 Result<CloseRequest> DecodeCloseRequest(std::string_view payload);
 Result<WireStats> DecodeStatsResponse(std::string_view payload);
+/// The record decoders validate structure AND content: length prefixes
+/// against their caps and the remaining payload, feature/l1/l2 arity
+/// against the process's FeatureSchema / estimator table, and every
+/// double for finiteness — a hostile frame cannot plant a NaN in the
+/// training corpus.
+Result<IngestRecordRequest> DecodeIngestRecordRequest(
+    std::string_view payload);
+Result<IngestBatchRequest> DecodeIngestBatchRequest(std::string_view payload);
+Result<IngestResponse> DecodeIngestResponse(std::string_view payload);
 
 /// \brief Incremental frame reassembly over an untrusted byte stream.
 /// Feed() appends whatever the socket produced (any chunking, including

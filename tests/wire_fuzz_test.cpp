@@ -12,9 +12,12 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
+#include "progress/estimator.h"
+#include "selection/features.h"
 #include "serving/wire.h"
 
 namespace rpe {
@@ -31,6 +34,28 @@ size_t EnvCount(const char* name, size_t fallback) {
   const char* env = std::getenv(name);
   if (env == nullptr || *env == '\0') return fallback;
   return static_cast<size_t>(std::strtoull(env, nullptr, 10));
+}
+
+/// A decodable wire record: schema-arity features, estimator-table-arity
+/// l1/l2, every double finite — the base the ingest mutations corrupt.
+PipelineRecord FuzzRecord(uint64_t* rng) {
+  PipelineRecord r;
+  r.workload = "fuzz";
+  r.query = "q" + std::to_string(SplitMix64(rng) % 9);
+  r.pipeline_id = static_cast<int>(SplitMix64(rng) % 5);
+  r.tag = (SplitMix64(rng) % 2 == 0) ? "even" : "odd";
+  r.total_n = 1.0 + static_cast<double>(SplitMix64(rng) % 4096);
+  r.features.resize(FeatureSchema::Get().num_features());
+  for (double& f : r.features) {
+    f = static_cast<double>(SplitMix64(rng) % 1000) / 1000.0;
+  }
+  r.l1.resize(static_cast<size_t>(kNumEstimatorKinds));
+  r.l2.resize(static_cast<size_t>(kNumEstimatorKinds));
+  for (size_t i = 0; i < r.l1.size(); ++i) {
+    r.l1[i] = static_cast<double>(SplitMix64(rng) % 300) / 1000.0;
+    r.l2[i] = static_cast<double>(SplitMix64(rng) % 300) / 1000.0;
+  }
+  return r;
 }
 
 /// A valid multi-frame stream covering every message type — the mutation
@@ -65,11 +90,29 @@ std::string ValidStream(uint64_t* rng) {
   WireStats stats;
   stats.sessions_opened = SplitMix64(rng);
   stats.bytes_sent = SplitMix64(rng);
+  stats.records_ingest_shed = SplitMix64(rng);
+  stats.ingest_pushed = SplitMix64(rng);
   stats.p50_replay_ms = static_cast<double>(SplitMix64(rng)) / 1e12;
   out += EncodeStatsResponse(stats);
+  IngestRecordRequest single;
+  single.record = FuzzRecord(rng);
+  out += EncodeIngestRecordRequest(single);
+  IngestBatchRequest batch;
+  const size_t batch_records = 1 + SplitMix64(rng) % 3;
+  for (size_t i = 0; i < batch_records; ++i) {
+    batch.records.push_back(FuzzRecord(rng));
+  }
+  out += EncodeIngestBatchRequest(batch);
+  IngestResponse ingested;
+  ingested.accepted = static_cast<uint32_t>(SplitMix64(rng));
+  ingested.dropped = static_cast<uint32_t>(SplitMix64(rng));
+  out += EncodeIngestResponse(
+      SplitMix64(rng) % 2 == 0 ? MsgType::kIngestRecord
+                               : MsgType::kIngestBatch,
+      ingested);
   const Status error = Status::NotFound("fuzz error payload");
   out += EncodeErrorFrame(
-      static_cast<MsgType>(1 + SplitMix64(rng) % 5), error);
+      static_cast<MsgType>(1 + SplitMix64(rng) % kMaxMsgType), error);
   return out;
 }
 
@@ -132,6 +175,50 @@ std::string Mutate(std::string bytes, uint64_t* rng) {
   return bytes;
 }
 
+/// Payload-interior mutation of a single ingest frame. Unlike Mutate(),
+/// the frame header's length is re-stamped afterwards so the framing
+/// layer accepts the frame and the lie lands squarely on the record
+/// decoders: u16 string/vector length lies, truncated records, spliced
+/// record boundaries, non-finite doubles.
+std::string MutateIngestPayload(std::string frame_bytes, uint64_t* rng) {
+  const size_t payload_size = frame_bytes.size() - kFrameHeaderBytes;
+  switch (SplitMix64(rng) % 4) {
+    case 0: {  // u16 length lie anywhere in the payload
+      const size_t at =
+          kFrameHeaderBytes + SplitMix64(rng) % (payload_size - 1);
+      const uint16_t lie = static_cast<uint16_t>(SplitMix64(rng));
+      std::memcpy(frame_bytes.data() + at, &lie, 2);
+      break;
+    }
+    case 1:  // truncate the record mid-field
+      frame_bytes.resize(kFrameHeaderBytes + SplitMix64(rng) % payload_size);
+      break;
+    case 2: {  // splice out a middle section (record-boundary desync)
+      const size_t from = kFrameHeaderBytes + SplitMix64(rng) % payload_size;
+      const size_t len = SplitMix64(rng) % (frame_bytes.size() - from);
+      frame_bytes.erase(from, len);
+      break;
+    }
+    default: {  // plant a non-finite double on an 8-byte window
+      if (payload_size >= 8) {
+        const size_t at =
+            kFrameHeaderBytes + SplitMix64(rng) % (payload_size - 7);
+        const double bad = SplitMix64(rng) % 2 == 0
+                               ? std::numeric_limits<double>::quiet_NaN()
+                               : std::numeric_limits<double>::infinity();
+        std::memcpy(frame_bytes.data() + at, &bad, 8);
+      }
+      break;
+    }
+  }
+  // Re-stamp the header length so the frame still reassembles and the
+  // corruption reaches DecodeIngest*Request, not the framing layer.
+  const uint32_t new_len =
+      static_cast<uint32_t>(frame_bytes.size() - kFrameHeaderBytes);
+  std::memcpy(frame_bytes.data(), &new_len, 4);
+  return frame_bytes;
+}
+
 /// Push one mutated stream through the decoder in random chunk sizes,
 /// running the matching typed decoder on every complete frame. The
 /// invariant: frames or Status, never a crash; after a header-level
@@ -180,6 +267,14 @@ void DrainOneCase(const std::string& stream, uint64_t seed) {
         case MsgType::kStats:
           (void)DecodeStatsResponse(frame.payload);
           break;
+        case MsgType::kIngestRecord:
+          (void)DecodeIngestRecordRequest(frame.payload);
+          (void)DecodeIngestResponse(frame.payload);
+          break;
+        case MsgType::kIngestBatch:
+          (void)DecodeIngestBatchRequest(frame.payload);
+          (void)DecodeIngestResponse(frame.payload);
+          break;
       }
     }
     if (poisoned) break;
@@ -207,7 +302,7 @@ void DrainOneCase(const std::string& stream, uint64_t seed) {
   ASSERT_EQ(replay_frames, frames) << "seed=" << seed;
 }
 
-TEST(WireFuzzTest, UnmutatedStreamYieldsElevenFrames) {
+TEST(WireFuzzTest, UnmutatedStreamYieldsFourteenFrames) {
   // Guards the harness: if the base stream stopped decoding, every
   // mutated case would pass vacuously.
   uint64_t rng = 99;
@@ -221,7 +316,7 @@ TEST(WireFuzzTest, UnmutatedStreamYieldsElevenFrames) {
     if (!*next) break;
     ++frames;
   }
-  EXPECT_EQ(frames, 11u);
+  EXPECT_EQ(frames, 14u);
   EXPECT_EQ(decoder.buffered_bytes(), 0u);
 }
 
@@ -238,6 +333,39 @@ TEST(WireFuzzTest, SeededMutationsNeverCrashTheCodec) {
       stream = Mutate(std::move(stream), &rng);
     }
     if (stream.empty()) continue;
+    ASSERT_NO_FATAL_FAILURE(DrainOneCase(stream, seed))
+        << "rerun: RPE_FUZZ_SEED=" << seed << " RPE_FUZZ_CASES=1";
+  }
+}
+
+TEST(WireFuzzTest, IngestPayloadMutationsNeverCrashTheRecordDecoders) {
+  // Satellite of the ingest path: the frame stays structurally valid
+  // (header length re-stamped) so every corruption exercises the record
+  // decoders' bounds checks. DrainOneCase still enforces the
+  // chunked-vs-one-shot verdict equivalence on top.
+  const size_t cases = EnvCount("RPE_FUZZ_CASES", 300);
+  const uint64_t base_seed = EnvCount("RPE_FUZZ_SEED", 1) + 0x40000000ull;
+  for (size_t i = 0; i < cases; ++i) {
+    const uint64_t seed = base_seed + i;
+    uint64_t rng = seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull;
+    std::string stream;
+    if (SplitMix64(&rng) % 2 == 0) {
+      IngestRecordRequest single;
+      single.record = FuzzRecord(&rng);
+      stream = EncodeIngestRecordRequest(single);
+    } else {
+      IngestBatchRequest batch;
+      const size_t batch_records = 1 + SplitMix64(&rng) % 4;
+      for (size_t r = 0; r < batch_records; ++r) {
+        batch.records.push_back(FuzzRecord(&rng));
+      }
+      stream = EncodeIngestBatchRequest(batch);
+    }
+    const size_t rounds = 1 + SplitMix64(&rng) % 2;
+    for (size_t m = 0; m < rounds; ++m) {
+      if (stream.size() <= kFrameHeaderBytes + 1) break;
+      stream = MutateIngestPayload(std::move(stream), &rng);
+    }
     ASSERT_NO_FATAL_FAILURE(DrainOneCase(stream, seed))
         << "rerun: RPE_FUZZ_SEED=" << seed << " RPE_FUZZ_CASES=1";
   }

@@ -17,6 +17,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <limits>
 #include <thread>
 
 #include "exec/executor.h"
@@ -141,7 +142,10 @@ TEST(WireCodecTest, StatsMessagesRoundTripEveryField) {
         &stats.frames_received, &stats.frames_sent, &stats.bytes_received,
         &stats.bytes_sent, &stats.protocol_errors, &stats.io_errors,
         &stats.wire_sessions_opened, &stats.wire_sessions_closed,
-        &stats.advance_steps}) {
+        &stats.advance_steps, &stats.records_ingested,
+        &stats.records_ingest_dropped, &stats.records_ingest_shed,
+        &stats.requests_shed, &stats.ingest_pushed, &stats.ingest_dropped,
+        &stats.ingest_drained, &stats.ingest_queue_size, &stats.retrains}) {
     *field = v++;
   }
   stats.p50_replay_ms = 1.5;
@@ -271,6 +275,158 @@ TEST(WireCodecTest, TypedDecodersRejectWrongSizes) {
     WireFrame f = MustDecodeOne(EncodeAdvanceRequest(req));
     EXPECT_TRUE(DecodeAdvanceRequest(f.payload).ok());
   }
+}
+
+/// Field-by-field bit-exact comparison (memcmp on the doubles) — the
+/// online loop replays ingested records, so any lossy transport would
+/// silently skew training.
+void ExpectRecordsBitIdentical(const PipelineRecord& got,
+                               const PipelineRecord& want) {
+  EXPECT_EQ(got.workload, want.workload);
+  EXPECT_EQ(got.query, want.query);
+  EXPECT_EQ(got.pipeline_id, want.pipeline_id);
+  EXPECT_EQ(got.tag, want.tag);
+  EXPECT_EQ(std::memcmp(&got.total_n, &want.total_n, sizeof(double)), 0);
+  ASSERT_EQ(got.features.size(), want.features.size());
+  ASSERT_EQ(got.l1.size(), want.l1.size());
+  ASSERT_EQ(got.l2.size(), want.l2.size());
+  EXPECT_EQ(std::memcmp(got.features.data(), want.features.data(),
+                        want.features.size() * sizeof(double)),
+            0);
+  EXPECT_EQ(
+      std::memcmp(got.l1.data(), want.l1.data(), want.l1.size() * sizeof(double)),
+      0);
+  EXPECT_EQ(
+      std::memcmp(got.l2.data(), want.l2.data(), want.l2.size() * sizeof(double)),
+      0);
+}
+
+TEST(WireCodecTest, IngestMessagesRoundTripBitExactly) {
+  const std::vector<PipelineRecord> records = RandomRecords(3, 21);
+
+  IngestRecordRequest single;
+  single.record = records[0];
+  single.record.workload = "loopback";
+  single.record.query = "q-ingest";
+  single.record.tag = "odd";
+  WireFrame frame = MustDecodeOne(EncodeIngestRecordRequest(single));
+  EXPECT_EQ(frame.type, MsgType::kIngestRecord);
+  EXPECT_TRUE(frame.ok());
+  auto decoded = DecodeIngestRecordRequest(frame.payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectRecordsBitIdentical(decoded->record, single.record);
+
+  IngestBatchRequest batch;
+  batch.records = records;
+  frame = MustDecodeOne(EncodeIngestBatchRequest(batch));
+  EXPECT_EQ(frame.type, MsgType::kIngestBatch);
+  auto out = DecodeIngestBatchRequest(frame.payload);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->records.size(), batch.records.size());
+  for (size_t i = 0; i < batch.records.size(); ++i) {
+    ExpectRecordsBitIdentical(out->records[i], batch.records[i]);
+  }
+
+  IngestResponse resp;
+  resp.accepted = 0xAABBCCDDu;
+  resp.dropped = 0x11223344u;
+  frame = MustDecodeOne(EncodeIngestResponse(MsgType::kIngestBatch, resp));
+  EXPECT_EQ(frame.type, MsgType::kIngestBatch);
+  auto ir = DecodeIngestResponse(frame.payload);
+  ASSERT_TRUE(ir.ok());
+  EXPECT_EQ(ir->accepted, resp.accepted);
+  EXPECT_EQ(ir->dropped, resp.dropped);
+}
+
+TEST(WireCodecTest, IngestDecodersRejectHostileRecords) {
+  const PipelineRecord valid = RandomRecords(1, 33)[0];
+  IngestRecordRequest req;
+  req.record = valid;
+  const std::string good =
+      MustDecodeOne(EncodeIngestRecordRequest(req)).payload;
+  ASSERT_TRUE(DecodeIngestRecordRequest(good).ok());
+
+  // Truncation anywhere in the record rejects — never a partial record.
+  for (size_t cut : {size_t{0}, size_t{1}, good.size() / 2, good.size() - 1}) {
+    EXPECT_FALSE(DecodeIngestRecordRequest(good.substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+  // Trailing bytes are a protocol violation, not slack.
+  EXPECT_FALSE(DecodeIngestRecordRequest(good + '\0').ok());
+
+  // A string field over the per-string cap.
+  req.record = valid;
+  req.record.workload.assign(kMaxIngestStringBytes + 1, 'w');
+  EXPECT_FALSE(
+      DecodeIngestRecordRequest(
+          MustDecodeOne(EncodeIngestRecordRequest(req)).payload)
+          .ok());
+
+  // Feature arity must match the schema exactly.
+  req.record = valid;
+  req.record.features.push_back(0.5);
+  EXPECT_FALSE(
+      DecodeIngestRecordRequest(
+          MustDecodeOne(EncodeIngestRecordRequest(req)).payload)
+          .ok());
+
+  // Level-vector arity must match the estimator table exactly.
+  req.record = valid;
+  req.record.l1.pop_back();
+  EXPECT_FALSE(
+      DecodeIngestRecordRequest(
+          MustDecodeOne(EncodeIngestRecordRequest(req)).payload)
+          .ok());
+
+  // Non-finite doubles never cross the wire into the trainer.
+  req.record = valid;
+  req.record.total_n = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(
+      DecodeIngestRecordRequest(
+          MustDecodeOne(EncodeIngestRecordRequest(req)).payload)
+          .ok());
+  req.record = valid;
+  req.record.features[0] = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(
+      DecodeIngestRecordRequest(
+          MustDecodeOne(EncodeIngestRecordRequest(req)).payload)
+          .ok());
+}
+
+TEST(WireCodecTest, IngestBatchCountBoundsAreEnforced) {
+  // count == 0: an empty batch is hostile, not a no-op.
+  EXPECT_FALSE(DecodeIngestBatchRequest(std::string(4, '\0')).ok());
+
+  // count over the batch cap rejects before any record is parsed.
+  {
+    std::string payload(4, '\0');
+    const uint32_t over = kMaxIngestBatchRecords + 1;
+    std::memcpy(payload.data(), &over, 4);
+    EXPECT_FALSE(DecodeIngestBatchRequest(payload).ok());
+  }
+
+  // A count that lies about the record list in either direction rejects:
+  // claiming more hits truncation, claiming fewer leaves trailing bytes.
+  IngestBatchRequest batch;
+  batch.records = RandomRecords(2, 5);
+  std::string payload =
+      MustDecodeOne(EncodeIngestBatchRequest(batch)).payload;
+  ASSERT_TRUE(DecodeIngestBatchRequest(payload).ok());
+  for (uint32_t lie : {3u, 1u}) {
+    std::memcpy(payload.data(), &lie, 4);
+    EXPECT_FALSE(DecodeIngestBatchRequest(payload).ok()) << "count " << lie;
+  }
+}
+
+TEST(WireCodecTest, BusyErrorFramesMapToUnavailable) {
+  WireFrame frame = MustDecodeOne(EncodeErrorFrame(
+      MsgType::kIngestBatch, Status::Unavailable("server overloaded")));
+  EXPECT_EQ(frame.type, MsgType::kIngestBatch);
+  EXPECT_EQ(frame.status, kStatusBusy);
+  EXPECT_FALSE(frame.ok());
+  const Status back = frame.ToStatus();
+  EXPECT_EQ(back.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(back.message(), "server overloaded");
 }
 
 TEST(WireCodecTest, DecoderCompactsItsBufferUnderSustainedTraffic) {

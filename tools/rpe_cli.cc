@@ -553,9 +553,23 @@ int CmdServeTcp(const std::map<std::string, std::string>& flags) {
   auto shards = ParseShards(flags);
   auto port = ParseSizeFlag(flags, "port", "0", 0, 65535);
   auto io_threads = ParseSizeFlag(flags, "io-threads", "0", 0, 256);
+  auto queue_cap = ParseSizeFlag(flags, "queue-cap", "1024", 1, 1 << 24);
+  auto retrain_every =
+      ParseSizeFlag(flags, "retrain-every", "48", 0, 1 << 24);
+  // TrainerLoop requires max_corpus >= min_corpus (at most 16 here).
+  auto corpus_cap = ParseSizeFlag(flags, "corpus-cap", "4096", 16, 1 << 24);
+  auto max_inflight =
+      ParseSizeFlag(flags, "max-inflight", "4096", 1, 1 << 24);
+  auto conn_inflight =
+      ParseSizeFlag(flags, "conn-inflight", "128", 1, 1 << 24);
+  auto ingest_watermark =
+      ParseSizeFlag(flags, "ingest-watermark", "0", 0, 1 << 24);
   const Status mmap_ok = CheckMmapFlags(flags);
   for (const Status& st :
-       {shards.status(), port.status(), io_threads.status(), mmap_ok}) {
+       {shards.status(), port.status(), io_threads.status(),
+        queue_cap.status(), retrain_every.status(), corpus_cap.status(),
+        max_inflight.status(), conn_inflight.status(),
+        ingest_watermark.status(), mmap_ok}) {
     if (!st.ok()) {
       std::cerr << st.ToString() << "\n";
       return 2;
@@ -582,6 +596,25 @@ int CmdServeTcp(const std::map<std::string, std::string>& flags) {
   service_options.num_shards = *shards;
   ShardedMonitorService service(stack, service_options);
 
+  // The full online loop rides behind the wire: ingest frames land in
+  // this queue, the TrainerLoop drains/retrains/hot-swaps, and kStats
+  // responses expose the generation bumps mid-connection.
+  RecordIngestQueue queue(*queue_cap);
+  TrainerLoop::Options trainer_options;
+  trainer_options.retrain_min_records = *retrain_every;
+  trainer_options.max_corpus = *corpus_cap;
+  trainer_options.min_corpus = std::min<size_t>(
+      trainer_options.min_corpus, std::max<size_t>(records.size(), 1));
+  trainer_options.pool = ParsePool(FlagOr(flags, "pool", "six"));
+  trainer_options.params = EstimatorSelector::DefaultParams();
+  trainer_options.params.num_trees =
+      std::stoi(FlagOr(flags, "trees", "50"));
+  trainer_options.snapshot_path = FlagOr(flags, "snapshot-out", "");
+  TrainerLoop trainer(&queue, &service, trainer_options);
+  trainer.SeedCorpus(records);
+  service.SetIngestStatsProvider([&trainer] { return trainer.GetStats(); });
+  trainer.Start();
+
   // The replay corpus OpenRequest.run_index indexes into (modulo).
   std::vector<const QueryRunResult*> run_ptrs;
   run_ptrs.reserve(runs.size());
@@ -590,7 +623,10 @@ int CmdServeTcp(const std::map<std::string, std::string>& flags) {
   TcpServer::Options server_options;
   server_options.port = static_cast<uint16_t>(*port);
   server_options.io_threads = *io_threads;
-  TcpServer server(&service, run_ptrs, server_options);
+  server_options.max_inflight_total = *max_inflight;
+  server_options.max_inflight_per_conn = *conn_inflight;
+  server_options.ingest_shed_watermark = *ingest_watermark;
+  TcpServer server(&service, run_ptrs, &queue, server_options);
   const Status started = server.Start();
   if (!started.ok()) {
     std::cerr << started.ToString() << "\n";
@@ -609,7 +645,12 @@ int CmdServeTcp(const std::map<std::string, std::string>& flags) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   std::cerr << "draining ...\n";
+  // Order matters: the server stops accepting records first, the queue
+  // closes so the trainer's final drain sees the tail, then the trainer
+  // stops (possibly publishing once more) before stats are read.
   server.Stop();
+  queue.Close();
+  trainer.Stop();
 
   const WireStats w = server.BuildWireStats();
   TablePrinter table({"Metric", "Value"});
@@ -631,6 +672,19 @@ int CmdServeTcp(const std::map<std::string, std::string>& flags) {
   table.AddRow({"observations scored",
                 std::to_string(w.observations_scored)});
   table.AddRow({"advance steps", std::to_string(w.advance_steps)});
+  table.AddRow({"model generation", std::to_string(w.model_generation)});
+  table.AddRow({"retrains published", std::to_string(w.retrains)});
+  table.AddRow({"wire records ingested",
+                std::to_string(w.records_ingested)});
+  table.AddRow({"wire records dropped",
+                std::to_string(w.records_ingest_dropped)});
+  table.AddRow({"wire records shed", std::to_string(w.records_ingest_shed)});
+  table.AddRow({"session requests shed", std::to_string(w.requests_shed)});
+  table.AddRow({"records pushed", std::to_string(w.ingest_pushed)});
+  table.AddRow({"records dropped", std::to_string(w.ingest_dropped)});
+  table.AddRow({"records drained", std::to_string(w.ingest_drained)});
+  table.AddRow({"training corpus",
+                std::to_string(trainer.GetStats().corpus_size)});
   table.AddRow({"p50 replay latency (ms)",
                 TablePrinter::Fmt(w.p50_replay_ms, 3)});
   table.AddRow({"p95 replay latency (ms)",
