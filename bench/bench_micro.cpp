@@ -23,6 +23,7 @@
 #include "mart/flat_ensemble.h"
 #include "mart/tree.h"
 #include "mart/mart.h"
+#include "obs/metrics.h"
 #include "optimizer/histogram.h"
 #include "selection/features.h"
 #include "serving/mmap_arena.h"
@@ -418,6 +419,36 @@ void BM_Crc32HW(benchmark::State& state) {
   Crc32Bench(state, simd::DetectedTier());
 }
 BENCHMARK(BM_Crc32HW);
+
+// Observability hot paths: what one serving-tier accrual costs. Batches
+// of 64 ops per iteration amortize the benchmark loop overhead so the
+// per-op figure is the fetch_add itself, not the harness.
+void BM_MetricsIncrement(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("bench_hits_total");
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) counter->Inc();
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_MetricsIncrement);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* hist = registry.GetHistogram("bench_latency_seconds");
+  uint64_t v = 12345;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      hist->Record(v);
+      v = v * 2862933555777941757ull + 3037000493ull;  // span the octaves
+      v &= (1u << 24) - 1;
+    }
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_HistogramRecord);
 
 // Serving-layer fixture: a synthetic record set at full schema arity, a
 // trained selector stack, and a few executed runs to replay — the

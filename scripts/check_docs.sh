@@ -62,7 +62,7 @@ EOF
 # (`Class::Member`), CamelCase identifiers, or k-prefixed constants — must
 # appear somewhere in the sources. Lowercase/prose tokens are skipped.
 for guide in docs/TRAINING.md docs/SERVING.md docs/ROBUSTNESS.md \
-  docs/NETWORK.md docs/BENCHMARKS.md docs/CLI.md; do
+  docs/NETWORK.md docs/BENCHMARKS.md docs/CLI.md docs/OBSERVABILITY.md; do
   [ -f "$guide" ] || continue
   symbols=$(grep -oE '`[A-Za-z_][A-Za-z0-9_:()]*`' "$guide" |
     tr -d '\`' | sed 's/()$//' | sort -u)

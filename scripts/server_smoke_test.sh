@@ -17,6 +17,10 @@
 #      under-watermark stream is accepted in full, and an
 #      --ingest-until-swap run observes a published retrain — all with
 #      --check reconciling client and server counters exactly.
+#   6. The same server's HTTP /metrics scrape (--metrics-port) reconciles
+#      exactly with the loadgen JSONs (offered == ingested + dropped +
+#      shed), and its --trace-out dump is well-formed Chrome trace JSON
+#      with the decode -> route -> advance span chain present.
 #
 # Usage: server_smoke_test.sh <path-to-rpe_cli> <path-to-rpe_loadgen>
 set -u
@@ -121,8 +125,10 @@ COMPLETED="$(table_value 'sessions completed')"
 # --- online-loop server: ingest → retrain → hot swap ----------------------
 SRV2_OUT="$WORK/server2_stdout.txt"
 SRV2_ERR="$WORK/server2_stderr.txt"
+TRACE_OUT="$WORK/trace.json"
 "$CLI" serve-tcp --kind tpch --queries 10 --scale 2 --shards 2 --trees 10 \
   --retrain-every 64 --ingest-watermark 16 \
+  --metrics-port 0 --trace-out "$TRACE_OUT" \
   >"$SRV2_OUT" 2>"$SRV2_ERR" &
 SRV2_PID=$!
 PORT2=""
@@ -141,6 +147,9 @@ if [ -z "$PORT2" ]; then
   exit 1
 fi
 note "online server up on port $PORT2"
+MPORT="$(sed -n 's/^metrics on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+         "$SRV2_OUT" | head -n 1)"
+[ -n "$MPORT" ] || fail "online server never printed its metrics line"
 
 # Saturation: every batch is bigger than the watermark, so every record is
 # answered busy — shed exactly, dropped never — and --check still passes.
@@ -197,6 +206,59 @@ esac
 grep -q "counters reconcile exactly" "$WORK/loadgen_swap_err.txt" \
   || fail "online-loop reconciliation line missing"
 
+# Scrape leg: the HTTP /metrics view of the same counters --check just
+# reconciled must agree with the loadgen JSONs exactly — every record
+# offered over the wire is ingested, dropped, or shed, never lost.
+SCRAPE="$WORK/scrape.prom"
+if ! curl -fsS --max-time 10 "http://127.0.0.1:$MPORT/metrics" \
+    >"$SCRAPE" 2>"$WORK/curl_err.txt"; then
+  fail "curl /metrics scrape failed: $(cat "$WORK/curl_err.txt")"
+elif ! python3 - "$SCRAPE" "$WORK/loadgen_shed.json" \
+    "$WORK/loadgen_recover.json" "$WORK/loadgen_swap.json" <<'PYEOF'
+import json, sys
+
+text = open(sys.argv[1]).read()
+
+def metric(name):
+    for line in text.splitlines():
+        if line.startswith(name + " ") or line.startswith(name + "{"):
+            return float(line.split()[-1])
+    raise SystemExit(f"metric {name} missing from the scrape")
+
+offered = accepted = dropped = shed = 0
+for path in sys.argv[2:]:
+    run = json.loads(open(path).read().splitlines()[-1])
+    offered += run["ingest_offered"]
+    accepted += run["ingest_accepted"]
+    dropped += run["ingest_dropped"]
+    shed += run["ingest_shed"]
+
+srv_ingested = metric("rpe_server_records_ingested_total")
+srv_dropped = metric("rpe_server_records_ingest_dropped_total")
+srv_shed = metric("rpe_server_records_ingest_shed_total")
+if srv_ingested + srv_dropped + srv_shed != offered:
+    raise SystemExit(
+        f"scrape does not reconcile: ingested={srv_ingested} "
+        f"dropped={srv_dropped} shed={srv_shed} vs offered={offered}")
+if (srv_ingested, srv_dropped, srv_shed) != (accepted, dropped, shed):
+    raise SystemExit(
+        f"scrape disagrees with loadgen: server=({srv_ingested}, "
+        f"{srv_dropped}, {srv_shed}) client=({accepted}, {dropped}, {shed})")
+if metric("rpe_server_request_latency_seconds_count") <= 0:
+    raise SystemExit("request latency histogram never recorded")
+if metric("rpe_retrains_total") <= 0:
+    raise SystemExit("scrape shows zero retrains after an observed swap")
+for required in ("rpe_server_frames_received_total",
+                 "rpe_sessions_completed_total", "rpe_model_generation",
+                 "rpe_ingest_queue_depth", "rpe_simd_tier_info",
+                 "rpe_trace_spans_total"):
+    metric(required)
+print("scrape reconciles with the loadgen runs exactly")
+PYEOF
+then
+  fail "metrics scrape reconciliation failed"
+fi
+
 # SIGTERM drains the online server too: exit 0, retrain published,
 # nothing left open.
 kill -TERM "$SRV2_PID"
@@ -204,6 +266,27 @@ SRV2_RC=0
 wait "$SRV2_PID" || SRV2_RC=$?
 SRV2_PID=""
 [ "$SRV2_RC" -eq 0 ] || fail "online server exited $SRV2_RC after SIGTERM"
+
+# The trace dump written at exit must be valid Chrome trace JSON with the
+# request span chain intact: decode -> shard route -> advance root spans.
+if [ ! -s "$TRACE_OUT" ]; then
+  fail "trace dump missing or empty: $TRACE_OUT"
+elif ! python3 - "$TRACE_OUT" <<'PYEOF'
+import json, sys
+
+events = json.load(open(sys.argv[1]))["traceEvents"]
+names = {e["name"] for e in events}
+for required in ("frame.decode", "shard.route", "request.advance"):
+    if required not in names:
+        raise SystemExit(f"span '{required}' missing from the trace dump")
+for e in events:
+    if e["ph"] != "X" or e["dur"] < 0:
+        raise SystemExit(f"malformed trace event: {e}")
+print(f"trace dump holds {len(events)} well-formed spans")
+PYEOF
+then
+  fail "trace dump check failed"
+fi
 
 table2_value() {  # table2_value <row-label-regex>
   awk -F'|' "/$1/ {gsub(/ /,\"\",\$3); print \$3}" "$SRV2_OUT" | head -n 1

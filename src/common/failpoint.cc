@@ -2,9 +2,10 @@
 
 #include <condition_variable>
 #include <cstdlib>
-#include <iostream>
 #include <map>
 #include <mutex>
+
+#include "common/logging.h"
 
 namespace rpe {
 
@@ -117,6 +118,16 @@ class Registry {
     return names;
   }
 
+  std::vector<FailPointSnapshot> Snapshot() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<FailPointSnapshot> out;
+    out.reserve(points_.size());
+    for (const auto& [name, state] : points_) {
+      out.push_back(FailPointSnapshot{name, state.hits, state.trips});
+    }
+    return out;
+  }
+
  private:
   Registry() = default;
 
@@ -179,7 +190,7 @@ struct EnvArmer {
     if (env == nullptr || *env == '\0') return;
     const Status armed = FailPoints::ArmFromSpec(env);
     if (!armed.ok()) {
-      std::cerr << "RPE_FAILPOINTS ignored: " << armed.ToString() << "\n";
+      RPE_LOG_WARN << "RPE_FAILPOINTS ignored: " << armed.ToString();
       FailPoints::DisarmAll();
     }
   }
@@ -241,6 +252,10 @@ bool FailPoints::WaitForHits(const std::string& name, uint64_t n,
 
 std::vector<std::string> FailPoints::Armed() {
   return Registry::Get().Armed();
+}
+
+std::vector<FailPointSnapshot> FailPoints::Snapshot() {
+  return Registry::Get().Snapshot();
 }
 
 namespace failpoint_internal {

@@ -74,6 +74,15 @@ struct FailPointCounters {
   uint64_t trips = 0;  ///< times the site was forced to fail
 };
 
+/// \brief One armed failpoint with its counters — the unit of the
+/// metrics export (rpe_failpoint_hits_total / rpe_failpoint_trips_total
+/// in the /metrics scrape; see docs/OBSERVABILITY.md).
+struct FailPointSnapshot {
+  std::string name;
+  uint64_t hits = 0;
+  uint64_t trips = 0;
+};
+
 /// \brief Process-global failpoint registry (all methods static and
 /// thread-safe). Unarmed names cost one relaxed atomic load at the site.
 class FailPoints {
@@ -101,6 +110,11 @@ class FailPoints {
 
   /// Names of every armed failpoint, for diagnostics banners.
   static std::vector<std::string> Armed();
+
+  /// Every armed failpoint with its point-in-time counters, for the
+  /// metrics export (chaos/smoke runs assert fault coverage from the
+  /// scrape instead of parsing stderr).
+  static std::vector<FailPointSnapshot> Snapshot();
 };
 
 namespace failpoint_internal {

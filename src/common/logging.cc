@@ -1,0 +1,99 @@
+#include "common/logging.h"
+
+#include <time.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace rpe {
+
+uint64_t MonotonicNanos() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+namespace {
+
+uint64_t ProcessStartNanos() {
+  static const uint64_t start = MonotonicNanos();
+  return start;
+}
+
+}  // namespace
+
+double MonotonicSecondsSinceStart() {
+  // Anchor first: operand order of `-` is unspecified, and on the very
+  // first call reading the clock before initializing the anchor would
+  // underflow the unsigned difference.
+  const uint64_t start = ProcessStartNanos();
+  return static_cast<double>(MonotonicNanos() - start) / 1e9;
+}
+
+uint32_t ThisThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+namespace {
+
+LogLevel ParseLevel(const char* spec) {
+  if (spec == nullptr || *spec == '\0') return LogLevel::kInfo;
+  if (std::strcmp(spec, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(spec, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(spec, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(spec, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(spec, "off") == 0) return LogLevel::kOff;
+  // An unknown spec must not silently mute diagnostics: warn and default.
+  std::fprintf(stderr, "RPE_LOG ignored: unknown level '%s'\n", spec);
+  return LogLevel::kInfo;
+}
+
+std::atomic<int>& ThresholdCell() {
+  static std::atomic<int> threshold{
+      static_cast<int>(ParseLevel(std::getenv("RPE_LOG")))};
+  return threshold;
+}
+
+}  // namespace
+
+LogLevel LogThreshold() {
+  return static_cast<LogLevel>(
+      ThresholdCell().load(std::memory_order_relaxed));
+}
+
+void SetLogThreshold(LogLevel level) {
+  ThresholdCell().store(static_cast<int>(level),
+                        std::memory_order_relaxed);
+}
+
+namespace internal {
+
+LogMessage::~LogMessage() {
+  static const char kLetters[] = {'D', 'I', 'W', 'E'};
+  const int idx = static_cast<int>(level_);
+  char prefix[48];
+  const int n = std::snprintf(
+      prefix, sizeof prefix, "[%12.6f] %c %u ",
+      MonotonicSecondsSinceStart(),
+      kLetters[idx < 0 ? 0 : (idx > 3 ? 3 : idx)], ThisThreadId());
+  std::string line;
+  line.reserve(static_cast<size_t>(n) + 80);
+  line.append(prefix, static_cast<size_t>(n));
+  line += stream_.str();
+  line += '\n';
+  // One write() per message: concurrent threads cannot interleave
+  // mid-line (stderr is unbuffered; a single write is atomic enough for
+  // the pipe sizes log lines come in).
+  [[maybe_unused]] ssize_t w =
+      ::write(STDERR_FILENO, line.data(), line.size());
+}
+
+}  // namespace internal
+
+}  // namespace rpe

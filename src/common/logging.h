@@ -1,14 +1,69 @@
-// Minimal CHECK/DCHECK logging macros (Arrow/RocksDB-style). CHECK failures
-// abort with a message; they guard internal invariants, not user errors
-// (user errors travel through Status).
+// Logging for the serving tier: CHECK/DCHECK invariant macros
+// (Arrow/RocksDB-style — failures abort; user errors travel through
+// Status) plus a leveled diagnostic logger.
+//
+// The leveled logger (RPE_LOG_DEBUG/INFO/WARN/ERROR) writes one line per
+// message to stderr:
+//
+//   [   12.345678] W 3 failpoints armed: snapshot.write
+//
+// monotonic seconds since process start, level letter, small dense
+// thread id, message. The threshold comes from the RPE_LOG environment
+// variable (debug|info|warn|error|off; default info), parsed once; a
+// suppressed message costs one relaxed atomic load and never evaluates
+// its stream operands. Each line is flushed with a single write so
+// concurrent threads cannot interleave mid-line. Operational banners
+// (failpoints armed, SIMD tier fallbacks, server lifecycle) route
+// through this; machine-parsed output — the pinned `listening on` line,
+// stats tables, loadgen JSON — stays on stdout, untouched by RPE_LOG.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
 
 namespace rpe {
+
+/// Monotonic nanoseconds (CLOCK_MONOTONIC): the log/trace timebase.
+uint64_t MonotonicNanos();
+
+/// Monotonic seconds since the first logging/tracing use in the process.
+double MonotonicSecondsSinceStart();
+
+/// Small dense id of the calling thread (1, 2, ... in first-use order).
+uint32_t ThisThreadId();
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Threshold parsed from RPE_LOG on first use (default kInfo).
+LogLevel LogThreshold();
+/// Override the threshold (tests; wins over RPE_LOG from then on).
+void SetLogThreshold(LogLevel level);
+
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(LogThreshold());
+}
+
 namespace internal {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
 
 class FatalLogMessage {
  public:
@@ -27,6 +82,18 @@ class FatalLogMessage {
 
 }  // namespace internal
 }  // namespace rpe
+
+/// Usage: RPE_LOG_INFO << "listening on " << port; Operands are not
+/// evaluated when the level is below the threshold.
+#define RPE_LOG_AT(level)                                           \
+  for (bool rpe_log_emit = ::rpe::LogEnabled(level); rpe_log_emit; \
+       rpe_log_emit = false)                                        \
+  ::rpe::internal::LogMessage(level).stream()
+
+#define RPE_LOG_DEBUG RPE_LOG_AT(::rpe::LogLevel::kDebug)
+#define RPE_LOG_INFO RPE_LOG_AT(::rpe::LogLevel::kInfo)
+#define RPE_LOG_WARN RPE_LOG_AT(::rpe::LogLevel::kWarn)
+#define RPE_LOG_ERROR RPE_LOG_AT(::rpe::LogLevel::kError)
 
 #define RPE_CHECK(cond)                                      \
   if (!(cond))                                               \

@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
-#include <iostream>
 #include <mutex>
 #include <vector>
+
+#include "common/logging.h"
 
 namespace rpe::simd {
 namespace {
@@ -36,15 +37,15 @@ struct Registry {
     if (spec == nullptr) return DetectedTier();
     Tier t = Tier::kScalar;
     if (!ParseTier(spec, &t)) {
-      std::cerr << "RPE_SIMD ignored: unknown tier '" << spec
-                << "' (want off|scalar|sse42|avx2); using "
-                << TierName(DetectedTier()) << "\n";
+      RPE_LOG_WARN << "RPE_SIMD ignored: unknown tier '" << spec
+                   << "' (want off|scalar|sse42|avx2); using "
+                   << TierName(DetectedTier());
       return DetectedTier();
     }
     if (t > DetectedTier()) {
-      std::cerr << "RPE_SIMD=" << spec
-                << " exceeds what this CPU supports; clamping to "
-                << TierName(DetectedTier()) << "\n";
+      RPE_LOG_WARN << "RPE_SIMD=" << spec
+                   << " exceeds what this CPU supports; clamping to "
+                   << TierName(DetectedTier());
       return DetectedTier();
     }
     return t;

@@ -57,4 +57,20 @@ std::string TablePrinter::ToString() const {
 
 void TablePrinter::Print() const { std::cout << ToString() << std::flush; }
 
+TablePrinter MetricsTable(const std::vector<obs::Sample>& samples) {
+  TablePrinter table({"Metric", "Value"});
+  for (const obs::Sample& s : samples) {
+    if (s.table_label.empty()) continue;
+    std::string value;
+    const auto as_int = static_cast<long long>(s.value);
+    if (s.value == static_cast<double>(as_int)) {
+      value = std::to_string(as_int);
+    } else {
+      value = TablePrinter::Fmt(s.value, 3);
+    }
+    table.AddRow({s.table_label, std::move(value)});
+  }
+  return table;
+}
+
 }  // namespace rpe

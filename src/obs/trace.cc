@@ -1,0 +1,210 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace rpe {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Enable(size_t capacity) {
+  if (enabled()) return;
+  size_t cap = 64;
+  while (cap < capacity && cap < (size_t{1} << 24)) cap <<= 1;
+  slots_ = std::make_unique<Slot[]>(cap);
+  capacity_ = cap;
+  tickets_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::Disable() {
+  enabled_.store(false, std::memory_order_release);
+  slots_.reset();
+  capacity_ = 0;
+}
+
+void Tracer::Record(const char* name, uint64_t span, uint64_t parent,
+                    uint64_t start_ns, uint64_t dur_ns, uint64_t arg) {
+  // Acquire pairs with Enable's release: a thread that sees enabled also
+  // sees the allocated ring.
+  if (!enabled_.load(std::memory_order_acquire)) return;
+  const uint64_t ticket = tickets_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket & (capacity_ - 1)];
+  // Seqlock discipline over individually-atomic fields: readers skip a
+  // slot whose seq is odd or changes across the field reads. Two writers
+  // can race the same slot only after a full ring lap; the loser's seq
+  // wins and readers discard the mix.
+  slot.seq.store(ticket * 2 + 1, std::memory_order_release);
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.span.store(span, std::memory_order_relaxed);
+  slot.parent.store(parent, std::memory_order_relaxed);
+  slot.start_ns.store(start_ns, std::memory_order_relaxed);
+  slot.dur_ns.store(dur_ns, std::memory_order_relaxed);
+  slot.arg.store(arg, std::memory_order_relaxed);
+  slot.tid.store(ThisThreadId(), std::memory_order_relaxed);
+  slot.seq.store(ticket * 2 + 2, std::memory_order_release);
+}
+
+std::vector<TraceEventView> Tracer::Snapshot() const {
+  std::vector<TraceEventView> out;
+  if (!enabled_.load(std::memory_order_acquire)) return out;
+  out.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    const Slot& slot = slots_[i];
+    const uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    if (seq == 0 || (seq & 1) != 0) continue;
+    TraceEventView ev;
+    ev.name = slot.name.load(std::memory_order_relaxed);
+    ev.span = slot.span.load(std::memory_order_relaxed);
+    ev.parent = slot.parent.load(std::memory_order_relaxed);
+    ev.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+    ev.dur_ns = slot.dur_ns.load(std::memory_order_relaxed);
+    ev.arg = slot.arg.load(std::memory_order_relaxed);
+    ev.tid = slot.tid.load(std::memory_order_relaxed);
+    if (slot.seq.load(std::memory_order_acquire) != seq) continue;
+    if (ev.name == nullptr) continue;
+    out.push_back(ev);
+  }
+  return out;
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::vector<TraceEventView> events = Snapshot();
+  std::sort(events.begin(), events.end(),
+            [](const TraceEventView& a, const TraceEventView& b) {
+              return a.start_ns < b.start_ns;
+            });
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace output: " + path);
+  }
+  std::fputs("{\"traceEvents\":[\n", f);
+  bool first = true;
+  for (const TraceEventView& ev : events) {
+    std::fprintf(
+        f,
+        "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+        "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"span\":%llu,"
+        "\"parent\":%llu,\"arg\":%llu}}",
+        first ? "" : ",\n", ev.name, ev.tid,
+        static_cast<double>(ev.start_ns) / 1e3,
+        static_cast<double>(ev.dur_ns) / 1e3,
+        static_cast<unsigned long long>(ev.span),
+        static_cast<unsigned long long>(ev.parent),
+        static_cast<unsigned long long>(ev.arg));
+    first = false;
+  }
+  std::fputs("\n]}\n", f);
+  if (std::fclose(f) != 0) {
+    return Status::IOError("cannot write trace output: " + path);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// TraceContext
+
+namespace {
+thread_local uint64_t t_current_span = 0;
+}  // namespace
+
+uint64_t TraceContext::Current() { return t_current_span; }
+
+TraceContext::Scope::Scope(uint64_t span) : saved_(t_current_span) {
+  t_current_span = span;
+}
+
+TraceContext::Scope::~Scope() { t_current_span = saved_; }
+
+// ---------------------------------------------------------------------------
+// SlowScratch
+
+namespace {
+
+struct SlowEntry {
+  const char* name = nullptr;  ///< aggregation key (static literal)
+  uint64_t total_ns = 0;
+  uint32_t count = 0;
+};
+
+struct SlowBuffer {
+  static constexpr size_t kMax = 8;
+  SlowEntry entries[kMax];
+  size_t used = 0;
+  bool active = false;
+};
+
+thread_local SlowBuffer t_slow;
+
+}  // namespace
+
+void SlowScratch::BeginRequest() {
+  t_slow.used = 0;
+  t_slow.active = true;
+}
+
+void SlowScratch::AddChild(const char* name, uint64_t dur_ns) {
+  SlowBuffer& b = t_slow;
+  if (!b.active) return;
+  for (size_t i = 0; i < b.used; ++i) {
+    if (b.entries[i].name == name) {
+      b.entries[i].total_ns += dur_ns;
+      b.entries[i].count += 1;
+      return;
+    }
+  }
+  if (b.used < SlowBuffer::kMax) {
+    b.entries[b.used++] = SlowEntry{name, dur_ns, 1};
+  }
+}
+
+std::string SlowScratch::Breakdown() {
+  SlowBuffer& b = t_slow;
+  std::string out;
+  char buf[96];
+  for (size_t i = 0; i < b.used; ++i) {
+    const SlowEntry& e = b.entries[i];
+    std::snprintf(buf, sizeof buf, "%s%s=%ux %.3fms", i == 0 ? "" : " ",
+                  e.name, e.count,
+                  static_cast<double>(e.total_ns) / 1e6);
+    out += buf;
+  }
+  b.used = 0;
+  b.active = false;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TraceSpan
+
+TraceSpan::TraceSpan(const char* name, uint64_t arg)
+    : TraceSpan(name, TraceContext::Current(), arg) {}
+
+TraceSpan::TraceSpan(const char* name, uint64_t parent, uint64_t arg) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;
+  name_ = name;
+  parent_ = parent;
+  arg_ = arg;
+  id_ = tracer.NewSpanId();
+  start_ = MonotonicNanos();
+  active_ = true;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const uint64_t dur = MonotonicNanos() - start_;
+  Tracer::Global().Record(name_, id_, parent_, start_, dur, arg_);
+  SlowScratch::AddChild(name_, dur);
+}
+
+}  // namespace obs
+}  // namespace rpe

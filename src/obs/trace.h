@@ -1,0 +1,177 @@
+// Per-request tracing for the serving tier. Span ids are minted where a
+// frame is decoded (TcpServer::ReadInto), carried through dispatch into
+// the shard route, the service Advance/selector scoring, and — on a
+// model swap — the TrainerLoop retrain/publish cycle, and recorded into
+// a fixed-capacity lock-free ring. The ring dumps as Chrome trace-event
+// JSON (`rpe_cli serve-tcp --trace-out`, load it at chrome://tracing or
+// ui.perfetto.dev); a request whose root span exceeds the slow-request
+// threshold (`--slow-ms`) is additionally logged with a per-child-span
+// breakdown, so one slow Advance is attributable without the dump.
+//
+// Overhead contract: with tracing disabled (the default), a TraceSpan
+// costs one relaxed atomic load. Enabled, a span is two monotonic clock
+// reads plus one ring-slot write of relaxed atomics — no lock, no
+// allocation, and nothing that can perturb scoring/training determinism
+// (the clock feeds only telemetry). The ring overwrites oldest-first on
+// wrap; every field of a slot is an individual atomic and slots are
+// sequence-stamped, so readers never tear a value even while writers
+// lap them (a lapped slot is skipped or re-read, TSan-clean by
+// construction).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"  // MonotonicNanos / ThisThreadId timebase
+#include "common/status.h"
+
+namespace rpe {
+namespace obs {
+
+/// \brief One completed span, as read back from the ring.
+struct TraceEventView {
+  const char* name = nullptr;  ///< static string literal
+  uint64_t span = 0;
+  uint64_t parent = 0;  ///< 0 = root
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  uint64_t arg = 0;  ///< site-defined (session id, shard, step count)
+  uint32_t tid = 0;
+};
+
+/// \brief Process-global trace sink: span-id mint, the lock-free event
+/// ring, the slow-request threshold, and the Chrome dump. Enable() is
+/// called once by the CLI when --trace-out / --slow-ms is given; every
+/// instrumentation site stays a single relaxed load until then.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// Allocate the ring (capacity rounded up to a power of two, min 64)
+  /// and open the sink. Idempotent while enabled.
+  void Enable(size_t capacity = 1 << 14);
+  /// Drop the ring and close the sink (tests).
+  void Disable();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Fresh nonzero span id.
+  uint64_t NewSpanId() {
+    return next_span_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Record a completed span. No-op when disabled.
+  void Record(const char* name, uint64_t span, uint64_t parent,
+              uint64_t start_ns, uint64_t dur_ns, uint64_t arg = 0);
+
+  /// Threshold for the slow-request log; 0 disables it.
+  void SetSlowThresholdNs(uint64_t ns) {
+    slow_threshold_ns_.store(ns, std::memory_order_relaxed);
+  }
+  uint64_t slow_threshold_ns() const {
+    return slow_threshold_ns_.load(std::memory_order_relaxed);
+  }
+  /// Count (and tally) one request over the threshold.
+  void CountSlowRequest() {
+    slow_requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t slow_requests() const {
+    return slow_requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Spans ever recorded (wrapped slots included).
+  uint64_t events_recorded() const {
+    return tickets_.load(std::memory_order_relaxed);
+  }
+
+  /// Consistent best-effort copy of the ring, oldest order not
+  /// guaranteed — sort by start_ns for display.
+  std::vector<TraceEventView> Snapshot() const;
+
+  /// Write the ring as Chrome trace-event JSON ({"traceEvents": [...]})
+  /// sorted by start time. ts/dur are microseconds.
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  struct Slot {
+    /// 0 empty; odd = being written; even nonzero = complete ticket*2+2.
+    std::atomic<uint64_t> seq{0};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<uint64_t> span{0};
+    std::atomic<uint64_t> parent{0};
+    std::atomic<uint64_t> start_ns{0};
+    std::atomic<uint64_t> dur_ns{0};
+    std::atomic<uint64_t> arg{0};
+    std::atomic<uint32_t> tid{0};
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_span_{1};
+  std::atomic<uint64_t> tickets_{0};
+  std::atomic<uint64_t> slow_threshold_ns_{0};
+  std::atomic<uint64_t> slow_requests_{0};
+  std::unique_ptr<Slot[]> slots_;
+  size_t capacity_ = 0;  ///< power of two; stable while enabled
+};
+
+/// \brief Thread-local "current span" used to parent child spans across
+/// call boundaries without threading ids through every signature: the
+/// server scopes the request's root span around dispatch, and the
+/// service/selector sites parent to whatever is current.
+class TraceContext {
+ public:
+  static uint64_t Current();
+
+  class Scope {
+   public:
+    explicit Scope(uint64_t span);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    uint64_t saved_;
+  };
+};
+
+/// \brief Per-thread scratch aggregating the current request's completed
+/// child spans by site name, so the slow-request log can print a
+/// breakdown ("decode=40us route=110us advance.step=32x 3.1ms") without
+/// searching the ring. BeginRequest resets it; TraceSpan feeds it.
+class SlowScratch {
+ public:
+  static void BeginRequest();
+  static void AddChild(const char* name, uint64_t dur_ns);
+  /// Render and reset; empty string when nothing was collected.
+  static std::string Breakdown();
+};
+
+/// \brief RAII span: captures the clock on entry, records on exit with
+/// parent = TraceContext::Current() unless overridden. One relaxed load
+/// when tracing is disabled.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, uint64_t arg = 0);
+  TraceSpan(const char* name, uint64_t parent, uint64_t arg);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool active() const { return active_; }
+  uint64_t id() const { return id_; }
+
+ private:
+  const char* name_ = nullptr;
+  uint64_t id_ = 0;
+  uint64_t parent_ = 0;
+  uint64_t start_ = 0;
+  uint64_t arg_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace obs
+}  // namespace rpe

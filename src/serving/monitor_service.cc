@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace rpe {
 namespace {
@@ -160,6 +161,9 @@ double MonitorService::StepLocked(Session* s) {
 }
 
 Result<double> MonitorService::Advance(SessionId id) {
+  // Parents to the wire request being advanced when the TCP front-end
+  // set a TraceContext; one relaxed load when tracing is off.
+  obs::TraceSpan span("advance.step", /*arg=*/id);
   RPE_ASSIGN_OR_RETURN(std::shared_ptr<Session> s, Find(id));
   double progress = 0.0;
   double dt = 0.0;

@@ -18,6 +18,7 @@
 
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace rpe {
 namespace {
@@ -32,8 +33,9 @@ Status Errno(const std::string& what) {
 
 /// Frames admission control may refuse. kClose is exempt (it frees
 /// resources — shedding it would pin sessions under the very overload
-/// shedding exists to survive) and so is kStats (observability must work
-/// when the server is saturated, or the saturation is undebuggable).
+/// shedding exists to survive) and so are kStats and kMetricsDump
+/// (observability must work when the server is saturated, or the
+/// saturation is undebuggable).
 bool Sheddable(MsgType type) {
   switch (type) {
     case MsgType::kOpen:
@@ -44,9 +46,26 @@ bool Sheddable(MsgType type) {
       return true;
     case MsgType::kClose:
     case MsgType::kStats:
+    case MsgType::kMetricsDump:
       return false;
   }
   return true;
+}
+
+/// Root-span name of a request, by frame type (static literals — the
+/// trace ring stores pointers, not copies).
+const char* SpanNameFor(MsgType type) {
+  switch (type) {
+    case MsgType::kOpen: return "request.open";
+    case MsgType::kAdvance: return "request.advance";
+    case MsgType::kProgress: return "request.progress";
+    case MsgType::kClose: return "request.close";
+    case MsgType::kStats: return "request.stats";
+    case MsgType::kIngestRecord: return "request.ingest";
+    case MsgType::kIngestBatch: return "request.ingest_batch";
+    case MsgType::kMetricsDump: return "request.metrics_dump";
+  }
+  return "request";
 }
 
 /// Records an ingest frame offers, counted without decoding it (the frame
@@ -75,6 +94,13 @@ uint32_t IngestFrameRecords(const WireFrame& frame) {
 /// so dispatch answers without handling.
 struct TcpServer::InboxEntry {
   WireFrame frame;
+  /// Root span id of this request, minted at frame decode when tracing
+  /// is enabled (0 otherwise). Child spans (shard route, advance steps,
+  /// a swap's retrain/publish) parent to it through TraceContext.
+  uint64_t trace_id = 0;
+  /// Decode timestamp — the start of the request's end-to-end latency
+  /// (always captured; the latency histogram records every request).
+  uint64_t recv_ns = 0;
   /// Records the frame offered, captured before the payload was released
   /// (nonzero only for shed ingest frames).
   uint32_t shed_records = 0;
@@ -107,6 +133,8 @@ struct TcpServer::Connection {
 struct TcpServer::AdvanceWork {
   Connection* conn = nullptr;
   uint64_t session = 0;
+  uint64_t trace_id = 0;  ///< root span carried from the inbox entry
+  uint64_t recv_ns = 0;   ///< decode timestamp carried from the entry
   uint32_t budget = 0;
   uint32_t taken = 0;
   double progress = 0.0;
@@ -116,8 +144,11 @@ struct TcpServer::AdvanceWork {
 };
 
 /// \brief Per-IO-thread state: the epoll instance, an eventfd for
-/// accept handoff + shutdown wakeup, the owned connections, and relaxed
-/// atomic counters (read by GetStats from other threads).
+/// accept handoff + shutdown wakeup, and the owned connections. The
+/// per-thread counters that used to live here are registry-owned
+/// obs::Counters now (TcpServer::Counters) — same relaxed-increment hot
+/// path (each thread writes its own shard cell), one source of truth for
+/// GetStats, the exit table, and the metrics scrape.
 struct TcpServer::IoThread {
   size_t index = 0;
   int epoll_fd = -1;
@@ -129,23 +160,6 @@ struct TcpServer::IoThread {
 
   std::unordered_map<int, std::unique_ptr<Connection>> conns;
   std::vector<AdvanceWork> batch;
-
-  // Counters are written only by this thread; GetStats sums them from
-  // outside, so they are relaxed atomics rather than plain fields.
-  std::atomic<uint64_t> frames_received{0};
-  std::atomic<uint64_t> frames_sent{0};
-  std::atomic<uint64_t> bytes_received{0};
-  std::atomic<uint64_t> bytes_sent{0};
-  std::atomic<uint64_t> protocol_errors{0};
-  std::atomic<uint64_t> io_errors{0};
-  std::atomic<uint64_t> connections_closed{0};
-  std::atomic<uint64_t> wire_sessions_opened{0};
-  std::atomic<uint64_t> wire_sessions_closed{0};
-  std::atomic<uint64_t> advance_steps{0};
-  std::atomic<uint64_t> requests_shed{0};
-  std::atomic<uint64_t> records_ingested{0};
-  std::atomic<uint64_t> records_ingest_dropped{0};
-  std::atomic<uint64_t> records_ingest_shed{0};
 };
 
 TcpServer::TcpServer(ShardedMonitorService* service,
@@ -163,6 +177,48 @@ TcpServer::TcpServer(ShardedMonitorService* service,
   RPE_CHECK(!runs_.empty());
   RPE_CHECK(options_.max_inflight_per_conn > 0);
   RPE_CHECK(options_.max_inflight_total > 0);
+  if (options_.metrics != nullptr) {
+    registry_ = options_.metrics;
+  } else {
+    own_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry_ = own_registry_.get();
+  }
+  // Table labels are the exact rows the serve-tcp exit table has always
+  // printed (parsed by scripts/server_smoke_test.sh); the wire-session
+  // counters carry none so the bare "sessions opened/completed" rows
+  // keep matching the service-level counters first.
+  c_.connections_accepted = registry_->GetCounter(
+      "rpe_server_connections_accepted_total", "connections accepted");
+  c_.connections_closed = registry_->GetCounter(
+      "rpe_server_connections_closed_total", "connections closed");
+  c_.frames_received = registry_->GetCounter(
+      "rpe_server_frames_received_total", "frames received");
+  c_.frames_sent =
+      registry_->GetCounter("rpe_server_frames_sent_total", "frames sent");
+  c_.bytes_received = registry_->GetCounter(
+      "rpe_server_bytes_received_total", "bytes received");
+  c_.bytes_sent =
+      registry_->GetCounter("rpe_server_bytes_sent_total", "bytes sent");
+  c_.protocol_errors = registry_->GetCounter(
+      "rpe_server_protocol_errors_total", "protocol errors");
+  c_.io_errors =
+      registry_->GetCounter("rpe_server_io_errors_total", "io errors");
+  c_.wire_sessions_opened =
+      registry_->GetCounter("rpe_server_wire_sessions_opened_total");
+  c_.wire_sessions_closed =
+      registry_->GetCounter("rpe_server_wire_sessions_closed_total");
+  c_.advance_steps = registry_->GetCounter(
+      "rpe_server_advance_steps_total", "advance steps");
+  c_.requests_shed = registry_->GetCounter(
+      "rpe_server_requests_shed_total", "session requests shed");
+  c_.records_ingested = registry_->GetCounter(
+      "rpe_server_records_ingested_total", "wire records ingested");
+  c_.records_ingest_dropped = registry_->GetCounter(
+      "rpe_server_records_ingest_dropped_total", "wire records dropped");
+  c_.records_ingest_shed = registry_->GetCounter(
+      "rpe_server_records_ingest_shed_total", "wire records shed");
+  request_latency_ =
+      registry_->GetHistogram("rpe_server_request_latency_seconds");
 }
 
 TcpServer::~TcpServer() { Stop(); }
@@ -201,9 +257,43 @@ Status TcpServer::Start() {
   }
   port_ = ntohs(addr.sin_port);
 
+  if (options_.metrics_port >= 0) {
+    // The /metrics exposition listener: same loopback bind discipline as
+    // the wire port, polled by the acceptor and served inline (it is an
+    // operator endpoint, not a data path — see HandleMetricsConn).
+    metrics_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK |
+                                        SOCK_CLOEXEC, 0);
+    if (metrics_fd_ < 0) {
+      const Status st = Errno("metrics socket");
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return st;
+    }
+    ::setsockopt(metrics_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in maddr{};
+    maddr.sin_family = AF_INET;
+    maddr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    maddr.sin_port = htons(static_cast<uint16_t>(options_.metrics_port));
+    socklen_t mlen = sizeof maddr;
+    if (::bind(metrics_fd_, reinterpret_cast<sockaddr*>(&maddr),
+               sizeof maddr) < 0 ||
+        ::listen(metrics_fd_, 16) < 0 ||
+        ::getsockname(metrics_fd_, reinterpret_cast<sockaddr*>(&maddr),
+                      &mlen) < 0) {
+      const Status st = Errno("metrics bind/listen");
+      ::close(metrics_fd_);
+      ::close(listen_fd_);
+      metrics_fd_ = listen_fd_ = -1;
+      return st;
+    }
+    metrics_port_ = ntohs(maddr.sin_port);
+  }
+
   acceptor_wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
   if (acceptor_wake_fd_ < 0) {
     const Status st = Errno("eventfd");
+    if (metrics_fd_ >= 0) ::close(metrics_fd_);
+    metrics_fd_ = -1;
     ::close(listen_fd_);
     listen_fd_ = -1;
     return st;
@@ -229,7 +319,8 @@ Status TcpServer::Start() {
       io_threads_.clear();
       ::close(acceptor_wake_fd_);
       ::close(listen_fd_);
-      acceptor_wake_fd_ = listen_fd_ = -1;
+      if (metrics_fd_ >= 0) ::close(metrics_fd_);
+      acceptor_wake_fd_ = listen_fd_ = metrics_fd_ = -1;
       return st;
     }
     epoll_event ev{};
@@ -265,19 +356,30 @@ void TcpServer::Stop() {
   }
   ::close(acceptor_wake_fd_);
   if (listen_fd_ >= 0) ::close(listen_fd_);
-  acceptor_wake_fd_ = listen_fd_ = -1;
+  if (metrics_fd_ >= 0) ::close(metrics_fd_);
+  acceptor_wake_fd_ = listen_fd_ = metrics_fd_ = -1;
   joined_ = true;
 }
 
 void TcpServer::AcceptLoop() {
   while (!stop_.load(std::memory_order_relaxed)) {
-    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {acceptor_wake_fd_, POLLIN, 0}};
-    const int rc = ::poll(fds, 2, -1);
+    pollfd fds[3] = {{listen_fd_, POLLIN, 0},
+                     {acceptor_wake_fd_, POLLIN, 0},
+                     {metrics_fd_, POLLIN, 0}};  // -1 fd: kernel ignores it
+    const int rc = ::poll(fds, 3, -1);
     if (rc < 0) {
       if (errno == EINTR) continue;
       break;
     }
     if (stop_.load(std::memory_order_relaxed)) break;
+    if (metrics_fd_ >= 0 && (fds[2].revents & POLLIN) != 0) {
+      while (true) {
+        const int mfd = ::accept4(metrics_fd_, nullptr, nullptr,
+                                  SOCK_CLOEXEC);
+        if (mfd < 0) break;
+        HandleMetricsConn(mfd);
+      }
+    }
     if ((fds[0].revents & POLLIN) == 0) continue;
     while (true) {
       const int fd = ::accept4(listen_fd_, nullptr, nullptr,
@@ -290,12 +392,12 @@ void TcpServer::AcceptLoop() {
         // Injected accept failure: the connection is refused, the server
         // keeps serving (counted as an IO error on the target thread).
         ::close(fd);
-        io->io_errors.fetch_add(1, std::memory_order_relaxed);
+        c_.io_errors->Inc();
         continue;
       }
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-      accepted_total_.fetch_add(1, std::memory_order_relaxed);
+      c_.connections_accepted->Inc();
       {
         std::lock_guard<std::mutex> lock(io->handoff_mu);
         io->handoff.push_back(fd);
@@ -304,6 +406,52 @@ void TcpServer::AcceptLoop() {
       [[maybe_unused]] ssize_t n = ::write(io->wake_fd, &note, sizeof note);
     }
   }
+}
+
+void TcpServer::HandleMetricsConn(int fd) {
+  // Deliberately minimal: a loopback operator endpoint serving one GET
+  // per connection, blocking with short timeouts so a stuck scraper
+  // cannot wedge the acceptor for more than ~a second. The data path
+  // (wire port) is untouched by whatever happens here.
+  timeval tv{};
+  tv.tv_sec = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  char req[4096];
+  size_t used = 0;
+  while (used < sizeof req - 1) {
+    const ssize_t n = ::read(fd, req + used, sizeof req - 1 - used);
+    if (n <= 0) break;
+    used += static_cast<size_t>(n);
+    req[used] = '\0';
+    if (std::strstr(req, "\r\n\r\n") != nullptr ||
+        std::strstr(req, "\n\n") != nullptr) {
+      break;
+    }
+  }
+  req[used] = '\0';
+  std::string response;
+  if (std::strncmp(req, "GET /metrics", 12) == 0) {
+    const std::string body = registry_->RenderPrometheus();
+    response = "HTTP/1.1 200 OK\r\nContent-Type: text/plain; "
+               "version=0.0.4; charset=utf-8\r\nContent-Length: " +
+               std::to_string(body.size()) +
+               "\r\nConnection: close\r\n\r\n" + body;
+  } else {
+    static constexpr char kBody[] = "only GET /metrics is served\n";
+    response = "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\n"
+               "Content-Length: " +
+               std::to_string(sizeof kBody - 1) +
+               "\r\nConnection: close\r\n\r\n" + kBody;
+  }
+  size_t off = 0;
+  while (off < response.size()) {
+    const ssize_t n =
+        ::write(fd, response.data() + off, response.size() - off);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  ::close(fd);
 }
 
 bool TcpServer::UpdateEpoll(IoThread* io, Connection* conn) {
@@ -321,7 +469,7 @@ void TcpServer::CloseConnection(IoThread* io, Connection* conn) {
   // sessions would otherwise pin run state and skew open-session counts.
   for (uint64_t id : conn->sessions) {
     service_->CloseSession(id);  // best effort; may already be closed
-    io->wire_sessions_closed.fetch_add(1, std::memory_order_relaxed);
+    c_.wire_sessions_closed->Inc();
   }
   conn->sessions.clear();
   // Undispatched frames die with the connection; give their in-flight
@@ -334,13 +482,13 @@ void TcpServer::CloseConnection(IoThread* io, Connection* conn) {
   conn->inbox.clear();
   ::epoll_ctl(io->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
   ::close(conn->fd);
-  io->connections_closed.fetch_add(1, std::memory_order_relaxed);
+  c_.connections_closed->Inc();
   io->conns.erase(conn->fd);  // frees *conn
 }
 
 void TcpServer::SendFrame(IoThread* io, Connection* conn, std::string frame) {
   conn->wbuf.append(frame);
-  io->frames_sent.fetch_add(1, std::memory_order_relaxed);
+  c_.frames_sent->Inc();
   if (conn->pending_write() > options_.max_write_buffer &&
       !conn->paused_read) {
     // Backpressure: stop reading (and thus dispatching) until the buffer
@@ -367,13 +515,12 @@ bool TcpServer::FlushWrites(IoThread* io, Connection* conn) {
         return true;
       }
       if (errno == EINTR) continue;
-      io->io_errors.fetch_add(1, std::memory_order_relaxed);
+      c_.io_errors->Inc();
       CloseConnection(io, conn);
       return false;
     }
     conn->woff += static_cast<size_t>(n);
-    io->bytes_sent.fetch_add(static_cast<uint64_t>(n),
-                             std::memory_order_relaxed);
+    c_.bytes_sent->Inc(static_cast<uint64_t>(n));
   }
   conn->wbuf.clear();
   conn->woff = 0;
@@ -392,12 +539,14 @@ bool TcpServer::FlushWrites(IoThread* io, Connection* conn) {
 }
 
 void TcpServer::HandleFrame(IoThread* io, Connection* conn,
-                            const WireFrame& frame) {
+                            const InboxEntry& entry) {
+  const WireFrame& frame = entry.frame;
+  obs::TraceSpan route_span("shard.route", conn->shard);
   switch (frame.type) {
     case MsgType::kOpen: {
       const auto req = DecodeOpenRequest(frame.payload);
       if (!req.ok()) {
-        io->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        c_.protocol_errors->Inc();
         SendFrame(io, conn, EncodeErrorFrame(MsgType::kOpen, req.status()));
         return;
       }
@@ -410,7 +559,7 @@ void TcpServer::HandleFrame(IoThread* io, Connection* conn,
         return;
       }
       conn->sessions.push_back(*id);
-      io->wire_sessions_opened.fetch_add(1, std::memory_order_relaxed);
+      c_.wire_sessions_opened->Inc();
       OpenResponse resp;
       resp.session_id = *id;
       resp.run_index = resolved;
@@ -422,7 +571,7 @@ void TcpServer::HandleFrame(IoThread* io, Connection* conn,
     case MsgType::kAdvance: {
       const auto req = DecodeAdvanceRequest(frame.payload);
       if (!req.ok()) {
-        io->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        c_.protocol_errors->Inc();
         SendFrame(io, conn,
                   EncodeErrorFrame(MsgType::kAdvance, req.status()));
         return;
@@ -430,6 +579,8 @@ void TcpServer::HandleFrame(IoThread* io, Connection* conn,
       AdvanceWork work;
       work.conn = conn;
       work.session = req->session_id;
+      work.trace_id = entry.trace_id;
+      work.recv_ns = entry.recv_ns;
       work.budget = req->max_steps;
       conn->advancing = true;  // holds later frames until answered
       io->batch.push_back(work);
@@ -438,7 +589,7 @@ void TcpServer::HandleFrame(IoThread* io, Connection* conn,
     case MsgType::kProgress: {
       const auto req = DecodeProgressRequest(frame.payload);
       if (!req.ok()) {
-        io->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        c_.protocol_errors->Inc();
         SendFrame(io, conn,
                   EncodeErrorFrame(MsgType::kProgress, req.status()));
         return;
@@ -459,7 +610,7 @@ void TcpServer::HandleFrame(IoThread* io, Connection* conn,
     case MsgType::kClose: {
       const auto req = DecodeCloseRequest(frame.payload);
       if (!req.ok()) {
-        io->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        c_.protocol_errors->Inc();
         SendFrame(io, conn, EncodeErrorFrame(MsgType::kClose, req.status()));
         return;
       }
@@ -471,13 +622,13 @@ void TcpServer::HandleFrame(IoThread* io, Connection* conn,
       auto it = std::find(conn->sessions.begin(), conn->sessions.end(),
                           req->session_id);
       if (it != conn->sessions.end()) conn->sessions.erase(it);
-      io->wire_sessions_closed.fetch_add(1, std::memory_order_relaxed);
+      c_.wire_sessions_closed->Inc();
       SendFrame(io, conn, EncodeCloseResponse());
       return;
     }
     case MsgType::kStats: {
       if (!frame.payload.empty()) {
-        io->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        c_.protocol_errors->Inc();
         SendFrame(io, conn,
                   EncodeErrorFrame(
                       MsgType::kStats,
@@ -488,10 +639,27 @@ void TcpServer::HandleFrame(IoThread* io, Connection* conn,
       SendFrame(io, conn, EncodeStatsResponse(BuildWireStats()));
       return;
     }
+    case MsgType::kMetricsDump: {
+      if (!frame.payload.empty()) {
+        c_.protocol_errors->Inc();
+        SendFrame(io, conn,
+                  EncodeErrorFrame(
+                      MsgType::kMetricsDump,
+                      Status::InvalidArgument(
+                          "MetricsDumpRequest carries a nonempty payload")));
+        return;
+      }
+      // The wire twin of GET /metrics: the same RenderPrometheus text,
+      // reachable through the protocol the load generator already speaks
+      // (and, like kStats, never shed — see Sheddable).
+      SendFrame(io, conn,
+                EncodeMetricsDumpResponse(registry_->RenderPrometheus()));
+      return;
+    }
     case MsgType::kIngestRecord: {
       auto req = DecodeIngestRecordRequest(frame.payload);
       if (!req.ok()) {
-        io->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        c_.protocol_errors->Inc();
         SendFrame(io, conn,
                   EncodeErrorFrame(MsgType::kIngestRecord, req.status()));
         return;
@@ -504,7 +672,7 @@ void TcpServer::HandleFrame(IoThread* io, Connection* conn,
     case MsgType::kIngestBatch: {
       auto req = DecodeIngestBatchRequest(frame.payload);
       if (!req.ok()) {
-        io->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        c_.protocol_errors->Inc();
         SendFrame(io, conn,
                   EncodeErrorFrame(MsgType::kIngestBatch, req.status()));
         return;
@@ -515,17 +683,16 @@ void TcpServer::HandleFrame(IoThread* io, Connection* conn,
     }
   }
   // Unreachable: FrameDecoder rejects unknown type bytes.
-  io->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+  c_.protocol_errors->Inc();
 }
 
 void TcpServer::AnswerShed(IoThread* io, Connection* conn,
                            const InboxEntry& entry) {
   (void)RPE_INJECT_FAULT("server.shed");  // sync hook: a shed was answered
   if (entry.shed_records > 0) {
-    io->records_ingest_shed.fetch_add(entry.shed_records,
-                                      std::memory_order_relaxed);
+    c_.records_ingest_shed->Inc(entry.shed_records);
   } else {
-    io->requests_shed.fetch_add(1, std::memory_order_relaxed);
+    c_.requests_shed->Inc();
   }
   SendFrame(io, conn,
             EncodeErrorFrame(
@@ -554,8 +721,7 @@ void TcpServer::IngestRecords(IoThread* io, Connection* conn, MsgType type,
     // reconciliation ambiguous. Queue-full drops below can then only
     // happen when another producer races us past the watermark.
     (void)RPE_INJECT_FAULT("server.shed");
-    io->records_ingest_shed.fetch_add(records.size(),
-                                      std::memory_order_relaxed);
+    c_.records_ingest_shed->Inc(records.size());
     SendFrame(io, conn,
               EncodeErrorFrame(
                   type, Status::Unavailable(
@@ -577,9 +743,8 @@ void TcpServer::IngestRecords(IoThread* io, Connection* conn, MsgType type,
       ++resp.dropped;
     }
   }
-  io->records_ingested.fetch_add(resp.accepted, std::memory_order_relaxed);
-  io->records_ingest_dropped.fetch_add(resp.dropped,
-                                       std::memory_order_relaxed);
+  c_.records_ingested->Inc(resp.accepted);
+  c_.records_ingest_dropped->Inc(resp.dropped);
   SendFrame(io, conn, EncodeIngestResponse(type, resp));
 }
 
@@ -590,10 +755,41 @@ void TcpServer::DispatchInbox(IoThread* io, Connection* conn) {
     conn->inbox.pop_front();
     if (entry.shed) {
       AnswerShed(io, conn, entry);
+      FinishRequest("request.shed", entry.trace_id, entry.recv_ns, 0);
       continue;
     }
     inflight_total_.fetch_sub(1, std::memory_order_relaxed);
-    HandleFrame(io, conn, entry.frame);
+    const MsgType type = entry.frame.type;
+    obs::SlowScratch::BeginRequest();
+    {
+      // Child spans opened while handling (shard route, service calls)
+      // parent to this request without threading ids through signatures.
+      obs::TraceContext::Scope scope(entry.trace_id);
+      HandleFrame(io, conn, entry);
+    }
+    // A kAdvance defers into the batch; its root span and latency sample
+    // are recorded when RunAdvanceBatch answers it.
+    if (!conn->advancing) {
+      FinishRequest(SpanNameFor(type), entry.trace_id, entry.recv_ns, 0);
+    }
+  }
+}
+
+void TcpServer::FinishRequest(const char* name, uint64_t trace_id,
+                              uint64_t recv_ns, uint64_t arg) {
+  const uint64_t now = MonotonicNanos();
+  const uint64_t latency = now > recv_ns ? now - recv_ns : 0;
+  request_latency_->Record(latency);
+  obs::Tracer& tracer = obs::Tracer::Global();
+  if (trace_id != 0) {
+    tracer.Record(name, trace_id, 0, recv_ns, latency);
+  }
+  const uint64_t threshold = tracer.slow_threshold_ns();
+  if (threshold != 0 && latency >= threshold) {
+    tracer.CountSlowRequest();
+    RPE_LOG_WARN << "slow request " << name << ": "
+                 << static_cast<double>(latency) / 1e6 << " ms ["
+                 << obs::SlowScratch::Breakdown() << "]";
   }
 }
 
@@ -607,11 +803,15 @@ void TcpServer::RunAdvanceBatch(IoThread* io) {
   while (active > 0) {
     for (AdvanceWork& w : batch) {
       if (w.retired) continue;
+      // Each step's "advance.step" span (opened inside the service)
+      // parents to the request whose budget it came from, even though the
+      // batch interleaves requests deficit-fairly.
+      obs::TraceContext::Scope scope(w.trace_id);
       const auto step = service_->Advance(w.session);
       if (step.ok()) {
         w.progress = *step;
         ++w.taken;
-        io->advance_steps.fetch_add(1, std::memory_order_relaxed);
+        c_.advance_steps->Inc();
         if (w.taken >= w.budget) {
           const auto done = service_->Done(w.session);
           w.done = done.ok() && *done;
@@ -647,6 +847,7 @@ void TcpServer::RunAdvanceBatch(IoThread* io) {
       resp.done = w.done ? 1 : 0;
       SendFrame(io, conn, EncodeAdvanceResponse(resp));
     }
+    FinishRequest("request.advance", w.trace_id, w.recv_ns, w.taken);
     conn->advancing = false;
   }
   batch.clear();
@@ -663,7 +864,7 @@ bool TcpServer::ReadInto(IoThread* io, Connection* conn) {
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
       if (errno == EINTR) continue;
-      io->io_errors.fetch_add(1, std::memory_order_relaxed);
+      c_.io_errors->Inc();
       CloseConnection(io, conn);
       return false;
     }
@@ -671,10 +872,12 @@ bool TcpServer::ReadInto(IoThread* io, Connection* conn) {
       CloseConnection(io, conn);
       return false;
     }
-    io->bytes_received.fetch_add(static_cast<uint64_t>(n),
-                                 std::memory_order_relaxed);
+    c_.bytes_received->Inc(static_cast<uint64_t>(n));
     conn->decoder.Feed(chunk, static_cast<size_t>(n));
     while (true) {
+      obs::Tracer& tracer = obs::Tracer::Global();
+      const bool tracing = tracer.enabled();
+      const uint64_t decode_start = tracing ? MonotonicNanos() : 0;
       WireFrame frame;
       auto next = conn->decoder.Next(&frame);
       bool forced = false;
@@ -686,9 +889,8 @@ bool TcpServer::ReadInto(IoThread* io, Connection* conn) {
       if (!next.ok()) {
         // Hostile header (or injected framing fault): the stream cannot
         // be re-synchronized. Answer with the error, flush, drop.
-        io->protocol_errors.fetch_add(forced ? 0 : 1,
-                                      std::memory_order_relaxed);
-        if (forced) io->io_errors.fetch_add(1, std::memory_order_relaxed);
+        c_.protocol_errors->Inc(forced ? 0 : 1);
+        if (forced) c_.io_errors->Inc();
         SendFrame(io, conn,
                   EncodeErrorFrame(MsgType::kStats, next.status()));
         FlushWrites(io, conn);
@@ -696,9 +898,19 @@ bool TcpServer::ReadInto(IoThread* io, Connection* conn) {
         return false;
       }
       if (!*next) break;
-      io->frames_received.fetch_add(1, std::memory_order_relaxed);
+      c_.frames_received->Inc();
       InboxEntry entry;
       entry.frame = std::move(frame);
+      // The request's clock starts at decode; its root span id is minted
+      // here so every downstream child (route, advance steps, a swap's
+      // retrain) can parent to it.
+      entry.recv_ns = MonotonicNanos();
+      if (tracing) {
+        entry.trace_id = tracer.NewSpanId();
+        tracer.Record("frame.decode", tracer.NewSpanId(), entry.trace_id,
+                      decode_start, entry.recv_ns - decode_start,
+                      static_cast<uint64_t>(entry.frame.type));
+      }
       // Admission control happens here, at read time: a frame over the
       // per-connection or global in-flight budget is marked shed and its
       // payload released immediately (a flood costs inbox slots, not
@@ -756,7 +968,7 @@ void TcpServer::IoLoop(IoThread* io) {
           ev.data.fd = cfd;
           if (::epoll_ctl(io->epoll_fd, EPOLL_CTL_ADD, cfd, &ev) != 0) {
             ::close(cfd);
-            io->io_errors.fetch_add(1, std::memory_order_relaxed);
+            c_.io_errors->Inc();
             continue;
           }
           io->conns.emplace(cfd, std::move(conn));
@@ -833,32 +1045,24 @@ void TcpServer::IoLoop(IoThread* io) {
 }
 
 TcpServerStats TcpServer::GetStats() const {
+  // The registry counters ARE the stats — this struct is a point-in-time
+  // read of the same cells /metrics scrapes.
   TcpServerStats s;
-  s.connections_accepted =
-      accepted_total_.load(std::memory_order_relaxed);
-  for (const auto& io : io_threads_) {
-    s.connections_closed +=
-        io->connections_closed.load(std::memory_order_relaxed);
-    s.frames_received += io->frames_received.load(std::memory_order_relaxed);
-    s.frames_sent += io->frames_sent.load(std::memory_order_relaxed);
-    s.bytes_received += io->bytes_received.load(std::memory_order_relaxed);
-    s.bytes_sent += io->bytes_sent.load(std::memory_order_relaxed);
-    s.protocol_errors +=
-        io->protocol_errors.load(std::memory_order_relaxed);
-    s.io_errors += io->io_errors.load(std::memory_order_relaxed);
-    s.wire_sessions_opened +=
-        io->wire_sessions_opened.load(std::memory_order_relaxed);
-    s.wire_sessions_closed +=
-        io->wire_sessions_closed.load(std::memory_order_relaxed);
-    s.advance_steps += io->advance_steps.load(std::memory_order_relaxed);
-    s.requests_shed += io->requests_shed.load(std::memory_order_relaxed);
-    s.records_ingested +=
-        io->records_ingested.load(std::memory_order_relaxed);
-    s.records_ingest_dropped +=
-        io->records_ingest_dropped.load(std::memory_order_relaxed);
-    s.records_ingest_shed +=
-        io->records_ingest_shed.load(std::memory_order_relaxed);
-  }
+  s.connections_accepted = c_.connections_accepted->Value();
+  s.connections_closed = c_.connections_closed->Value();
+  s.frames_received = c_.frames_received->Value();
+  s.frames_sent = c_.frames_sent->Value();
+  s.bytes_received = c_.bytes_received->Value();
+  s.bytes_sent = c_.bytes_sent->Value();
+  s.protocol_errors = c_.protocol_errors->Value();
+  s.io_errors = c_.io_errors->Value();
+  s.wire_sessions_opened = c_.wire_sessions_opened->Value();
+  s.wire_sessions_closed = c_.wire_sessions_closed->Value();
+  s.advance_steps = c_.advance_steps->Value();
+  s.requests_shed = c_.requests_shed->Value();
+  s.records_ingested = c_.records_ingested->Value();
+  s.records_ingest_dropped = c_.records_ingest_dropped->Value();
+  s.records_ingest_shed = c_.records_ingest_shed->Value();
   return s;
 }
 

@@ -61,6 +61,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "serving/ingest.h"
 #include "serving/shard_router.h"
 #include "serving/wire.h"
@@ -119,6 +120,15 @@ class TcpServer {
     /// the queue past this is answered kStatusBusy. 0 = the queue's
     /// capacity (shed exactly when Push would start dropping).
     size_t ingest_shed_watermark = 0;
+    /// Registry the server's counters and request-latency histogram live
+    /// in (also the source a kMetricsDump frame and the /metrics endpoint
+    /// render). nullptr = a server-private registry, so tests that assert
+    /// exact per-server counters stay isolated from each other.
+    obs::MetricsRegistry* metrics = nullptr;
+    /// Port of the HTTP /metrics exposition listener (loopback, GET
+    /// only): -1 disables it, 0 picks an ephemeral port — read it back
+    /// with metrics_port() after Start().
+    int metrics_port = -1;
   };
 
   /// `service` and the runs behind `runs` must outlive the server. `runs`
@@ -145,6 +155,14 @@ class TcpServer {
 
   /// Bound port (after a successful Start()).
   uint16_t port() const { return port_; }
+
+  /// Bound /metrics port (after Start(), when Options::metrics_port >= 0;
+  /// 0 otherwise).
+  uint16_t metrics_port() const { return metrics_port_; }
+
+  /// The registry the server's counters live in (Options::metrics, or
+  /// the server-private one).
+  obs::MetricsRegistry& metrics_registry() { return *registry_; }
 
   TcpServerStats GetStats() const;
 
@@ -174,7 +192,16 @@ class TcpServer {
   bool FlushWrites(IoThread* io, Connection* conn);
   void SendFrame(IoThread* io, Connection* conn, std::string frame);
   void CloseConnection(IoThread* io, Connection* conn);
-  void HandleFrame(IoThread* io, Connection* conn, const WireFrame& frame);
+  void HandleFrame(IoThread* io, Connection* conn, const InboxEntry& entry);
+  /// Close out one answered request: record its end-to-end latency in
+  /// the request histogram, emit the root trace span, and write the
+  /// slow-request log line when the latency crosses the --slow-ms
+  /// threshold.
+  void FinishRequest(const char* name, uint64_t trace_id, uint64_t recv_ns,
+                     uint64_t arg);
+  /// Serve one accepted /metrics HTTP connection inline (blocking with
+  /// short timeouts; runs on the acceptor thread).
+  void HandleMetricsConn(int fd);
   /// Answer a frame shed at read time with kStatusBusy (FIFO order) and
   /// bump the exact shed counter (records for ingest, frames otherwise).
   void AnswerShed(IoThread* io, Connection* conn, const InboxEntry& entry);
@@ -189,8 +216,36 @@ class TcpServer {
   RecordIngestQueue* const ingest_;  ///< may be null (replay-only server)
   const Options options_;
 
+  /// The server's counters are registry-owned obs::Counters (one relaxed
+  /// sharded fetch_add per accrual, summed only on scrape) — the same
+  /// objects back GetStats, the exit table, kMetricsDump, and /metrics.
+  struct Counters {
+    obs::Counter* connections_accepted = nullptr;
+    obs::Counter* connections_closed = nullptr;
+    obs::Counter* frames_received = nullptr;
+    obs::Counter* frames_sent = nullptr;
+    obs::Counter* bytes_received = nullptr;
+    obs::Counter* bytes_sent = nullptr;
+    obs::Counter* protocol_errors = nullptr;
+    obs::Counter* io_errors = nullptr;
+    obs::Counter* wire_sessions_opened = nullptr;
+    obs::Counter* wire_sessions_closed = nullptr;
+    obs::Counter* advance_steps = nullptr;
+    obs::Counter* requests_shed = nullptr;
+    obs::Counter* records_ingested = nullptr;
+    obs::Counter* records_ingest_dropped = nullptr;
+    obs::Counter* records_ingest_shed = nullptr;
+  };
+
+  std::unique_ptr<obs::MetricsRegistry> own_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  Counters c_;
+  obs::Histogram* request_latency_ = nullptr;  ///< end-to-end, ns
+
   int listen_fd_ = -1;
   uint16_t port_ = 0;
+  int metrics_fd_ = -1;  ///< /metrics HTTP listener (-1 = disabled)
+  uint16_t metrics_port_ = 0;
   std::atomic<bool> stop_{false};
   bool started_ = false;
   bool joined_ = false;
@@ -199,7 +254,6 @@ class TcpServer {
   std::thread acceptor_;
   int acceptor_wake_fd_ = -1;  ///< eventfd that interrupts the acceptor
   std::atomic<uint64_t> next_io_thread_{0};
-  std::atomic<uint64_t> accepted_total_{0};  ///< written by the acceptor
   /// Undispatched (non-shed) frames across all connections — the global
   /// in-flight budget admission control checks at read time.
   std::atomic<uint64_t> inflight_total_{0};

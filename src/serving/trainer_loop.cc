@@ -1,12 +1,12 @@
 #include "serving/trainer_loop.h"
 
 #include <algorithm>
-#include <iostream>
 #include <thread>
 #include <utility>
 
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace rpe {
 
@@ -119,6 +119,11 @@ void TrainerLoop::MaybeRetrainLocked() {
   if (consecutive_failures_ > 0 && Clock::now() < quarantine_until_) return;
 
   const auto start = Clock::now();
+  // Spans the whole retrain → snapshot → publish cycle; the publish leg
+  // below gets its own child span so a swap is attributable in a trace
+  // dump even when the training step dominates.
+  obs::TraceSpan retrain_span("trainer.retrain",
+                              static_cast<uint64_t>(corpus_.size()));
 
   // "trainer.retrain" stands in for a failed training cycle (OOM, a bad
   // corpus, a crashed worker): nothing is published, the loop quarantines.
@@ -143,9 +148,9 @@ void TrainerLoop::MaybeRetrainLocked() {
     if (!saved.ok()) {
       // Exhausted: losing the on-disk copy is survivable, losing the
       // publish is not — the fresh models still go out.
-      std::cerr << "trainer_loop: snapshot write failed after "
-                << options_.snapshot_write_retries
-                << " retries: " << saved.ToString() << "\n";
+      RPE_LOG_WARN << "trainer_loop: snapshot write failed after "
+                   << options_.snapshot_write_retries
+                   << " retries: " << saved.ToString();
       snapshot_failures = 1;
     }
   }
@@ -156,15 +161,20 @@ void TrainerLoop::MaybeRetrainLocked() {
   uint64_t generation = 0;
   bool published = false;
   uint64_t publish_retries = 0;
-  for (size_t attempt = 0;; ++attempt) {
-    if (!RPE_INJECT_FAULT("trainer.publish")) {
-      generation = service_->SwapModels(stack);
-      published = true;
-      break;
+  {
+    obs::TraceSpan publish_span("trainer.publish", retrain_span.id(),
+                                /*arg=*/0);
+    for (size_t attempt = 0;; ++attempt) {
+      if (!RPE_INJECT_FAULT("trainer.publish")) {
+        generation = service_->SwapModels(stack);
+        published = true;
+        break;
+      }
+      if (attempt >= options_.publish_retries) break;
+      ++publish_retries;
+      std::this_thread::sleep_for(
+          BackoffDelay(options_.retry_backoff, attempt));
     }
-    if (attempt >= options_.publish_retries) break;
-    ++publish_retries;
-    std::this_thread::sleep_for(BackoffDelay(options_.retry_backoff, attempt));
   }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -208,9 +218,9 @@ void TrainerLoop::FailCycleLocked(const char* what) {
   quarantine_until_ =
       Clock::now() + BackoffDelay(options_.retrain_quarantine,
                                   consecutive_failures_ - 1);
-  std::cerr << "trainer_loop: " << what << " (failure streak "
-            << consecutive_failures_
-            << "); serving the previous generation, quarantined\n";
+  RPE_LOG_WARN << "trainer_loop: " << what << " (failure streak "
+               << consecutive_failures_
+               << "); serving the previous generation, quarantined";
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++retrain_failures_;
 }

@@ -260,6 +260,14 @@ std::string EncodeStatsRequest() {
   return EncodeFrame(MsgType::kStats, 0, {});
 }
 
+std::string EncodeMetricsDumpRequest() {
+  return EncodeFrame(MsgType::kMetricsDump, 0, {});
+}
+
+std::string EncodeMetricsDumpResponse(std::string_view text) {
+  return EncodeFrame(MsgType::kMetricsDump, 0, text);
+}
+
 std::string EncodeIngestRecordRequest(const IngestRecordRequest& m) {
   Writer w(RecordWireBytes(m.record));
   PutRecord(&w, m.record);

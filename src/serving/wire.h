@@ -13,7 +13,7 @@
 //   offset  size  field
 //   0       4     payload_len   bytes after this 8-byte header;
 //                               must be <= kMaxPayloadBytes
-//   4       1     type          MsgType (1..7); anything else is rejected
+//   4       1     type          MsgType (1..8); anything else is rejected
 //   5       1     status        StatusCode; 0 on requests and successful
 //                               responses. A response with status != 0
 //                               carries the error message as its payload
@@ -47,6 +47,9 @@
 //   IngestBatchRequest   u32 count (1..kMaxIngestBatchRecords), then
 //                        `count` wire records back to back
 //   IngestResponse   u32 accepted, u32 dropped (both request types)
+//   MetricsDumpRequest   (empty)
+//   MetricsDumpResponse  Prometheus text exposition bytes (the same
+//                        document /metrics serves), opaque to the codec
 //
 // A wire record is the only variable-length payload element; every
 // length is its own prefix and every prefix is validated before a byte
@@ -110,11 +113,12 @@ enum class MsgType : uint8_t {
   kStats = 5,
   kIngestRecord = 6,
   kIngestBatch = 7,
+  kMetricsDump = 8,
 };
 
 /// Smallest/largest valid MsgType values, for header validation.
 inline constexpr uint8_t kMinMsgType = 1;
-inline constexpr uint8_t kMaxMsgType = 7;
+inline constexpr uint8_t kMaxMsgType = 8;
 
 /// Wire status byte of an admission-control rejection
 /// (StatusCode::kUnavailable): the server refused the request because a
@@ -252,6 +256,9 @@ std::string EncodeCloseRequest(const CloseRequest& m);
 std::string EncodeCloseResponse();
 std::string EncodeStatsRequest();
 std::string EncodeStatsResponse(const WireStats& m);
+std::string EncodeMetricsDumpRequest();
+/// `text` is the Prometheus exposition document (must fit a frame).
+std::string EncodeMetricsDumpResponse(std::string_view text);
 std::string EncodeIngestRecordRequest(const IngestRecordRequest& m);
 std::string EncodeIngestBatchRequest(const IngestBatchRequest& m);
 /// `type` must be kIngestRecord or kIngestBatch (the response echoes the

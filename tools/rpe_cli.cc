@@ -33,13 +33,19 @@
 //
 //   rpe_cli serve-tcp --kind tpch --queries 40 [--port 0] [--shards 4]
 //                     [--io-threads 0] [--model stack.rpsn] [--mmap]
-//                     [--trees 50]
+//                     [--trees 50] [--metrics-port 0] [--trace-out t.json]
+//                     [--slow-ms 50]
 //       Run a workload, then serve it over TCP (loopback) with the epoll
 //       front-end: Open/Advance/Progress/Close/Stats over the
 //       length-prefixed wire protocol (docs/NETWORK.md). Prints
 //       "listening on 127.0.0.1:<port>" once ready (--port 0 picks an
 //       ephemeral port), serves until SIGTERM/SIGINT, then drains, prints
 //       the serving stats, and exits 0. Drive it with rpe_loadgen.
+//       --metrics-port opens a loopback HTTP /metrics listener
+//       (Prometheus text, "metrics on 127.0.0.1:<port>" printed at
+//       startup); --trace-out writes a Chrome trace-event JSON dump at
+//       exit; --slow-ms logs any request slower than the threshold with a
+//       per-span breakdown (see docs/OBSERVABILITY.md).
 //
 //   rpe_cli serve-online --kind tpch --queries 40 [--sessions 64]
 //                        [--shards 4] [--model stack.rpsn] [--mmap]
@@ -68,11 +74,15 @@
 #include <thread>
 
 #include "common/failpoint.h"
+#include "common/logging.h"
 #include "common/simd.h"
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
 #include "harness/experiment.h"
 #include "harness/runner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serving/metrics_export.h"
 #include "serving/mmap_arena.h"
 #include "serving/monitor_service.h"
 #include "serving/server.h"
@@ -512,23 +522,13 @@ int CmdServeReplay(const std::map<std::string, std::string>& flags) {
               << " concurrent sessions bit-identical to sequential replay\n";
   }
 
-  const ShardedMonitorService::Stats stats = service.GetStats();
-  TablePrinter table({"Metric", "Value"});
-  table.AddRow({"shards", std::to_string(stats.shards)});
+  // The exit table is registry-driven (one formatter for every serve-*
+  // command): the rows ARE the samples a /metrics scrape would export.
+  obs::MetricsRegistry registry;
+  RegisterServiceCollector(&registry, &service);
+  RegisterSimdCollector(&registry);
+  TablePrinter table = MetricsTable(registry.Collect());
   table.AddRow({"simd", simd::KernelReport()});
-  table.AddRow({"sessions replayed",
-                std::to_string(stats.total.sessions_completed)});
-  table.AddRow({"decisions", std::to_string(stats.total.decisions)});
-  table.AddRow({"observations scored",
-                std::to_string(stats.total.observations_scored)});
-  table.AddRow({"p50 replay latency (ms)",
-                TablePrinter::Fmt(stats.total.p50_replay_ms, 3)});
-  table.AddRow({"p95 replay latency (ms)",
-                TablePrinter::Fmt(stats.total.p95_replay_ms, 3)});
-  table.AddRow({"decisions/sec",
-                TablePrinter::Fmt(stats.total.decisions_per_sec, 0)});
-  table.AddRow({"observations/sec",
-                TablePrinter::Fmt(stats.total.observations_per_sec, 0)});
   table.Print();
   return 0;
 }
@@ -564,12 +564,21 @@ int CmdServeTcp(const std::map<std::string, std::string>& flags) {
       ParseSizeFlag(flags, "conn-inflight", "128", 1, 1 << 24);
   auto ingest_watermark =
       ParseSizeFlag(flags, "ingest-watermark", "0", 0, 1 << 24);
+  // Observability: --metrics-port (0 = ephemeral) opens the HTTP
+  // /metrics listener; --trace-out dumps a Chrome trace at exit;
+  // --slow-ms turns on the slow-request log. Either of the latter two
+  // enables the tracer.
+  const bool metrics_enabled = flags.count("metrics-port") != 0;
+  auto metrics_port = ParseSizeFlag(flags, "metrics-port", "0", 0, 65535);
+  const std::string trace_out = FlagOr(flags, "trace-out", "");
+  auto slow_ms = ParseSizeFlag(flags, "slow-ms", "0", 0, 1 << 24);
   const Status mmap_ok = CheckMmapFlags(flags);
   for (const Status& st :
        {shards.status(), port.status(), io_threads.status(),
         queue_cap.status(), retrain_every.status(), corpus_cap.status(),
         max_inflight.status(), conn_inflight.status(),
-        ingest_watermark.status(), mmap_ok}) {
+        ingest_watermark.status(), metrics_port.status(),
+        slow_ms.status(), mmap_ok}) {
     if (!st.ok()) {
       std::cerr << st.ToString() << "\n";
       return 2;
@@ -620,12 +629,29 @@ int CmdServeTcp(const std::map<std::string, std::string>& flags) {
   run_ptrs.reserve(runs.size());
   for (const OwnedRun& run : runs) run_ptrs.push_back(&run.result);
 
+  // One registry backs every operator surface — the /metrics endpoint,
+  // kMetricsDump frames, and the exit table below. The server registers
+  // its own counters into it; everything else exports via collectors.
+  obs::MetricsRegistry registry;
+  RegisterServiceCollector(&registry, &service);
+  RegisterFailPointCollector(&registry);
+  RegisterSimdCollector(&registry);
+  RegisterTracerCollector(&registry);
+  if (!trace_out.empty() || *slow_ms > 0) {
+    obs::Tracer::Global().Enable();
+    obs::Tracer::Global().SetSlowThresholdNs(
+        static_cast<uint64_t>(*slow_ms) * 1000000u);
+  }
+
   TcpServer::Options server_options;
   server_options.port = static_cast<uint16_t>(*port);
   server_options.io_threads = *io_threads;
   server_options.max_inflight_total = *max_inflight;
   server_options.max_inflight_per_conn = *conn_inflight;
   server_options.ingest_shed_watermark = *ingest_watermark;
+  server_options.metrics = &registry;
+  server_options.metrics_port =
+      metrics_enabled ? static_cast<int>(*metrics_port) : -1;
   TcpServer server(&service, run_ptrs, &queue, server_options);
   const Status started = server.Start();
   if (!started.ok()) {
@@ -641,10 +667,16 @@ int CmdServeTcp(const std::map<std::string, std::string>& flags) {
   std::cout << "listening on 127.0.0.1:" << server.port() << " ("
             << service.num_shards() << " shards, " << run_ptrs.size()
             << " runs)" << std::endl;
+  if (metrics_enabled) {
+    // The smoke test parses this line for the scrape port; keep the
+    // format stable.
+    std::cout << "metrics on 127.0.0.1:" << server.metrics_port()
+              << std::endl;
+  }
   while (g_serve_tcp_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
-  std::cerr << "draining ...\n";
+  RPE_LOG_INFO << "draining ...";
   // Order matters: the server stops accepting records first, the queue
   // closes so the trainer's final drain sees the tail, then the trainer
   // stops (possibly publishing once more) before stats are read.
@@ -652,43 +684,20 @@ int CmdServeTcp(const std::map<std::string, std::string>& flags) {
   queue.Close();
   trainer.Stop();
 
-  const WireStats w = server.BuildWireStats();
-  TablePrinter table({"Metric", "Value"});
-  table.AddRow({"shards", std::to_string(service.num_shards())});
+  if (!trace_out.empty()) {
+    const Status wrote = obs::Tracer::Global().WriteChromeTrace(trace_out);
+    if (!wrote.ok()) {
+      RPE_LOG_WARN << "trace dump failed: " << wrote.ToString();
+    }
+  }
+
+  // The exit table is the scrape, rendered: server-owned counters first
+  // (registration order), then the service/failpoint/simd/tracer
+  // collector samples. Scripts regex-match row labels first-hit-wins,
+  // which is why the wire-session counters carry no table label (the
+  // "sessions opened" row must be the service's).
+  TablePrinter table = MetricsTable(registry.Collect());
   table.AddRow({"simd", simd::KernelReport()});
-  table.AddRow({"connections accepted",
-                std::to_string(w.connections_accepted)});
-  table.AddRow({"connections closed", std::to_string(w.connections_closed)});
-  table.AddRow({"frames received", std::to_string(w.frames_received)});
-  table.AddRow({"frames sent", std::to_string(w.frames_sent)});
-  table.AddRow({"bytes received", std::to_string(w.bytes_received)});
-  table.AddRow({"bytes sent", std::to_string(w.bytes_sent)});
-  table.AddRow({"protocol errors", std::to_string(w.protocol_errors)});
-  table.AddRow({"io errors", std::to_string(w.io_errors)});
-  table.AddRow({"sessions opened", std::to_string(w.sessions_opened)});
-  table.AddRow({"sessions completed",
-                std::to_string(w.sessions_completed)});
-  table.AddRow({"decisions", std::to_string(w.decisions)});
-  table.AddRow({"observations scored",
-                std::to_string(w.observations_scored)});
-  table.AddRow({"advance steps", std::to_string(w.advance_steps)});
-  table.AddRow({"model generation", std::to_string(w.model_generation)});
-  table.AddRow({"retrains published", std::to_string(w.retrains)});
-  table.AddRow({"wire records ingested",
-                std::to_string(w.records_ingested)});
-  table.AddRow({"wire records dropped",
-                std::to_string(w.records_ingest_dropped)});
-  table.AddRow({"wire records shed", std::to_string(w.records_ingest_shed)});
-  table.AddRow({"session requests shed", std::to_string(w.requests_shed)});
-  table.AddRow({"records pushed", std::to_string(w.ingest_pushed)});
-  table.AddRow({"records dropped", std::to_string(w.ingest_dropped)});
-  table.AddRow({"records drained", std::to_string(w.ingest_drained)});
-  table.AddRow({"training corpus",
-                std::to_string(trainer.GetStats().corpus_size)});
-  table.AddRow({"p50 replay latency (ms)",
-                TablePrinter::Fmt(w.p50_replay_ms, 3)});
-  table.AddRow({"p95 replay latency (ms)",
-                TablePrinter::Fmt(w.p95_replay_ms, 3)});
   table.Print();
   return 0;
 }
@@ -832,45 +841,13 @@ int CmdServeOnline(const std::map<std::string, std::string>& flags) {
   }
 
   const ShardedMonitorService::Stats stats = service.GetStats();
-  TablePrinter table({"Metric", "Value"});
-  table.AddRow({"shards", std::to_string(stats.shards)});
+  // Registry-driven exit table (same formatter as serve-replay /
+  // serve-tcp); "simd" and "ticks" are CLI-local rows, not metrics.
+  obs::MetricsRegistry registry;
+  RegisterServiceCollector(&registry, &service);
+  TablePrinter table = MetricsTable(registry.Collect());
   table.AddRow({"simd", simd::KernelReport()});
-  table.AddRow({"sessions replayed",
-                std::to_string(stats.total.sessions_completed)});
   table.AddRow({"ticks", std::to_string(ticks)});
-  table.AddRow({"observations scored",
-                std::to_string(stats.total.observations_scored)});
-  table.AddRow({"decisions", std::to_string(stats.total.decisions)});
-  table.AddRow({"model generation",
-                std::to_string(stats.total.model_generation)});
-  table.AddRow({"retrains published",
-                std::to_string(stats.total.ingest.retrains)});
-  table.AddRow({"records pushed",
-                std::to_string(stats.total.ingest.pushed)});
-  table.AddRow({"records dropped",
-                std::to_string(stats.total.ingest.dropped)});
-  table.AddRow({"records drained",
-                std::to_string(stats.total.ingest.drained)});
-  table.AddRow({"retrain failures",
-                std::to_string(stats.total.ingest.retrain_failures)});
-  table.AddRow({"retrain recoveries",
-                std::to_string(stats.total.ingest.retrain_recoveries)});
-  table.AddRow({"snapshot write failures",
-                std::to_string(stats.total.ingest.snapshot_write_failures)});
-  table.AddRow({"snapshot write retries",
-                std::to_string(stats.total.ingest.snapshot_write_retries)});
-  table.AddRow({"publish failures",
-                std::to_string(stats.total.ingest.publish_failures)});
-  table.AddRow({"publish retries",
-                std::to_string(stats.total.ingest.publish_retries)});
-  table.AddRow({"training corpus",
-                std::to_string(stats.total.ingest.corpus_size)});
-  table.AddRow({"last retrain (ms)",
-                TablePrinter::Fmt(stats.total.ingest.last_retrain_ms, 1)});
-  table.AddRow({"p50 replay latency (ms)",
-                TablePrinter::Fmt(stats.total.p50_replay_ms, 3)});
-  table.AddRow({"p95 replay latency (ms)",
-                TablePrinter::Fmt(stats.total.p95_replay_ms, 3)});
   table.Print();
 
   if (stats.total.ingest.retrains == 0) {
@@ -928,9 +905,11 @@ int Main(int argc, char** argv) {
   // Make fault-injection runs self-announcing: RPE_FAILPOINTS armed sites
   // are listed up front so a chaos run is never mistaken for a clean one.
   if (const auto armed = FailPoints::Armed(); !armed.empty()) {
-    std::cerr << "failpoints armed:";
-    for (const auto& name : armed) std::cerr << " " << name;
-    std::cerr << "\n";
+    std::string names;
+    for (const auto& name : armed) names += " " + name;
+    // Scripts grep the "failpoints armed: <name>" substring; the logger
+    // prefix (timestamp/level/tid) is additive, never a replacement.
+    RPE_LOG_INFO << "failpoints armed:" << names;
   }
   if (cmd == "run") return CmdRun(flags);
   if (cmd == "train") return CmdTrain(flags);

@@ -150,6 +150,7 @@ struct Config {
   size_t ingest_records = 0;    ///< record budget (0 = no fixed budget)
   size_t ingest_batch = 16;     ///< records per ingest frame
   bool ingest_until_swap = false;  ///< stream until model_generation bumps
+  bool dump_metrics = false;  ///< fetch kMetricsDump at the end (stderr)
 };
 
 bool IngestEnabled(const Config& config) {
@@ -479,6 +480,8 @@ void PrintUsage(std::ostream& out) {
          "                        generation advances (120 s cap)\n"
          "  [--check]    reconcile client counters against server Stats\n"
          "               deltas (incl. busy/shed/ingest); mismatch exits 1\n"
+         "  [--dump-metrics] fetch the server's Prometheus text over the\n"
+         "               wire (kMetricsDump) after the run, print to stderr\n"
          "--sessions 0 skips session traffic (ingest-only run).\n"
          "Drives `rpe_cli serve-tcp` (see docs/NETWORK.md); emits one\n"
          "JSON result object as the last stdout line.\n";
@@ -510,6 +513,7 @@ int Main(int argc, char** argv) {
       config.ingest_batch = std::stoul(flags.at("ingest-batch"));
     config.ingest_until_swap = flags.count("ingest-until-swap") > 0;
     config.check = flags.count("check") > 0;
+    config.dump_metrics = flags.count("dump-metrics") > 0;
   } catch (const std::exception& e) {
     std::cerr << "bad flag value: " << e.what() << "\n";
     return 2;
@@ -617,6 +621,20 @@ int Main(int argc, char** argv) {
         if (decoded.ok()) {
           server = *decoded;
           have_server_stats = true;
+        }
+      }
+      if (config.dump_metrics) {
+        // The wire-side scrape: the payload is the same Prometheus text
+        // the HTTP /metrics endpoint serves. Stderr, so the JSON result
+        // stays the last stdout line.
+        auto dump = stats_client.Call(EncodeMetricsDumpRequest());
+        if (dump.ok() && dump->ok()) {
+          std::cerr << dump->payload;
+        } else {
+          std::cerr << "metrics dump failed: "
+                    << (dump.ok() ? dump->ToStatus() : dump.status())
+                           .ToString()
+                    << "\n";
         }
       }
     }
